@@ -1,0 +1,39 @@
+//! ALGORITHMS — criterion wall-clock benchmarks of the end-to-end MWC
+//! algorithms at fixed sizes (round-complexity sweeps live in the
+//! `src/bin/table1_*` binaries; these measure simulator throughput).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mwc_core::{approx_girth, exact_mwc, two_approx_directed_mwc, Params};
+use mwc_graph::generators::{connected_gnm, WeightRange};
+use mwc_graph::Orientation;
+use std::hint::black_box;
+
+fn bench_exact(c: &mut Criterion) {
+    let g = connected_gnm(256, 768, Orientation::Directed, WeightRange::unit(), 1);
+    c.bench_function("mwc/exact_directed_256", |b| {
+        b.iter(|| black_box(exact_mwc(&g).weight))
+    });
+    let gu = connected_gnm(256, 512, Orientation::Undirected, WeightRange::unit(), 2);
+    c.bench_function("mwc/exact_girth_256", |b| {
+        b.iter(|| black_box(exact_mwc(&gu).weight))
+    });
+}
+
+fn bench_approx(c: &mut Criterion) {
+    let params = Params::lean().with_seed(9);
+    let g = connected_gnm(256, 768, Orientation::Directed, WeightRange::unit(), 3);
+    c.bench_function("mwc/two_approx_directed_256", |b| {
+        b.iter(|| black_box(two_approx_directed_mwc(&g, &params).weight))
+    });
+    let gu = connected_gnm(512, 1024, Orientation::Undirected, WeightRange::unit(), 4);
+    c.bench_function("mwc/approx_girth_512", |b| {
+        b.iter(|| black_box(approx_girth(&gu, &params).weight))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_exact, bench_approx
+}
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Diagnostic: per-phase round breakdown of the approximation algorithms,
+//! aggregated by phase label across a sweep of `n`. Useful for seeing
+//! which phase dominates at benchable sizes (the paper's polylog factors
+//! hide very different constants per phase).
+//!
+//! Usage: `phase_breakdown [algo] [max_n]` with algo one of
+//! `directed|girth|uweighted|dweighted` (default `directed`, 512).
+
+use mwc_bench::Table;
+use mwc_core::{
+    approx_girth, approx_mwc_directed_weighted, approx_mwc_undirected_weighted,
+    two_approx_directed_mwc, Params,
+};
+use mwc_congest::Ledger;
+use mwc_graph::generators::{connected_gnm, WeightRange};
+use mwc_graph::Orientation;
+use std::collections::BTreeMap;
+
+fn aggregate(ledger: &Ledger) -> BTreeMap<String, u64> {
+    let mut by_label: BTreeMap<String, u64> = BTreeMap::new();
+    for p in &ledger.phases {
+        // Strip scale suffixes so repeated phases aggregate.
+        let key = p
+            .label
+            .split(" 2^")
+            .next()
+            .unwrap_or(&p.label)
+            .to_string();
+        *by_label.entry(key).or_default() += p.rounds;
+    }
+    by_label
+}
+
+fn main() {
+    let algo = std::env::args().nth(1).unwrap_or_else(|| "directed".into());
+    let max_n: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(512);
+    let params = Params::lean().with_seed(42);
+
+    let mut all_labels: Vec<String> = Vec::new();
+    let mut rows: Vec<(usize, BTreeMap<String, u64>, u64)> = Vec::new();
+    let mut n = 128;
+    while n <= max_n {
+        let ledger = match algo.as_str() {
+            "directed" => {
+                let g =
+                    connected_gnm(n, 3 * n, Orientation::Directed, WeightRange::unit(), 7 + n as u64);
+                two_approx_directed_mwc(&g, &params).ledger
+            }
+            "girth" => {
+                let g =
+                    connected_gnm(n, 2 * n, Orientation::Undirected, WeightRange::unit(), 5 + n as u64);
+                approx_girth(&g, &params).ledger
+            }
+            "uweighted" => {
+                let g = connected_gnm(
+                    n,
+                    2 * n,
+                    Orientation::Undirected,
+                    WeightRange::uniform(1, 8),
+                    13 + n as u64,
+                );
+                approx_mwc_undirected_weighted(&g, &params).ledger
+            }
+            "dweighted" => {
+                let g = connected_gnm(
+                    n,
+                    3 * n,
+                    Orientation::Directed,
+                    WeightRange::uniform(1, 8),
+                    11 + n as u64,
+                );
+                approx_mwc_directed_weighted(&g, &params).ledger
+            }
+            other => panic!("unknown algorithm {other}"),
+        };
+        let agg = aggregate(&ledger);
+        for k in agg.keys() {
+            if !all_labels.contains(k) {
+                all_labels.push(k.clone());
+            }
+        }
+        rows.push((n, agg, ledger.rounds));
+        n *= 2;
+    }
+
+    let mut headers: Vec<&str> = vec!["n", "total"];
+    let label_strs: Vec<String> = all_labels.clone();
+    for l in &label_strs {
+        headers.push(l);
+    }
+    let mut t = Table::new(&format!("phase breakdown: {algo}"), &headers);
+    for (n, agg, total) in &rows {
+        let mut cells = vec![n.to_string(), total.to_string()];
+        for l in &label_strs {
+            cells.push(agg.get(l).copied().unwrap_or(0).to_string());
+        }
+        t.row(cells);
+    }
+    t.print();
+}

@@ -1,0 +1,142 @@
+//! Terminal plots for the experiment binaries: log-log scatter charts
+//! (round complexity vs `n`) and sparklines (congestion timelines). Pure
+//! ASCII/Unicode — the TSVs under `results/` hold the raw data for real
+//! plotting tools.
+
+use std::fmt::Write as _;
+
+/// Renders a log-log scatter chart of one or more `(x, y)` series, each
+/// drawn with its own glyph. Points must be positive.
+///
+/// # Panics
+///
+/// Panics if all series are empty or any coordinate is non-positive.
+pub fn loglog_chart(title: &str, series: &[(&str, Vec<(f64, f64)>)], width: usize, height: usize) -> String {
+    let pts: Vec<(f64, f64)> = series.iter().flat_map(|(_, s)| s.iter().copied()).collect();
+    assert!(!pts.is_empty(), "need at least one point");
+    assert!(
+        pts.iter().all(|&(x, y)| x > 0.0 && y > 0.0),
+        "log-log chart needs positive coordinates"
+    );
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &pts {
+        x0 = x0.min(x.ln());
+        x1 = x1.max(x.ln());
+        y0 = y0.min(y.ln());
+        y1 = y1.max(y.ln());
+    }
+    let (xr, yr) = ((x1 - x0).max(1e-9), (y1 - y0).max(1e-9));
+    let glyphs = ['*', 'o', '+', 'x', '#', '@'];
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, s)) in series.iter().enumerate() {
+        let glyph = glyphs[si % glyphs.len()];
+        for &(x, y) in s {
+            let cx = (((x.ln() - x0) / xr) * (width - 1) as f64).round() as usize;
+            let cy = (((y.ln() - y0) / yr) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - cy][cx] = glyph;
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}  (log-log)");
+    let ymax = pts.iter().map(|&(_, y)| y).fold(f64::MIN, f64::max);
+    let ymin = pts.iter().map(|&(_, y)| y).fold(f64::MAX, f64::min);
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{ymax:>9.0} ")
+        } else if i == height - 1 {
+            format!("{ymin:>9.0} ")
+        } else {
+            " ".repeat(10)
+        };
+        let _ = writeln!(out, "{label}|{}", row.iter().collect::<String>());
+    }
+    let xmin = pts.iter().map(|&(x, _)| x).fold(f64::MAX, f64::min);
+    let xmax = pts.iter().map(|&(x, _)| x).fold(f64::MIN, f64::max);
+    let _ = writeln!(out, "{}+{}", " ".repeat(10), "-".repeat(width));
+    let _ = writeln!(out, "{}{:<10.0}{:>w$.0}", " ".repeat(10), xmin, xmax, w = width - 10);
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| format!("{} {}", glyphs[i % glyphs.len()], name))
+        .collect();
+    let _ = writeln!(out, "{}{}", " ".repeat(11), legend.join("    "));
+    out
+}
+
+/// Renders a sparkline of values using eighth-block glyphs, scaled to the
+/// series' own maximum.
+pub fn sparkline(values: &[u64]) -> String {
+    let max = values.iter().copied().max().unwrap_or(0).max(1);
+    sparkline_scaled(values, max)
+}
+
+/// Sparkline scaled against an external maximum — lets several series
+/// share one scale so their peaks are comparable.
+pub fn sparkline_scaled(values: &[u64], max: u64) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = max.max(1);
+    values
+        .iter()
+        .map(|&v| BLOCKS[(((v.min(max)) * 7) / max) as usize])
+        .collect()
+}
+
+/// Downsamples a timeline to at most `buckets` points by max-pooling —
+/// keeps congestion peaks visible in a short sparkline.
+pub fn downsample_max(values: &[u64], buckets: usize) -> Vec<u64> {
+    if values.len() <= buckets || buckets == 0 {
+        return values.to_vec();
+    }
+    let chunk = values.len().div_ceil(buckets);
+    values.chunks(chunk).map(|c| c.iter().copied().max().unwrap_or(0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_contains_glyphs_and_legend() {
+        let series = vec![
+            ("exact", vec![(128.0, 400.0), (256.0, 800.0), (512.0, 1600.0)]),
+            ("approx", vec![(128.0, 165.0), (256.0, 261.0), (512.0, 407.0)]),
+        ];
+        let c = loglog_chart("rounds vs n", &series, 40, 10);
+        assert!(c.contains('*'));
+        assert!(c.contains('o'));
+        assert!(c.contains("exact"));
+        assert!(c.contains("approx"));
+        assert!(c.contains("log-log"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive coordinates")]
+    fn chart_rejects_zero() {
+        let _ = loglog_chart("t", &[("s", vec![(0.0, 1.0)])], 10, 5);
+    }
+
+    #[test]
+    fn sparkline_scales() {
+        let s = sparkline(&[0, 1, 2, 4, 8]);
+        assert_eq!(s.chars().count(), 5);
+        assert!(s.ends_with('█'));
+        assert!(s.starts_with('▁'));
+    }
+
+    #[test]
+    fn shared_scale_compares_series() {
+        let hot = sparkline_scaled(&[8, 8, 8], 8);
+        let cold = sparkline_scaled(&[1, 1, 1], 8);
+        assert_eq!(hot, "███");
+        assert_eq!(cold, "▁▁▁");
+    }
+
+    #[test]
+    fn downsample_keeps_peaks() {
+        let v: Vec<u64> = (0..100).map(|i| if i == 57 { 1000 } else { 1 }).collect();
+        let d = downsample_max(&v, 10);
+        assert!(d.len() <= 10);
+        assert!(d.contains(&1000));
+    }
+}

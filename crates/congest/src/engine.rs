@@ -1,0 +1,537 @@
+//! The round-synchronous CONGEST network engine.
+//!
+//! The engine is the "hardware" of this reproduction: it is the only
+//! channel through which node-local states may exchange information, and
+//! its round counter is the complexity measure every experiment reports.
+//!
+//! # Model (paper §1.1)
+//!
+//! - The communication topology is the **undirected support** of the input
+//!   graph: links are bidirectional even when the graph is directed.
+//! - Per round, each link carries at most **one word** in each direction. A
+//!   word is Θ(log n + log W) bits; a message of `w` words occupies its
+//!   link for `w` consecutive rounds (per-link FIFO).
+//! - Messages can optionally carry an **extra latency**: a message sent
+//!   over a link with latency `ℓ` is delivered `ℓ` rounds after its last
+//!   word leaves the link. This models *stretched* graphs (paper §4), where
+//!   a weighted edge is replaced by a path of unit edges: bandwidth stays
+//!   one word per round, but traversal takes the path length, and
+//!   back-to-back messages pipeline.
+//! - Local computation is free; nodes may schedule **wakeups** to act at a
+//!   future round without receiving a message (used for the random-delay
+//!   scheduling of Algorithm 3).
+
+use mwc_graph::{Graph, NodeId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::fmt;
+
+/// A message delivered to a node at the start of a round.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Delivery<M> {
+    /// The neighbor that sent the message.
+    pub from: NodeId,
+    /// The recipient.
+    pub to: NodeId,
+    /// The message body.
+    pub payload: M,
+}
+
+/// Everything that happens at one node-visible round boundary.
+#[derive(Clone, Debug, Default)]
+pub struct RoundOutput<M> {
+    /// Messages whose transfer completed this round.
+    pub deliveries: Vec<Delivery<M>>,
+    /// Nodes whose scheduled wakeup fired this round.
+    pub wakeups: Vec<NodeId>,
+}
+
+/// Aggregate traffic statistics of a [`Network`].
+#[derive(Clone, Debug, Default)]
+pub struct NetStats {
+    /// Total words transferred over all links.
+    pub words: u64,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Words transferred per directed link (parallel to the engine's link
+    /// table); used by the lower-bound harness for cut accounting.
+    pub per_link_words: Vec<u64>,
+    /// When history is enabled ([`Network::enable_history`]): `(round,
+    /// words transferred that round)` for every non-quiet round — the
+    /// congestion timeline used by the scheduling ablations.
+    pub words_per_round: Vec<(u64, u64)>,
+}
+
+struct InFlight<M> {
+    payload: M,
+    from: NodeId,
+    to: NodeId,
+    words_left: u64,
+    latency: u64,
+}
+
+/// The CONGEST network simulator. See the crate docs for the model.
+///
+/// `M` is the algorithm-specific message type. The engine never inspects
+/// payloads; algorithms declare how many *words* each message occupies,
+/// which is what the bandwidth accounting uses.
+///
+/// # Examples
+///
+/// ```
+/// use mwc_congest::{Network};
+/// use mwc_graph::{Graph, Orientation};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = Graph::from_edges(3, Orientation::Undirected, [(0, 1, 1), (1, 2, 1)])?;
+/// let mut net: Network<&'static str> = Network::new(&g);
+/// net.send(0, 1, "hello", 1)?;
+/// let out = net.step();
+/// assert_eq!(out.deliveries.len(), 1);
+/// assert_eq!(out.deliveries[0].payload, "hello");
+/// assert_eq!(net.round(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Network<M> {
+    n: usize,
+    round: u64,
+    /// `links[l] = (from, to)`.
+    link_ends: Vec<(NodeId, NodeId)>,
+    /// For each node, its outgoing (neighbor, link id) pairs, sorted by
+    /// neighbor.
+    out_links: Vec<Vec<(NodeId, usize)>>,
+    queues: Vec<VecDeque<InFlight<M>>>,
+    /// Links with a non-empty queue.
+    active: Vec<usize>,
+    active_flag: Vec<bool>,
+    /// Messages whose words all left their link, awaiting latency expiry:
+    /// (arrival round, insertion sequence for FIFO stability).
+    transit: BinaryHeap<Reverse<(u64, u64)>>,
+    transit_msgs: std::collections::HashMap<u64, Delivery<M>>,
+    transit_seq: u64,
+    wakeups: BinaryHeap<Reverse<(u64, NodeId)>>,
+    stats: NetStats,
+    history: bool,
+}
+
+/// Error returned by [`Network::send`] variants.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SendError {
+    /// `from` and `to` are not joined by a communication link.
+    NoLink {
+        /// Attempted sender.
+        from: NodeId,
+        /// Attempted recipient.
+        to: NodeId,
+    },
+}
+
+impl fmt::Display for SendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SendError::NoLink { from, to } => {
+                write!(f, "no communication link between {from} and {to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+impl<M> Network<M> {
+    /// Builds a network whose links are the undirected support of `graph`.
+    pub fn new(graph: &Graph) -> Self {
+        let n = graph.n();
+        let mut link_ends = Vec::new();
+        let mut out_links = vec![Vec::new(); n];
+        for u in 0..n {
+            for v in graph.comm_neighbors(u) {
+                let l = link_ends.len();
+                link_ends.push((u, v));
+                out_links[u].push((v, l));
+            }
+        }
+        for links in &mut out_links {
+            links.sort_unstable();
+        }
+        let m = link_ends.len();
+        Network {
+            n,
+            round: 0,
+            link_ends,
+            out_links,
+            queues: (0..m).map(|_| VecDeque::new()).collect(),
+            active: Vec::new(),
+            active_flag: vec![false; m],
+            transit: BinaryHeap::new(),
+            transit_msgs: std::collections::HashMap::new(),
+            transit_seq: 0,
+            wakeups: BinaryHeap::new(),
+            stats: NetStats {
+                words: 0,
+                messages: 0,
+                per_link_words: vec![0; m],
+                words_per_round: Vec::new(),
+            },
+            history: false,
+        }
+    }
+
+    /// Records a `(round, words)` timeline entry for every non-quiet
+    /// round, readable from [`NetStats::words_per_round`]. Off by default
+    /// (costs memory proportional to active rounds).
+    pub fn enable_history(&mut self) {
+        self.history = true;
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The current round (rounds completed so far).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Traffic statistics so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// The directed communication links as `(from, to)` pairs, parallel to
+    /// [`NetStats::per_link_words`].
+    pub fn link_ends(&self) -> &[(NodeId, NodeId)] {
+        &self.link_ends
+    }
+
+    /// Sum of words that crossed between the two sides of a node
+    /// partition; `side[v]` is `v`'s side. Used by the two-party
+    /// communication harness.
+    pub fn words_across(&self, side: &[bool]) -> u64 {
+        self.link_ends
+            .iter()
+            .zip(&self.stats.per_link_words)
+            .filter(|((u, v), _)| side[*u] != side[*v])
+            .map(|(_, w)| *w)
+            .sum()
+    }
+
+    fn link(&self, from: NodeId, to: NodeId) -> Option<usize> {
+        let links = &self.out_links[from];
+        links
+            .binary_search_by_key(&to, |&(nb, _)| nb)
+            .ok()
+            .map(|i| links[i].1)
+    }
+
+    /// Enqueues a `words`-word message from `from` to its neighbor `to`.
+    /// Transfer begins on the next [`Network::step`]; delivery happens
+    /// after `words` rounds of link occupancy (FIFO behind earlier
+    /// messages).
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::NoLink`] if the nodes are not adjacent in the
+    /// communication topology.
+    pub fn send(&mut self, from: NodeId, to: NodeId, payload: M, words: u64) -> Result<(), SendError> {
+        self.send_latency(from, to, payload, words, 0)
+    }
+
+    /// Like [`Network::send`] with an extra delivery latency of `latency`
+    /// rounds after the last word leaves the link (stretched-edge
+    /// traversal). Messages pipeline: the link is free for the next
+    /// message while earlier ones are "in flight".
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::NoLink`] if the nodes are not adjacent.
+    pub fn send_latency(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        payload: M,
+        words: u64,
+        latency: u64,
+    ) -> Result<(), SendError> {
+        let l = self.link(from, to).ok_or(SendError::NoLink { from, to })?;
+        self.queues[l].push_back(InFlight {
+            payload,
+            from,
+            to,
+            words_left: words.max(1),
+            latency,
+        });
+        if !self.active_flag[l] {
+            self.active_flag[l] = true;
+            self.active.push(l);
+        }
+        Ok(())
+    }
+
+    /// Schedules `node` to be woken at the end of round `round` (must be
+    /// in the future). Fires as part of that round's [`RoundOutput`].
+    pub fn schedule_wakeup(&mut self, round: u64, node: NodeId) {
+        debug_assert!(round > self.round, "wakeup must be scheduled in the future");
+        self.wakeups.push(Reverse((round, node)));
+    }
+
+    /// `true` if no traffic is queued, in flight, or scheduled.
+    pub fn is_idle(&self) -> bool {
+        self.active.is_empty() && self.transit.is_empty() && self.wakeups.is_empty()
+    }
+
+    /// The round at which something next happens, if anything is pending.
+    pub fn next_event_round(&self) -> Option<u64> {
+        let mut next = None;
+        if !self.active.is_empty() {
+            next = Some(self.round + 1);
+        }
+        if let Some(Reverse((r, _))) = self.transit.peek() {
+            next = Some(next.map_or(*r, |n: u64| n.min(*r)));
+        }
+        if let Some(Reverse((r, _))) = self.wakeups.peek() {
+            next = Some(next.map_or(*r, |n: u64| n.min(*r)));
+        }
+        next
+    }
+
+    /// Advances the simulation by exactly one round and returns what the
+    /// nodes observe at its end.
+    pub fn step(&mut self) -> RoundOutput<M> {
+        self.round += 1;
+        let mut out = RoundOutput { deliveries: Vec::new(), wakeups: Vec::new() };
+
+        // Transfer one word on every active link.
+        let transferred = self.active.len() as u64;
+        if self.history && transferred > 0 {
+            self.stats.words_per_round.push((self.round, transferred));
+        }
+        let mut still_active = Vec::with_capacity(self.active.len());
+        let active = std::mem::take(&mut self.active);
+        for l in active {
+            let q = &mut self.queues[l];
+            let head = q.front_mut().expect("active links have queued traffic");
+            head.words_left -= 1;
+            self.stats.words += 1;
+            self.stats.per_link_words[l] += 1;
+            if head.words_left == 0 {
+                let msg = q.pop_front().expect("head exists");
+                let delivery = Delivery { from: msg.from, to: msg.to, payload: msg.payload };
+                if msg.latency == 0 {
+                    self.stats.messages += 1;
+                    out.deliveries.push(delivery);
+                } else {
+                    let seq = self.transit_seq;
+                    self.transit_seq += 1;
+                    self.transit.push(Reverse((self.round + msg.latency, seq)));
+                    self.transit_msgs.insert(seq, delivery);
+                }
+            }
+            if q.is_empty() {
+                self.active_flag[l] = false;
+            } else {
+                still_active.push(l);
+            }
+        }
+        self.active = still_active;
+
+        // Deliver messages whose latency expired.
+        while let Some(Reverse((r, seq))) = self.transit.peek().copied() {
+            if r > self.round {
+                break;
+            }
+            self.transit.pop();
+            let msg = self.transit_msgs.remove(&seq).expect("transit message exists");
+            self.stats.messages += 1;
+            out.deliveries.push(msg);
+        }
+
+        // Fire wakeups.
+        while let Some(Reverse((r, node))) = self.wakeups.peek().copied() {
+            if r > self.round {
+                break;
+            }
+            self.wakeups.pop();
+            out.wakeups.push(node);
+        }
+
+        out
+    }
+
+    /// Jumps over quiet rounds (when no link is transferring) straight to
+    /// the next event and performs that round; the round counter still
+    /// advances over the skipped rounds, so complexity accounting is
+    /// unchanged. Returns `None` when the network is idle.
+    pub fn step_fast(&mut self) -> Option<RoundOutput<M>> {
+        let next = self.next_event_round()?;
+        if next > self.round + 1 {
+            self.round = next - 1;
+        }
+        Some(self.step())
+    }
+}
+
+impl<M> fmt::Debug for Network<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("n", &self.n)
+            .field("round", &self.round)
+            .field("links", &self.link_ends.len())
+            .field("words", &self.stats.words)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwc_graph::Orientation;
+
+    fn path3() -> Graph {
+        Graph::from_edges(3, Orientation::Undirected, [(0, 1, 1), (1, 2, 1)]).unwrap()
+    }
+
+    #[test]
+    fn single_word_takes_one_round() {
+        let mut net: Network<u32> = Network::new(&path3());
+        net.send(0, 1, 7, 1).unwrap();
+        let out = net.step();
+        assert_eq!(out.deliveries.len(), 1);
+        assert_eq!(out.deliveries[0].from, 0);
+        assert_eq!(out.deliveries[0].to, 1);
+        assert_eq!(out.deliveries[0].payload, 7);
+        assert_eq!(net.round(), 1);
+        assert!(net.is_idle());
+    }
+
+    #[test]
+    fn multi_word_message_occupies_link() {
+        let mut net: Network<u32> = Network::new(&path3());
+        net.send(0, 1, 1, 3).unwrap();
+        assert!(net.step().deliveries.is_empty());
+        assert!(net.step().deliveries.is_empty());
+        let out = net.step();
+        assert_eq!(out.deliveries.len(), 1);
+        assert_eq!(net.round(), 3);
+        assert_eq!(net.stats().words, 3);
+    }
+
+    #[test]
+    fn fifo_per_link() {
+        let mut net: Network<u32> = Network::new(&path3());
+        net.send(0, 1, 10, 1).unwrap();
+        net.send(0, 1, 20, 1).unwrap();
+        assert_eq!(net.step().deliveries[0].payload, 10);
+        assert_eq!(net.step().deliveries[0].payload, 20);
+        assert_eq!(net.round(), 2);
+    }
+
+    #[test]
+    fn opposite_directions_do_not_contend() {
+        let mut net: Network<u32> = Network::new(&path3());
+        net.send(0, 1, 1, 1).unwrap();
+        net.send(1, 0, 2, 1).unwrap();
+        let out = net.step();
+        assert_eq!(out.deliveries.len(), 2);
+        assert_eq!(net.round(), 1);
+    }
+
+    #[test]
+    fn directed_graph_links_are_bidirectional() {
+        let g = Graph::from_edges(2, Orientation::Directed, [(0, 1, 1)]).unwrap();
+        let mut net: Network<u32> = Network::new(&g);
+        // Message against the edge orientation is fine: links are
+        // bidirectional in CONGEST.
+        net.send(1, 0, 5, 1).unwrap();
+        assert_eq!(net.step().deliveries.len(), 1);
+    }
+
+    #[test]
+    fn send_to_non_neighbor_fails() {
+        let mut net: Network<u32> = Network::new(&path3());
+        assert_eq!(net.send(0, 2, 9, 1), Err(SendError::NoLink { from: 0, to: 2 }));
+    }
+
+    #[test]
+    fn latency_delays_delivery_but_pipelines() {
+        let mut net: Network<u32> = Network::new(&path3());
+        // Two messages over a stretched edge of length 4 (latency 3):
+        // arrivals at rounds 4 and 5 — pipelined, not serialized to 8.
+        net.send_latency(0, 1, 1, 1, 3).unwrap();
+        net.send_latency(0, 1, 2, 1, 3).unwrap();
+        let mut arrivals = Vec::new();
+        while !net.is_idle() {
+            let out = net.step();
+            for d in out.deliveries {
+                arrivals.push((net.round(), d.payload));
+            }
+        }
+        assert_eq!(arrivals, vec![(4, 1), (5, 2)]);
+    }
+
+    #[test]
+    fn step_fast_skips_quiet_rounds_but_counts_them() {
+        let mut net: Network<u32> = Network::new(&path3());
+        net.send_latency(0, 1, 1, 1, 9).unwrap();
+        // Word leaves at round 1; arrival at round 10.
+        let out = net.step();
+        assert!(out.deliveries.is_empty());
+        let out = net.step_fast().expect("pending arrival");
+        assert_eq!(out.deliveries.len(), 1);
+        assert_eq!(net.round(), 10);
+        assert!(net.step_fast().is_none());
+    }
+
+    #[test]
+    fn wakeups_fire_at_their_round() {
+        let mut net: Network<u32> = Network::new(&path3());
+        net.schedule_wakeup(5, 2);
+        net.schedule_wakeup(5, 0);
+        net.schedule_wakeup(3, 1);
+        let out = net.step_fast().unwrap();
+        assert_eq!(net.round(), 3);
+        assert_eq!(out.wakeups, vec![1]);
+        let out = net.step_fast().unwrap();
+        assert_eq!(net.round(), 5);
+        let mut w = out.wakeups.clone();
+        w.sort_unstable();
+        assert_eq!(w, vec![0, 2]);
+    }
+
+    #[test]
+    fn stats_count_words_and_cut() {
+        let mut net: Network<u32> = Network::new(&path3());
+        net.send(0, 1, 1, 2).unwrap();
+        net.send(2, 1, 1, 1).unwrap();
+        while !net.is_idle() {
+            net.step();
+        }
+        assert_eq!(net.stats().words, 3);
+        assert_eq!(net.stats().messages, 2);
+        // Partition {0} vs {1,2}: only the 2-word message crosses.
+        assert_eq!(net.words_across(&[true, false, false]), 2);
+        assert_eq!(net.words_across(&[true, true, false]), 1);
+    }
+
+    #[test]
+    fn history_records_congestion_timeline() {
+        let mut net: Network<u32> = Network::new(&path3());
+        net.enable_history();
+        net.send(0, 1, 1, 2).unwrap();
+        net.send(1, 2, 2, 1).unwrap();
+        while !net.is_idle() {
+            net.step();
+        }
+        // Round 1: both links busy (2 words); round 2: only 0→1 (1 word).
+        assert_eq!(net.stats().words_per_round, vec![(1, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn zero_word_send_is_clamped_to_one() {
+        let mut net: Network<u32> = Network::new(&path3());
+        net.send(0, 1, 1, 0).unwrap();
+        assert_eq!(net.step().deliveries.len(), 1);
+    }
+}

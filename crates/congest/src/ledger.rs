@@ -1,0 +1,211 @@
+//! Round accounting across algorithm phases.
+//!
+//! The paper's algorithms are sequences of phases (sampling, multi-source
+//! BFS, broadcasts, restricted BFS, convergecast, …), each simulated on its
+//! own [`Network`](crate::Network) instance over the same topology. A
+//! [`Ledger`] accumulates the round/word/message counts of those phases so
+//! an end-to-end algorithm reports one total, with a per-phase breakdown
+//! for the benchmark tables.
+
+use crate::engine::Network;
+use mwc_graph::NodeId;
+use std::fmt;
+
+/// One accounted phase of a distributed algorithm.
+#[derive(Clone, Debug)]
+pub struct Phase {
+    /// Human-readable phase name (e.g. `"h-hop BFS from S"`).
+    pub label: String,
+    /// Rounds the phase took.
+    pub rounds: u64,
+    /// Words it moved.
+    pub words: u64,
+}
+
+/// Accumulated cost of a distributed computation.
+///
+/// # Examples
+///
+/// ```
+/// use mwc_congest::{Ledger, Network};
+/// use mwc_graph::{Graph, Orientation};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = Graph::from_edges(2, Orientation::Undirected, [(0, 1, 1)])?;
+/// let mut ledger = Ledger::new();
+/// let mut net: Network<u8> = Network::new(&g);
+/// net.send(0, 1, 42, 1)?;
+/// net.step();
+/// ledger.absorb("hello", &net);
+/// assert_eq!(ledger.rounds, 1);
+/// assert_eq!(ledger.phases.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Ledger {
+    /// Total rounds across phases (phases run sequentially).
+    pub rounds: u64,
+    /// Total words moved.
+    pub words: u64,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Phase breakdown, in execution order.
+    pub phases: Vec<Phase>,
+    link_ends: Vec<(NodeId, NodeId)>,
+    per_link_words: Vec<u64>,
+}
+
+impl Ledger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Ledger::default()
+    }
+
+    /// Adds the cost of a finished phase simulated on `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` was built over a different topology than earlier
+    /// absorbed phases (the per-link tables would not line up).
+    pub fn absorb<M>(&mut self, label: &str, net: &Network<M>) {
+        let stats = net.stats();
+        self.rounds += net.round();
+        self.words += stats.words;
+        self.messages += stats.messages;
+        self.phases.push(Phase {
+            label: label.to_owned(),
+            rounds: net.round(),
+            words: stats.words,
+        });
+        if self.link_ends.is_empty() {
+            self.link_ends = net.link_ends().to_vec();
+            self.per_link_words = stats.per_link_words.clone();
+        } else {
+            assert_eq!(
+                self.link_ends.len(),
+                net.link_ends().len(),
+                "ledger phases must share one topology"
+            );
+            for (acc, w) in self.per_link_words.iter_mut().zip(&stats.per_link_words) {
+                *acc += w;
+            }
+        }
+    }
+
+    /// Merges another ledger (e.g. a subroutine's) into this one.
+    pub fn merge(&mut self, other: &Ledger) {
+        self.rounds += other.rounds;
+        self.words += other.words;
+        self.messages += other.messages;
+        self.phases.extend(other.phases.iter().cloned());
+        if self.link_ends.is_empty() {
+            self.link_ends = other.link_ends.clone();
+            self.per_link_words = other.per_link_words.clone();
+        } else if !other.link_ends.is_empty() {
+            assert_eq!(self.link_ends.len(), other.link_ends.len());
+            for (acc, w) in self.per_link_words.iter_mut().zip(&other.per_link_words) {
+                *acc += w;
+            }
+        }
+    }
+
+    /// Total words that crossed the cut of a node partition (`side[v]` is
+    /// `v`'s side), summed over all absorbed phases. Used by the
+    /// lower-bound communication harness.
+    pub fn words_across(&self, side: &[bool]) -> u64 {
+        self.link_ends
+            .iter()
+            .zip(&self.per_link_words)
+            .filter(|((u, v), _)| side[*u] != side[*v])
+            .map(|(_, w)| *w)
+            .sum()
+    }
+}
+
+impl fmt::Display for Ledger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "total: {} rounds, {} words, {} messages",
+            self.rounds, self.words, self.messages
+        )?;
+        for p in &self.phases {
+            writeln!(f, "  {:<40} {:>10} rounds {:>12} words", p.label, p.rounds, p.words)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwc_graph::{Graph, Orientation};
+
+    fn edge() -> Graph {
+        Graph::from_edges(2, Orientation::Undirected, [(0, 1, 1)]).unwrap()
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let g = edge();
+        let mut ledger = Ledger::new();
+        for i in 0..3u8 {
+            let mut net: Network<u8> = Network::new(&g);
+            net.send(0, 1, i, 2).unwrap();
+            while !net.is_idle() {
+                net.step();
+            }
+            ledger.absorb("phase", &net);
+        }
+        assert_eq!(ledger.rounds, 6);
+        assert_eq!(ledger.words, 6);
+        assert_eq!(ledger.messages, 3);
+        assert_eq!(ledger.phases.len(), 3);
+    }
+
+    #[test]
+    fn cut_accounting_spans_phases() {
+        let g = edge();
+        let mut ledger = Ledger::new();
+        for _ in 0..2 {
+            let mut net: Network<u8> = Network::new(&g);
+            net.send(1, 0, 0, 5).unwrap();
+            while !net.is_idle() {
+                net.step();
+            }
+            ledger.absorb("phase", &net);
+        }
+        assert_eq!(ledger.words_across(&[true, false]), 10);
+        assert_eq!(ledger.words_across(&[true, true]), 0);
+    }
+
+    #[test]
+    fn display_renders_phases() {
+        let g = edge();
+        let mut ledger = Ledger::new();
+        let mut net: Network<u8> = Network::new(&g);
+        net.send(0, 1, 1, 1).unwrap();
+        net.step();
+        ledger.absorb("hello phase", &net);
+        let text = format!("{ledger}");
+        assert!(text.contains("total: 1 rounds"));
+        assert!(text.contains("hello phase"));
+    }
+
+    #[test]
+    fn merge_combines() {
+        let g = edge();
+        let mut a = Ledger::new();
+        let mut b = Ledger::new();
+        let mut net: Network<u8> = Network::new(&g);
+        net.send(0, 1, 0, 1).unwrap();
+        net.step();
+        a.absorb("a", &net);
+        b.absorb("b", &net);
+        a.merge(&b);
+        assert_eq!(a.rounds, 2);
+        assert_eq!(a.phases.len(), 2);
+        assert_eq!(a.words_across(&[true, false]), 2);
+    }
+}

@@ -1,0 +1,632 @@
+//! Pipelined multi-source BFS and source detection, after Lenzen,
+//! Patt-Shamir & Peleg \[37\] (the paper's reference for `O(h + k)`-round
+//! `k`-source `h`-hop BFS and `(S, h, σ)` source detection).
+//!
+//! Both primitives use the classic pipelining schedule: every node keeps a
+//! priority queue of announcements `(distance, source)` and, each round,
+//! forwards the smallest fresh one over all of its traversal-direction
+//! links. With unit latencies this completes `k`-source `h`-hop BFS in
+//! `O(h + k)` rounds; the tests assert that envelope empirically.
+//!
+//! Announcements can also travel with **per-edge latencies** (the scaled /
+//! stretched graphs of paper §4–5): an edge of stretch `ℓ` delays delivery
+//! by `ℓ` rounds and adds `ℓ` to the announced distance, which is exactly a
+//! BFS on the stretched graph where each weighted edge becomes a path of
+//! `ℓ` unit edges simulated at its endpoint.
+
+use crate::distmat::{DistMatrix, INF};
+use crate::engine::Network;
+use crate::ledger::Ledger;
+use mwc_graph::seq::Direction;
+use mwc_graph::{Graph, NodeId, Weight};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, BTreeSet, HashMap};
+
+/// Parameters of a multi-source search.
+#[derive(Clone, Copy, Debug)]
+pub struct MultiBfsSpec<'a> {
+    /// Distance budget: announcements above this are not forwarded. For
+    /// unit latencies this is the *hop* budget `h`; with latencies it is a
+    /// stretched-distance budget. Use [`INF`] for an unbounded search.
+    pub max_dist: Weight,
+    /// Traversal direction over the (possibly directed) graph edges.
+    pub direction: Direction,
+    /// Per-[`EdgeId`](mwc_graph::EdgeId) stretch `ℓ(e) ≥ 1`; `None` means
+    /// all-unit (plain BFS).
+    pub latency: Option<&'a [Weight]>,
+}
+
+impl Default for MultiBfsSpec<'_> {
+    fn default() -> Self {
+        MultiBfsSpec { max_dist: INF, direction: Direction::Forward, latency: None }
+    }
+}
+
+/// A BFS announcement: `(source row, distance at the receiver)`.
+type Announce = (u32, Weight);
+
+/// Distance contribution of an edge (the *announced* weight — may be 0).
+fn dist_add(latency: Option<&[Weight]>, edge: usize) -> Weight {
+    latency.map_or(1, |l| l[edge])
+}
+
+/// Travel time of an edge in rounds (≥ 1: even a zero-weight edge takes a
+/// round to cross).
+fn stretch(latency: Option<&[Weight]>, edge: usize) -> Weight {
+    latency.map_or(1, |l| l[edge].max(1))
+}
+
+/// Runs a pipelined `h`-bounded search from `sources` and returns the
+/// distance table. Costs `O(max_dist + k)` rounds for unit latencies,
+/// charged to `ledger` under `label`.
+///
+/// # Panics
+///
+/// Panics if a source id is out of range or repeated, or if
+/// `spec.latency` is provided with fewer entries than the graph has edges.
+pub fn multi_source_bfs(
+    g: &Graph,
+    sources: &[NodeId],
+    spec: &MultiBfsSpec<'_>,
+    label: &str,
+    ledger: &mut Ledger,
+) -> DistMatrix {
+    if let Some(l) = spec.latency {
+        assert!(l.len() >= g.m(), "latency table must cover all edges");
+    }
+    let n = g.n();
+    let mut mat = DistMatrix::new(n, sources.to_vec());
+    let mut net: Network<Announce> = Network::new(g);
+
+    // outbox[v]: fresh announcements not yet forwarded, smallest first.
+    let mut outbox: Vec<BinaryHeap<Reverse<Announce2>>> = (0..n).map(|_| BinaryHeap::new()).collect();
+    let mut pending: Vec<NodeId> = Vec::new();
+    let mut pending_flag = vec![false; n];
+
+    for (row, &s) in sources.iter().enumerate() {
+        mat.set_row(row, s, 0, None);
+        outbox[s].push(Reverse((0, row as u32)));
+        if !pending_flag[s] {
+            pending_flag[s] = true;
+            pending.push(s);
+        }
+    }
+
+    loop {
+        // Node actions for this round: each pending node forwards its
+        // smallest fresh announcement over every traversal link.
+        let acting = std::mem::take(&mut pending);
+        let mut any_sent = false;
+        for v in acting {
+            pending_flag[v] = false;
+            // Pop entries until one is fresh (stale = improved since push).
+            let fresh = loop {
+                match outbox[v].pop() {
+                    Some(Reverse((d, row))) => {
+                        if mat.get_row(row as usize, v) == d {
+                            break Some((d, row));
+                        }
+                    }
+                    None => break None,
+                }
+            };
+            let Some((d, row)) = fresh else { continue };
+            for a in spec.direction.adj(g, v) {
+                // Distance and travel time are decoupled so zero-weight
+                // edges (the paper allows w = 0) stay exact: they add 0 to
+                // the distance but still take one round to cross.
+                let cand = d.saturating_add(dist_add(spec.latency, a.edge));
+                if cand > spec.max_dist {
+                    continue;
+                }
+                let ell = stretch(spec.latency, a.edge);
+                // Receiver-side pruning happens on delivery; sender-side we
+                // also skip if the receiver is already known (to the
+                // sender) to be closer — we cannot know that locally, so
+                // no such check: CONGEST nodes only know their own state.
+                any_sent = true;
+                net.send_latency(v, a.to, (row, cand), 1, ell - 1)
+                    .expect("traversal edges are communication links");
+            }
+            if !outbox[v].is_empty() && !pending_flag[v] {
+                pending_flag[v] = true;
+                pending.push(v);
+            }
+        }
+
+        if !any_sent {
+            if !pending.is_empty() {
+                // Entirely-filtered pops: keep draining outboxes locally
+                // without charging rounds (nothing was transmitted).
+                continue;
+            }
+            if net.is_idle() {
+                break;
+            }
+        }
+        let out = if any_sent { Some(net.step()) } else { net.step_fast() };
+        let Some(out) = out else { break };
+        for d in out.deliveries {
+            let (row, cand) = d.payload;
+            let v = d.to;
+            if cand < mat.get_row(row as usize, v) {
+                mat.set_row(row as usize, v, cand, Some(d.from));
+                outbox[v].push(Reverse((cand, row)));
+                if !pending_flag[v] {
+                    pending_flag[v] = true;
+                    pending.push(v);
+                }
+            }
+        }
+    }
+    ledger.absorb(label, &net);
+    mat
+}
+
+/// `(dist, src)` ordering helper — distance first, then source row for a
+/// deterministic tiebreak.
+type Announce2 = (Weight, u32);
+
+/// Result of [`source_detection`]: for each node, its detected sources as
+/// `(distance, source)` pairs sorted lexicographically — the `σ` closest
+/// sources within distance `h`, ties broken by source id.
+pub type DetectionLists = Vec<Vec<(Weight, NodeId)>>;
+
+/// Output of [`source_detection`]: the per-node top-`σ` lists plus
+/// predecessor bookkeeping for witness-path reconstruction.
+#[derive(Clone, Debug)]
+pub struct Detection {
+    /// Per node, the detected `(distance, source)` pairs (≤ `σ`, sorted).
+    pub lists: DetectionLists,
+    /// Per node, every source ever admitted with its best `(dist, pred)`
+    /// (the neighbor the announcement arrived from).
+    best: Vec<HashMap<NodeId, (Weight, NodeId)>>,
+}
+
+impl Detection {
+    /// Best-known distance from `src` to `node`, if any announcement for
+    /// `src` ever reached `node` (superset of the truncated lists).
+    pub fn dist(&self, node: NodeId, src: NodeId) -> Option<Weight> {
+        self.best[node].get(&src).map(|&(d, _)| d)
+    }
+
+    /// The discovered path `node → … → src` following predecessor
+    /// pointers (real graph edges). `None` if `src` never reached `node`.
+    pub fn path_to_source(&self, node: NodeId, src: NodeId) -> Option<Vec<NodeId>> {
+        let mut path = vec![node];
+        let mut cur = node;
+        while cur != src {
+            let &(_, pred) = self.best[cur].get(&src)?;
+            cur = pred;
+            path.push(cur);
+            if path.len() > self.best.len() {
+                return None;
+            }
+        }
+        Some(path)
+    }
+}
+
+/// `(S, h, σ)` source detection \[37\]: every node learns the `σ`
+/// lexicographically-smallest `(distance, source)` pairs among sources
+/// within distance `h`. Costs `O(h + σ)` rounds for unit latencies.
+///
+/// Nodes only store and forward their current top-`σ` lists, so the
+/// per-node memory and traffic stay proportional to `σ` — this is what
+/// makes the girth algorithm's `√n`-neighborhood computation affordable
+/// (paper §4). With `latency` set, distances are measured in the
+/// stretched metric (paper §4's stretched graphs).
+#[allow(clippy::too_many_arguments)] // mirrors the primitive's full (S, h, σ) signature
+pub fn source_detection(
+    g: &Graph,
+    sources: &[NodeId],
+    h: Weight,
+    sigma: usize,
+    direction: Direction,
+    latency: Option<&[Weight]>,
+    label: &str,
+    ledger: &mut Ledger,
+) -> Detection {
+    if let Some(l) = latency {
+        assert!(l.len() >= g.m(), "latency table must cover all edges");
+    }
+    let n = g.n();
+    let mut net: Network<(u32, Weight)> = Network::new(g);
+
+    // Per node: current best (distance, pred) per source, the top-σ set,
+    // and the outbox of fresh entries.
+    let mut best: Vec<HashMap<u32, (Weight, NodeId)>> = (0..n).map(|_| HashMap::new()).collect();
+    let mut top: Vec<BTreeSet<(Weight, u32)>> = (0..n).map(|_| BTreeSet::new()).collect();
+    let mut outbox: Vec<BinaryHeap<Reverse<(Weight, u32)>>> =
+        (0..n).map(|_| BinaryHeap::new()).collect();
+    let mut pending: Vec<NodeId> = Vec::new();
+    let mut pending_flag = vec![false; n];
+
+    // Sort sources so "source row" order matches id order (consistent
+    // tie-breaking is what makes truncated detection exact).
+    let mut srcs: Vec<NodeId> = sources.to_vec();
+    srcs.sort_unstable();
+    srcs.dedup();
+
+    let admit = |v: NodeId,
+                     src_row: u32,
+                     d: Weight,
+                     pred: NodeId,
+                     best: &mut Vec<HashMap<u32, (Weight, NodeId)>>,
+                     top: &mut Vec<BTreeSet<(Weight, u32)>>|
+     -> bool {
+        match best[v].get(&src_row) {
+            Some(&(old, _)) if old <= d => return false,
+            Some(&(old, _)) => {
+                top[v].remove(&(old, src_row));
+            }
+            None => {}
+        }
+        best[v].insert(src_row, (d, pred));
+        top[v].insert((d, src_row));
+        while top[v].len() > sigma {
+            let worst = *top[v].iter().next_back().expect("nonempty");
+            top[v].remove(&worst);
+        }
+        // Forward only if the entry survived truncation.
+        top[v].contains(&(d, src_row))
+    };
+
+    for (row, &s) in srcs.iter().enumerate() {
+        if admit(s, row as u32, 0, s, &mut best, &mut top) {
+            outbox[s].push(Reverse((0, row as u32)));
+            if !pending_flag[s] {
+                pending_flag[s] = true;
+                pending.push(s);
+            }
+        }
+    }
+
+    loop {
+        let acting = std::mem::take(&mut pending);
+        let mut any_action = false;
+        for v in acting {
+            pending_flag[v] = false;
+            let fresh = loop {
+                match outbox[v].pop() {
+                    Some(Reverse((d, row))) => {
+                        // Fresh = still our best and still within top-σ.
+                        if best[v].get(&row).map(|&(bd, _)| bd) == Some(d)
+                            && top[v].contains(&(d, row))
+                        {
+                            break Some((d, row));
+                        }
+                    }
+                    None => break None,
+                }
+            };
+            let Some((d, row)) = fresh else { continue };
+            any_action = true;
+            for a in direction.adj(g, v) {
+                let cand = d.saturating_add(dist_add(latency, a.edge));
+                if cand > h {
+                    continue;
+                }
+                let ell = stretch(latency, a.edge);
+                net.send_latency(v, a.to, (row, cand), 1, ell - 1)
+                    .expect("traversal edges are communication links");
+            }
+            if !outbox[v].is_empty() && !pending_flag[v] {
+                pending_flag[v] = true;
+                pending.push(v);
+            }
+        }
+
+        if !any_action && net.is_idle() {
+            break;
+        }
+        let out = if any_action { Some(net.step()) } else { net.step_fast() };
+        let Some(out) = out else { break };
+        for dmsg in out.deliveries {
+            let (row, cand) = dmsg.payload;
+            let v = dmsg.to;
+            if admit(v, row, cand, dmsg.from, &mut best, &mut top) {
+                outbox[v].push(Reverse((cand, row)));
+                if !pending_flag[v] {
+                    pending_flag[v] = true;
+                    pending.push(v);
+                }
+            }
+        }
+    }
+    ledger.absorb(label, &net);
+
+    let lists: DetectionLists = (0..n)
+        .map(|v| {
+            top[v]
+                .iter()
+                .map(|&(d, row)| (d, srcs[row as usize]))
+                .collect()
+        })
+        .collect();
+    let best_by_id: Vec<HashMap<NodeId, (Weight, NodeId)>> = best
+        .into_iter()
+        .map(|m| {
+            m.into_iter()
+                .map(|(row, dp)| (srcs[row as usize], dp))
+                .collect()
+        })
+        .collect();
+    Detection { lists, best: best_by_id }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwc_graph::generators::{connected_gnm, grid, WeightRange};
+    use mwc_graph::seq::{bellman_ford_hops, bfs, HOP_INF};
+    use mwc_graph::Orientation;
+
+    fn assert_matches_bfs(g: &Graph, sources: &[NodeId], h: Weight, dir: Direction) {
+        let mut ledger = Ledger::new();
+        let spec = MultiBfsSpec { max_dist: h, direction: dir, latency: None };
+        let mat = multi_source_bfs(g, sources, &spec, "test", &mut ledger);
+        for (row, &s) in sources.iter().enumerate() {
+            let t = bfs(g, s, dir);
+            for v in 0..g.n() {
+                let expect = if t.dist[v] == HOP_INF || (t.dist[v] as Weight) > h {
+                    INF
+                } else {
+                    t.dist[v] as Weight
+                };
+                assert_eq!(
+                    mat.get_row(row, v),
+                    expect,
+                    "src {s} node {v} (dir {dir:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_source_bfs_exact() {
+        let g = connected_gnm(60, 90, Orientation::Undirected, WeightRange::unit(), 5);
+        assert_matches_bfs(&g, &[0], INF, Direction::Forward);
+    }
+
+    #[test]
+    fn multi_source_bfs_exact_undirected() {
+        let g = connected_gnm(50, 70, Orientation::Undirected, WeightRange::unit(), 9);
+        assert_matches_bfs(&g, &[0, 7, 13, 31, 49], INF, Direction::Forward);
+    }
+
+    #[test]
+    fn multi_source_bfs_exact_directed_both_directions() {
+        let g = connected_gnm(50, 120, Orientation::Directed, WeightRange::unit(), 11);
+        assert_matches_bfs(&g, &[1, 2, 3, 20, 40], INF, Direction::Forward);
+        assert_matches_bfs(&g, &[1, 2, 3, 20, 40], INF, Direction::Reverse);
+    }
+
+    #[test]
+    fn hop_budget_truncates() {
+        let g = grid(6, 6, Orientation::Undirected, WeightRange::unit(), 0);
+        assert_matches_bfs(&g, &[0, 35], 4, Direction::Forward);
+    }
+
+    #[test]
+    fn bfs_rounds_within_h_plus_k_envelope() {
+        // Grid: D = 28; 20 sources; pipelining must keep rounds ≲ c(h + k).
+        let g = grid(15, 15, Orientation::Undirected, WeightRange::unit(), 0);
+        let sources: Vec<NodeId> = (0..20).map(|i| i * 11).collect();
+        let mut ledger = Ledger::new();
+        let spec = MultiBfsSpec::default();
+        let _ = multi_source_bfs(&g, &sources, &spec, "bfs", &mut ledger);
+        let h = 28u64;
+        let k = 20u64;
+        assert!(
+            ledger.rounds <= 3 * (h + k),
+            "pipelined BFS took {} rounds, envelope {}",
+            ledger.rounds,
+            3 * (h + k)
+        );
+    }
+
+    #[test]
+    fn predecessor_chains_are_real_paths() {
+        let g = connected_gnm(40, 60, Orientation::Directed, WeightRange::unit(), 2);
+        let mut ledger = Ledger::new();
+        let mat = multi_source_bfs(&g, &[3, 17], &MultiBfsSpec::default(), "t", &mut ledger);
+        for row in 0..2 {
+            for v in 0..g.n() {
+                if mat.get_row(row, v) == INF {
+                    continue;
+                }
+                let path = mat.path_from_source(row, v).expect("reached");
+                assert_eq!(path.len() as Weight - 1, mat.get_row(row, v));
+                for w in path.windows(2) {
+                    assert!(g.has_edge(w[0], w[1]), "edge {}→{} missing", w[0], w[1]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn latency_bfs_computes_weighted_distances() {
+        // Stretched search: latency = edge weight ⇒ distances = weighted
+        // shortest paths (exact, because waves travel at weight-speed).
+        let g = connected_gnm(40, 80, Orientation::Directed, WeightRange::uniform(1, 6), 21);
+        let lat: Vec<Weight> = g.edges().iter().map(|e| e.weight).collect();
+        let spec = MultiBfsSpec { max_dist: INF, direction: Direction::Forward, latency: Some(&lat) };
+        let mut ledger = Ledger::new();
+        let mat = multi_source_bfs(&g, &[0, 5], &spec, "t", &mut ledger);
+        for (row, &s) in [0usize, 5].iter().enumerate() {
+            let exact = bellman_ford_hops(&g, s, g.n(), Direction::Forward);
+            for v in 0..g.n() {
+                assert_eq!(mat.get_row(row, v), exact[v], "src {s} node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn latency_budget_is_weighted_budget() {
+        // Path with weights 3,3,3: budget 6 reaches two hops only.
+        let g = Graph::from_edges(4, Orientation::Undirected, [(0, 1, 3), (1, 2, 3), (2, 3, 3)])
+            .unwrap();
+        let lat: Vec<Weight> = g.edges().iter().map(|e| e.weight).collect();
+        let spec = MultiBfsSpec { max_dist: 6, direction: Direction::Forward, latency: Some(&lat) };
+        let mut ledger = Ledger::new();
+        let mat = multi_source_bfs(&g, &[0], &spec, "t", &mut ledger);
+        assert_eq!(mat.get_row(0, 2), 6);
+        assert_eq!(mat.get_row(0, 3), INF);
+    }
+
+    #[test]
+    fn reverse_direction_with_latency_matches_oracle() {
+        // Weighted reverse BFS: distances *to* the sources along edge
+        // orientation, measured in the stretched metric.
+        let g = connected_gnm(36, 90, Orientation::Directed, WeightRange::uniform(1, 7), 14);
+        let lat: Vec<Weight> = g.edges().iter().map(|e| e.weight).collect();
+        let spec = MultiBfsSpec { max_dist: INF, direction: Direction::Reverse, latency: Some(&lat) };
+        let mut ledger = Ledger::new();
+        let mat = multi_source_bfs(&g, &[3, 30], &spec, "rl", &mut ledger);
+        for (row, &s) in [3usize, 30].iter().enumerate() {
+            let t = mwc_graph::seq::dijkstra(&g, s, Direction::Reverse);
+            for v in 0..g.n() {
+                let expect = if t.dist[v] == mwc_graph::seq::INF { INF } else { t.dist[v] };
+                assert_eq!(mat.get_row(row, v), expect, "to {s} from {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn budget_zero_reaches_only_sources() {
+        let g = grid(4, 4, Orientation::Undirected, WeightRange::unit(), 0);
+        let spec = MultiBfsSpec { max_dist: 0, direction: Direction::Forward, latency: None };
+        let mut ledger = Ledger::new();
+        let mat = multi_source_bfs(&g, &[5], &spec, "z", &mut ledger);
+        assert_eq!(mat.get_row(0, 5), 0);
+        assert!((0..16).filter(|&v| v != 5).all(|v| mat.get_row(0, v) == INF));
+        assert_eq!(ledger.rounds, 0);
+    }
+
+    #[test]
+    fn zero_weight_edges_stay_exact() {
+        // w = 0 edges add nothing to distance but one round of travel.
+        let g = Graph::from_edges(
+            4,
+            Orientation::Directed,
+            [(0, 1, 0), (1, 2, 0), (2, 3, 5)],
+        )
+        .unwrap();
+        let lat: Vec<Weight> = g.edges().iter().map(|e| e.weight).collect();
+        let spec = MultiBfsSpec { max_dist: INF, direction: Direction::Forward, latency: Some(&lat) };
+        let mut ledger = Ledger::new();
+        let mat = multi_source_bfs(&g, &[0], &spec, "t", &mut ledger);
+        assert_eq!(mat.get_row(0, 1), 0);
+        assert_eq!(mat.get_row(0, 2), 0);
+        assert_eq!(mat.get_row(0, 3), 5);
+        // Travel still takes ≥ 1 round per hop.
+        assert!(ledger.rounds >= 3);
+    }
+
+    fn detection_oracle(
+        g: &Graph,
+        sources: &[NodeId],
+        h: Weight,
+        sigma: usize,
+    ) -> DetectionLists {
+        let mut lists: DetectionLists = vec![Vec::new(); g.n()];
+        let mut srcs = sources.to_vec();
+        srcs.sort_unstable();
+        for &s in &srcs {
+            let t = bfs(g, s, Direction::Forward);
+            for v in 0..g.n() {
+                if t.dist[v] != HOP_INF && (t.dist[v] as Weight) <= h {
+                    lists[v].push((t.dist[v] as Weight, s));
+                }
+            }
+        }
+        for l in &mut lists {
+            l.sort_unstable();
+            l.truncate(sigma);
+        }
+        lists
+    }
+
+    #[test]
+    fn source_detection_matches_oracle() {
+        let g = connected_gnm(48, 70, Orientation::Undirected, WeightRange::unit(), 33);
+        let sources: Vec<NodeId> = (0..48).step_by(3).collect();
+        let mut ledger = Ledger::new();
+        let got = source_detection(&g, &sources, 6, 4, Direction::Forward, None, "sd", &mut ledger).lists;
+        let want = detection_oracle(&g, &sources, 6, 4);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn source_detection_all_sources_neighborhood() {
+        // The girth algorithm's use: every node a source, σ nearest.
+        let g = grid(7, 7, Orientation::Undirected, WeightRange::unit(), 0);
+        let sources: Vec<NodeId> = (0..g.n()).collect();
+        let mut ledger = Ledger::new();
+        let got = source_detection(&g, &sources, 12, 7, Direction::Forward, None, "sd", &mut ledger).lists;
+        let want = detection_oracle(&g, &sources, 12, 7);
+        assert_eq!(got, want);
+        // Rounds stay O(h + σ), far below O(n).
+        assert!(ledger.rounds <= 4 * (12 + 7), "took {} rounds", ledger.rounds);
+    }
+
+    #[test]
+    fn detection_pred_paths_are_real() {
+        let g = connected_gnm(40, 60, Orientation::Undirected, WeightRange::unit(), 12);
+        let sources: Vec<NodeId> = (0..40).step_by(4).collect();
+        let mut ledger = Ledger::new();
+        let det = source_detection(&g, &sources, 8, 5, Direction::Forward, None, "sd", &mut ledger);
+        for v in 0..g.n() {
+            for &(d, s) in &det.lists[v] {
+                let p = det.path_to_source(v, s).expect("detected ⇒ path");
+                assert_eq!(*p.first().unwrap(), v);
+                assert_eq!(*p.last().unwrap(), s);
+                assert_eq!(p.len() as Weight - 1, d, "path hops ≠ detected dist");
+                for w in p.windows(2) {
+                    assert!(g.has_edge(w[0], w[1]) || g.has_edge(w[1], w[0]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn detection_with_latency_uses_stretched_metric() {
+        // Path 0 -5- 1 -1- 2: source 0; at node 2 stretched dist = 6.
+        let g = Graph::from_edges(3, Orientation::Undirected, [(0, 1, 5), (1, 2, 1)]).unwrap();
+        let lat: Vec<Weight> = g.edges().iter().map(|e| e.weight).collect();
+        let mut ledger = Ledger::new();
+        let det =
+            source_detection(&g, &[0], 10, 2, Direction::Forward, Some(&lat), "sd", &mut ledger);
+        assert_eq!(det.lists[2], vec![(6, 0)]);
+        assert_eq!(det.dist(2, 0), Some(6));
+        // Budget cuts off stretched-far nodes.
+        let mut ledger = Ledger::new();
+        let det =
+            source_detection(&g, &[0], 4, 2, Direction::Forward, Some(&lat), "sd", &mut ledger);
+        assert!(det.lists[1].is_empty());
+    }
+
+    #[test]
+    fn source_detection_directed() {
+        let g = connected_gnm(30, 80, Orientation::Directed, WeightRange::unit(), 8);
+        let sources: Vec<NodeId> = (0..30).step_by(2).collect();
+        let mut ledger = Ledger::new();
+        let got = source_detection(&g, &sources, 5, 3, Direction::Forward, None, "sd", &mut ledger).lists;
+        // Oracle with forward BFS.
+        let mut want: DetectionLists = vec![Vec::new(); g.n()];
+        for &s in &sources {
+            let t = bfs(&g, s, Direction::Forward);
+            for v in 0..g.n() {
+                if t.dist[v] != HOP_INF && t.dist[v] <= 5 {
+                    want[v].push((t.dist[v] as Weight, s));
+                }
+            }
+        }
+        for l in &mut want {
+            l.sort_unstable();
+            l.truncate(3);
+        }
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,267 @@
+//! Exact distributed MWC baselines — the `Õ(n)`-round upper-bound rows of
+//! Table 1.
+//!
+//! The paper obtains exact MWC by reducing to APSP:
+//!
+//! - **Girth** (undirected unweighted): Holzer & Wattenhofer's `O(n)`
+//!   pipelined all-source BFS \[28\]; for every source, every non-tree edge
+//!   closes a candidate cycle, and the minimum over sources and edges is
+//!   exactly the girth (the "antipodal edge" argument).
+//! - **Directed MWC**: APSP, then the minimum over edges `(v, s)` of
+//!   `d(s, v) + w(v, s)` \[8, 37\].
+//! - **Undirected weighted MWC**: APSP, then the minimum over sources `s`
+//!   and non-BFS-tree edges `(x, y)` of `d(s,x) + w(x,y) + d(s,y)` \[3, 50\];
+//!   the BFS-tree LCA argument shows every candidate is a real simple
+//!   cycle, and a potential argument shows a source on the MWC attains it.
+//!
+//! **Substitution note (DESIGN.md §2):** the paper's weighted APSP
+//! reference is Bernstein–Nanongkai's `Õ(n)` algorithm \[8\]. This
+//! reproduction computes exact weighted APSP with a pipelined *stretched*
+//! all-source BFS (waves travel at weight-speed), costing
+//! `O(n + max-distance)` rounds — near-linear for the bounded weights the
+//! benchmarks use, preserving the linear-in-`n` shape of the baseline.
+
+use crate::apsp::distributed_apsp;
+use crate::exchange::{exchange_matrix_columns, lca_cycle};
+use crate::outcome::{BestCycle, MwcOutcome};
+use crate::util::simplify_path;
+use mwc_congest::{convergecast_min, BfsTree, Ledger, INF};
+use mwc_graph::{CycleWitness, Graph, Weight};
+
+/// Exact distributed MWC (any orientation, any weights) in `Õ(n)` rounds
+/// for bounded weights. Returns `None` weight iff the graph is acyclic.
+///
+/// Every node ends up knowing the MWC weight (final convergecast +
+/// flood-down), matching the paper's output convention.
+///
+/// # Panics
+///
+/// Panics if the communication topology is disconnected.
+///
+/// # Examples
+///
+/// ```
+/// use mwc_core::exact::exact_mwc;
+/// use mwc_graph::{Graph, Orientation};
+///
+/// # fn main() -> Result<(), mwc_graph::GraphError> {
+/// let g = Graph::from_edges(4, Orientation::Directed,
+///     [(0, 1, 1), (1, 2, 1), (2, 0, 1), (2, 3, 5), (3, 0, 5)])?;
+/// let out = exact_mwc(&g);
+/// assert_eq!(out.weight, Some(3));
+/// # Ok(())
+/// # }
+/// ```
+pub fn exact_mwc(g: &Graph) -> MwcOutcome {
+    let n = g.n();
+    let mut ledger = Ledger::new();
+    if n == 0 {
+        return BestCycle::new().into_outcome(ledger);
+    }
+    let apsp = distributed_apsp(g);
+    ledger.merge(&apsp.ledger);
+    let mat = apsp.matrix().clone();
+    let mut best = BestCycle::new();
+    let mut local_best: Vec<Weight> = vec![INF; n];
+
+    if g.is_directed() {
+        // Candidate at v for each out-edge (v, s): d(s, v) + w(v, s).
+        for v in 0..n {
+            for a in g.out_adj(v) {
+                let s = a.to;
+                let d = mat.get_row(s, v);
+                if d == INF {
+                    continue;
+                }
+                let cand = d + a.weight;
+                local_best[v] = local_best[v].min(cand);
+                if best.weight().is_none_or(|b| cand < b) {
+                    if let Some(path) = mat.path_from_source(s, v) {
+                        let cyc = simplify_path(path);
+                        if cyc.len() >= 2 {
+                            best.offer(cand, CycleWitness::new(cyc));
+                        }
+                    }
+                }
+            }
+        }
+    } else {
+        // Undirected: neighbors exchange distance columns, then every edge
+        // endpoint scans all sources.
+        let cols = exchange_matrix_columns(g, &mat, "neighbor column exchange", &mut ledger);
+        for e in g.edges() {
+            let (x, y, w) = (e.u, e.v, e.weight);
+            let ycol = &cols[x][&y];
+            for s in 0..n {
+                let dx = mat.get_row(s, x);
+                let (dy, ypred) = ycol[s];
+                if dx == INF || dy == INF {
+                    continue;
+                }
+                // Skip BFS-tree edges (they close no cycle).
+                if mat.pred_row(s, x) == Some(y) || ypred as usize == x {
+                    continue;
+                }
+                let cand = dx + w + dy;
+                local_best[x] = local_best[x].min(cand);
+                if best.weight().is_none_or(|b| cand < b) {
+                    if let Some(cyc) = lca_cycle(&mat, s, x, y) {
+                        best.offer(cand, CycleWitness::new(cyc));
+                    }
+                }
+            }
+        }
+    }
+
+    // Every node learns the global minimum.
+    let tree = BfsTree::build(g, 0, &mut ledger);
+    let global = convergecast_min(g, &tree, local_best, &mut ledger);
+    debug_assert_eq!(global, best.weight().unwrap_or(INF), "convergecast ≠ tracked best");
+
+    let mut out = best.into_outcome(ledger);
+    // The candidate value at the argmin equals the witness cycle's weight
+    // (LCA trimming cannot make it lighter than the MWC); recompute
+    // defensively so the reported value always matches the witness.
+    if let (Some(w), Some(c)) = (&mut out.weight, &out.witness) {
+        if let Ok(actual) = c.validate(g) {
+            debug_assert_eq!(actual, *w, "witness weight deviates from candidate");
+            *w = actual;
+        }
+    }
+    out
+}
+
+/// Exact distributed girth — [`exact_mwc`] specialized to undirected
+/// unweighted graphs (`O(n + D)` rounds, \[28\]).
+///
+/// # Panics
+///
+/// Panics if the graph is directed or weighted.
+pub fn exact_girth(g: &Graph) -> MwcOutcome {
+    assert!(!g.is_directed(), "girth is defined for undirected graphs");
+    assert!(g.is_unit_weight(), "girth is defined for unweighted graphs");
+    exact_mwc(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwc_graph::generators::{
+        connected_gnm, grid, planted_cycle, ring_with_chords, WeightRange,
+    };
+    use mwc_graph::seq;
+    use mwc_graph::Orientation;
+
+    fn check(g: &Graph) {
+        let out = exact_mwc(g);
+        out.assert_valid(g);
+        let oracle = seq::mwc_exact(g).map(|m| m.weight);
+        assert_eq!(out.weight, oracle, "n={} {:?}", g.n(), g.orientation());
+    }
+
+    #[test]
+    fn directed_unweighted_matches_oracle() {
+        for seed in 0..8 {
+            let g = connected_gnm(40, 70, Orientation::Directed, WeightRange::unit(), seed);
+            check(&g);
+        }
+    }
+
+    #[test]
+    fn directed_weighted_matches_oracle() {
+        for seed in 0..8 {
+            let g = connected_gnm(35, 80, Orientation::Directed, WeightRange::uniform(1, 12), seed);
+            check(&g);
+        }
+    }
+
+    #[test]
+    fn undirected_unweighted_matches_oracle() {
+        for seed in 0..8 {
+            let g = connected_gnm(40, 60, Orientation::Undirected, WeightRange::unit(), seed);
+            check(&g);
+        }
+    }
+
+    #[test]
+    fn undirected_weighted_matches_oracle() {
+        for seed in 0..8 {
+            let g =
+                connected_gnm(35, 70, Orientation::Undirected, WeightRange::uniform(1, 15), seed);
+            check(&g);
+        }
+    }
+
+    #[test]
+    fn acyclic_directed_reports_none() {
+        let mut g = Graph::directed(6);
+        for i in 0..5 {
+            g.add_edge(i, i + 1, 1).unwrap();
+        }
+        let out = exact_mwc(&g);
+        out.assert_valid(&g);
+        assert_eq!(out.weight, None);
+    }
+
+    #[test]
+    fn tree_reports_none() {
+        let mut g = Graph::undirected(7);
+        for i in 1..7 {
+            g.add_edge(i / 2, i, 3).unwrap();
+        }
+        let out = exact_mwc(&g);
+        assert_eq!(out.weight, None);
+    }
+
+    #[test]
+    fn planted_cycle_is_found() {
+        let (g, _) = planted_cycle(
+            50,
+            70,
+            4,
+            1,
+            Orientation::Directed,
+            WeightRange::uniform(20, 40),
+            11,
+        );
+        let out = exact_mwc(&g);
+        assert_eq!(out.weight, Some(4));
+        out.assert_valid(&g);
+    }
+
+    #[test]
+    fn girth_of_grid_is_four() {
+        let g = grid(6, 6, Orientation::Undirected, WeightRange::unit(), 0);
+        let out = exact_girth(&g);
+        assert_eq!(out.weight, Some(4));
+        out.assert_valid(&g);
+    }
+
+    #[test]
+    fn girth_rounds_are_near_linear() {
+        // O(n + D) rounds: the defining property of the baseline.
+        let g = ring_with_chords(128, 64, Orientation::Undirected, WeightRange::unit(), 3);
+        let out = exact_mwc(&g);
+        out.assert_valid(&g);
+        let n = 128u64;
+        assert!(
+            out.ledger.rounds <= 8 * n,
+            "exact girth took {} rounds, budget {}",
+            out.ledger.rounds,
+            8 * n
+        );
+    }
+
+    #[test]
+    fn directed_two_cycle() {
+        let g = Graph::from_edges(
+            4,
+            Orientation::Directed,
+            [(0, 1, 3), (1, 0, 3), (1, 2, 1), (2, 3, 1), (3, 1, 1)],
+        )
+        .unwrap();
+        let out = exact_mwc(&g);
+        assert_eq!(out.weight, Some(3));
+        out.assert_valid(&g);
+    }
+}

@@ -1,0 +1,300 @@
+//! Weight scaling and stretched-graph search — the technique of Nanongkai
+//! \[41\] the paper uses for all its weighted algorithms (§2 "Weighted
+//! Graphs", §5).
+//!
+//! To approximate `h`-hop bounded weighted distances with BFS-like waves:
+//! for a guessed distance range `d ∈ [2^i, 2^{i+1})`, scale each weight to
+//! `⌈w / μ_i⌉` units of `μ_i = ε·2^i / h`, so any `h`-hop path of weight
+//! `d` has scaled length at most `d/μ_i + h ≤ 2h/ε + h` — a *constant
+//! budget* `B` independent of the scale. Running a stretched BFS (edge
+//! latency = scaled weight) to depth `B` per scale and rescaling the
+//! result gives estimates `d ≤ est ≤ (1+ε)·d (+1 from rounding)`.
+//!
+//! Two reproductions-specific refinements, both conservative:
+//!
+//! - `ε` is quantized to a rational `en/16 ≤ ε` so all arithmetic is exact
+//!   integer arithmetic (no float rounding can ever underestimate).
+//! - Scales whose whole range `[2^i, 2^{i+1})` fits inside the budget `B`
+//!   are replaced by a single **exact** stretched run with latency `w(e)`
+//!   and budget `B`, which is both cheaper and tighter.
+
+use crate::pipeline::Segments;
+use mwc_congest::{multi_source_bfs, DistMatrix, Ledger, MultiBfsSpec, INF};
+use mwc_graph::seq::Direction;
+use mwc_graph::{Graph, NodeId, Weight};
+
+/// Quantized approximation parameter `ε_q = num/16`, with `ε_q ≤ ε`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EpsQ {
+    /// Numerator over a fixed denominator of 16; in `1..=64`.
+    pub num: u64,
+}
+
+impl EpsQ {
+    /// Denominator of the quantization.
+    pub const DEN: u64 = 16;
+
+    /// Largest representable `ε_q ≤ eps`, clamped to `[1/16, 4]`.
+    pub fn from_f64(eps: f64) -> Self {
+        let num = (eps * Self::DEN as f64).floor().clamp(1.0, 64.0) as u64;
+        EpsQ { num }
+    }
+
+    /// The quantized value as f64.
+    pub fn value(&self) -> f64 {
+        self.num as f64 / Self::DEN as f64
+    }
+}
+
+struct Run {
+    mat: DistMatrix,
+    /// `None`: exact run (estimates are the raw distances). `Some(i)`:
+    /// scale index, estimates are `⌈raw · en·2^i / (16h)⌉`.
+    scale: Option<u32>,
+}
+
+/// `h`-hop-bounded `(1+ε)`-approximate distances from `k` sources,
+/// computed by per-scale stretched BFS. Produced by [`scaled_hop_sssp`].
+pub(crate) struct ScaledSegments {
+    n: usize,
+    est: Vec<Weight>,
+    choice: Vec<u8>,
+    runs: Vec<Run>,
+}
+
+impl Segments for ScaledSegments {
+    fn get(&self, row: usize, v: NodeId) -> Weight {
+        self.est[row * self.n + v]
+    }
+
+    fn path(&self, row: usize, v: NodeId) -> Option<Vec<NodeId>> {
+        if self.est[row * self.n + v] == INF {
+            return None;
+        }
+        let run = &self.runs[self.choice[row * self.n + v] as usize];
+        run.mat.path_from_source(row, v)
+    }
+}
+
+impl Segments for DistMatrix {
+    fn get(&self, row: usize, v: NodeId) -> Weight {
+        self.get_row(row, v)
+    }
+
+    fn path(&self, row: usize, v: NodeId) -> Option<Vec<NodeId>> {
+        self.path_from_source(row, v)
+    }
+}
+
+fn rescale(raw: Weight, scale_pow: u32, en: u64, h: u64) -> Weight {
+    // ⌈raw · en · 2^i / (16h)⌉ in exact u128 arithmetic.
+    let num = raw as u128 * en as u128 * (1u128 << scale_pow);
+    let den = 16u128 * h as u128;
+    num.div_ceil(den) as Weight
+}
+
+/// Budget shared by all runs: `⌈2h/ε_q⌉ + h = ⌈32h/en⌉ + h`.
+pub(crate) fn scale_budget(h: u64, eps: EpsQ) -> Weight {
+    (32 * h as u128).div_ceil(eps.num as u128) as Weight + h
+}
+
+/// Computes `(1+ε_q)`-approximate `h`-hop bounded distances from
+/// `sources` (forward orientation) by stretched BFS over `O(log(hW))`
+/// scales, each bounded by [`scale_budget`]. Round cost is charged per
+/// scale to `ledger`.
+///
+/// # Panics
+///
+/// Panics if any edge weight is zero (scaling-based approximation assumes
+/// `w ≥ 1`, as is standard).
+pub(crate) fn scaled_hop_sssp(
+    g: &Graph,
+    sources: &[NodeId],
+    h_hops: u64,
+    eps: EpsQ,
+    label: &str,
+    ledger: &mut Ledger,
+) -> ScaledSegments {
+    assert!(
+        g.edges().iter().all(|e| e.weight >= 1),
+        "scaled approximation requires weights ≥ 1"
+    );
+    let n = g.n();
+    let k = sources.len();
+    let h = h_hops.max(1);
+    let budget = scale_budget(h, eps);
+    let max_dist = h.saturating_mul(g.max_weight().max(1));
+
+    let mut runs: Vec<Run> = Vec::new();
+
+    // Exact run covering all d ≤ budget.
+    let lat_exact: Vec<Weight> = g.edges().iter().map(|e| e.weight).collect();
+    let spec = MultiBfsSpec {
+        max_dist: budget,
+        direction: Direction::Forward,
+        latency: Some(&lat_exact),
+    };
+    let mat = multi_source_bfs(g, sources, &spec, &format!("{label}: exact scale"), ledger);
+    runs.push(Run { mat, scale: None });
+
+    // Scaled runs for d in (budget, h·W].
+    let mut i = 0u32;
+    while (1u128 << i) <= budget as u128 {
+        i += 1;
+    }
+    // Start one scale lower so the range boundary is safely covered.
+    let mut i = i.saturating_sub(1);
+    while (1u128 << i) <= 2 * max_dist as u128 {
+        let lat: Vec<Weight> = g
+            .edges()
+            .iter()
+            .map(|e| {
+                let num = e.weight as u128 * 16 * h as u128;
+                let den = eps.num as u128 * (1u128 << i);
+                (num.div_ceil(den) as Weight).max(1)
+            })
+            .collect();
+        let spec = MultiBfsSpec {
+            max_dist: budget,
+            direction: Direction::Forward,
+            latency: Some(&lat),
+        };
+        let mat =
+            multi_source_bfs(g, sources, &spec, &format!("{label}: scale 2^{i}"), ledger);
+        runs.push(Run { mat, scale: Some(i) });
+        i += 1;
+    }
+
+    // Fold: min estimate across runs.
+    let mut est = vec![INF; k * n];
+    let mut choice = vec![0u8; k * n];
+    for (ri, run) in runs.iter().enumerate() {
+        for row in 0..k {
+            for v in 0..n {
+                let raw = run.mat.get_row(row, v);
+                if raw == INF {
+                    continue;
+                }
+                let e = match run.scale {
+                    None => raw,
+                    Some(i) => rescale(raw, i, eps.num, h),
+                };
+                let cell = &mut est[row * n + v];
+                if e < *cell {
+                    *cell = e;
+                    choice[row * n + v] = ri as u8;
+                }
+            }
+        }
+    }
+
+    ScaledSegments { n, est, choice, runs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwc_graph::generators::{connected_gnm, WeightRange};
+    use mwc_graph::seq::{bellman_ford_hops, Direction as SeqDir, INF as SEQ_INF};
+    use mwc_graph::Orientation;
+
+    #[test]
+    fn eps_quantization_never_exceeds() {
+        for &e in &[0.1, 0.25, 0.3, 0.5, 1.0, 2.0] {
+            let q = EpsQ::from_f64(e);
+            assert!(q.value() <= e + 1e-12, "{e} → {}", q.value());
+            assert!(q.value() >= 1.0 / 16.0);
+        }
+    }
+
+    #[test]
+    fn rescale_rounds_up() {
+        // raw=3, i=4, en=4, h=2: 3·4·16/(16·2) = 6 exactly.
+        assert_eq!(rescale(3, 4, 4, 2), 6);
+        // raw=3, i=4, en=4, h=5: 192/80 = 2.4 → 3.
+        assert_eq!(rescale(3, 4, 4, 5), 3);
+    }
+
+    fn check_bounds(g: &Graph, sources: &[NodeId], h: u64, eps: f64) {
+        let q = EpsQ::from_f64(eps);
+        let mut ledger = Ledger::new();
+        let seg = scaled_hop_sssp(g, sources, h, q, "t", &mut ledger);
+        for (row, &s) in sources.iter().enumerate() {
+            let exact_h = bellman_ford_hops(g, s, h as usize, SeqDir::Forward);
+            let exact_any = bellman_ford_hops(g, s, g.n(), SeqDir::Forward);
+            for v in 0..g.n() {
+                let est = seg.get(row, v);
+                // Never underestimates the unrestricted distance.
+                if est != INF {
+                    assert!(
+                        exact_any[v] != SEQ_INF && est >= exact_any[v],
+                        "est {est} < true {} (s={s}, v={v})",
+                        exact_any[v]
+                    );
+                    // ... and the estimate is realized by a real path.
+                    let p = seg.path(row, v).expect("estimate ⇒ path");
+                    let mut w = 0;
+                    for e in p.windows(2) {
+                        w += g.weight(e[0], e[1]).expect("path edge exists");
+                    }
+                    assert!(w <= est, "witness path weight {w} > estimate {est}");
+                }
+                // Close to the h-hop distance from above.
+                if exact_h[v] != SEQ_INF {
+                    assert!(est != INF, "h-hop reachable but no estimate (s={s}, v={v})");
+                    let bound = ((1.0 + eps) * exact_h[v] as f64).ceil() as Weight + 2;
+                    assert!(
+                        est <= bound,
+                        "est {est} > (1+ε)·d_h + 2 = {bound} (d_h {}, s={s}, v={v})",
+                        exact_h[v]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn approximates_weighted_distances_directed() {
+        let g = connected_gnm(60, 140, Orientation::Directed, WeightRange::uniform(1, 30), 3);
+        check_bounds(&g, &[0, 11, 25], 12, 0.25);
+    }
+
+    #[test]
+    fn approximates_weighted_distances_undirected() {
+        let g = connected_gnm(50, 90, Orientation::Undirected, WeightRange::uniform(1, 50), 9);
+        check_bounds(&g, &[4, 44], 10, 0.5);
+    }
+
+    #[test]
+    fn unit_weights_become_exact() {
+        let g = connected_gnm(40, 70, Orientation::Directed, WeightRange::unit(), 5);
+        let q = EpsQ::from_f64(0.25);
+        let mut ledger = Ledger::new();
+        let seg = scaled_hop_sssp(&g, &[0], 10, q, "t", &mut ledger);
+        let exact = bellman_ford_hops(&g, 0, 10, SeqDir::Forward);
+        for v in 0..g.n() {
+            if exact[v] != SEQ_INF {
+                assert_eq!(seg.get(0, v), exact[v]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "weights ≥ 1")]
+    fn zero_weights_rejected() {
+        let g = Graph::from_edges(2, Orientation::Directed, [(0, 1, 0)]).unwrap();
+        let mut ledger = Ledger::new();
+        let _ = scaled_hop_sssp(&g, &[0], 4, EpsQ::from_f64(0.25), "t", &mut ledger);
+    }
+
+    #[test]
+    fn tighter_eps_costs_more_rounds() {
+        let g = connected_gnm(40, 80, Orientation::Directed, WeightRange::uniform(1, 20), 1);
+        let rounds = |eps: f64| {
+            let mut ledger = Ledger::new();
+            let _ = scaled_hop_sssp(&g, &[0], 8, EpsQ::from_f64(eps), "t", &mut ledger);
+            ledger.rounds
+        };
+        assert!(rounds(0.125) > rounds(1.0));
+    }
+}

@@ -1,0 +1,127 @@
+//! Small shared helpers: seeded sampling and path simplification.
+
+use mwc_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Samples each of `0..n` independently with probability `p`, using a
+/// deterministic RNG derived from `seed` and `salt` (different phases of
+/// one algorithm pass different salts so their samples are independent).
+/// Guarantees a non-empty result by force-including one pseudorandom node
+/// when the draw comes out empty.
+pub fn sample_vertices(n: usize, p: f64, seed: u64, salt: u64) -> Vec<NodeId> {
+    let mut rng = StdRng::seed_from_u64(seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut s: Vec<NodeId> = (0..n).filter(|_| rng.random_bool(p.clamp(0.0, 1.0))).collect();
+    if s.is_empty() && n > 0 {
+        s.push(rng.random_range(0..n));
+    }
+    s
+}
+
+/// Removes loops from a walk, yielding a simple path with the same
+/// endpoints. With non-negative weights the result's weight is at most the
+/// walk's, so downstream cycle candidates only improve.
+pub fn simplify_path(walk: Vec<NodeId>) -> Vec<NodeId> {
+    let mut pos: std::collections::HashMap<NodeId, usize> = std::collections::HashMap::new();
+    let mut out: Vec<NodeId> = Vec::with_capacity(walk.len());
+    for v in walk {
+        if let Some(&i) = pos.get(&v) {
+            // Cut the loop v … v.
+            for dropped in out.drain(i + 1..) {
+                pos.remove(&dropped);
+            }
+        } else {
+            pos.insert(v, out.len());
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Extracts a simple cycle from a *closed walk* (`walk[0] == walk[last]`):
+/// scans with loop-erasure, returning the first loop section of ≥
+/// `min_len` distinct vertices. Returns `None` for degenerate walks (e.g.
+/// pure back-and-forth) that contain no such cycle.
+pub fn extract_cycle_from_walk(walk: &[NodeId], min_len: usize) -> Option<Vec<NodeId>> {
+    let mut pos: std::collections::HashMap<NodeId, usize> = std::collections::HashMap::new();
+    let mut stack: Vec<NodeId> = Vec::with_capacity(walk.len());
+    for &v in walk {
+        if let Some(&i) = pos.get(&v) {
+            let section_len = stack.len() - i;
+            if section_len >= min_len {
+                return Some(stack[i..].to_vec());
+            }
+            // Erase the too-short loop and continue.
+            for dropped in stack.drain(i + 1..) {
+                pos.remove(&dropped);
+            }
+        } else {
+            pos.insert(v, stack.len());
+            stack.push(v);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic_and_nonempty() {
+        let a = sample_vertices(100, 0.2, 42, 1);
+        let b = sample_vertices(100, 0.2, 42, 1);
+        assert_eq!(a, b);
+        let c = sample_vertices(100, 0.2, 42, 2);
+        assert_ne!(a, c);
+        let tiny = sample_vertices(50, 0.0, 7, 0);
+        assert_eq!(tiny.len(), 1);
+    }
+
+    #[test]
+    fn sampling_probability_one_takes_all() {
+        assert_eq!(sample_vertices(10, 1.0, 0, 0), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn simplify_removes_loops() {
+        assert_eq!(simplify_path(vec![0, 1, 2, 1, 3]), vec![0, 1, 3]);
+        assert_eq!(simplify_path(vec![5, 6, 7]), vec![5, 6, 7]);
+        assert_eq!(simplify_path(vec![1, 2, 3, 1, 4, 5, 4, 6]), vec![1, 4, 6]);
+        assert_eq!(simplify_path(vec![]), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn simplify_keeps_endpoints() {
+        let p = simplify_path(vec![9, 2, 3, 2, 9, 4, 8]);
+        assert_eq!(p.first(), Some(&9));
+        assert_eq!(p.last(), Some(&8));
+    }
+
+    #[test]
+    fn extract_cycle_finds_triangle() {
+        // Closed walk v..x, y ..v with a genuine triangle 1,2,3.
+        assert_eq!(extract_cycle_from_walk(&[0, 1, 2, 3, 1, 0], 3), Some(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn extract_cycle_rejects_backtrack() {
+        // v—y—v back-and-forth: no cycle.
+        assert_eq!(extract_cycle_from_walk(&[0, 1, 0], 3), None);
+        assert_eq!(extract_cycle_from_walk(&[0, 1, 2, 1, 0], 3), None);
+    }
+
+    #[test]
+    fn extract_cycle_after_erasing_short_loops() {
+        // The 2-loop (5,6,5) is erased, the 4-cycle (0,5,7,8) survives.
+        assert_eq!(
+            extract_cycle_from_walk(&[0, 5, 6, 5, 7, 8, 0], 3),
+            Some(vec![0, 5, 7, 8])
+        );
+    }
+
+    #[test]
+    fn extract_cycle_allows_directed_two_cycles() {
+        assert_eq!(extract_cycle_from_walk(&[0, 1, 0], 2), Some(vec![0, 1]));
+    }
+}

@@ -1,0 +1,546 @@
+//! Seeded random and structured graph generators used by tests, examples and
+//! the benchmark harness.
+//!
+//! All generators are deterministic in their `seed` argument, so every
+//! experiment in this repository is reproducible. Generators that promise a
+//! connected communication topology first plant a random spanning tree and
+//! then sprinkle extra edges, which mirrors how CONGEST papers present their
+//! benchmark families (a connected network plus structure).
+
+use crate::graph::{Graph, NodeId, Orientation, Weight};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// Inclusive range of weights drawn uniformly for generated edges.
+///
+/// Use `WeightRange::unit()` for unweighted graphs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct WeightRange {
+    /// Smallest weight that can be drawn.
+    pub min: Weight,
+    /// Largest weight that can be drawn.
+    pub max: Weight,
+}
+
+impl WeightRange {
+    /// All edges get weight 1 (an unweighted graph).
+    pub fn unit() -> Self {
+        WeightRange { min: 1, max: 1 }
+    }
+
+    /// Weights drawn uniformly from `min..=max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    pub fn uniform(min: Weight, max: Weight) -> Self {
+        assert!(min <= max, "weight range must satisfy min <= max");
+        WeightRange { min, max }
+    }
+
+    fn draw(&self, rng: &mut StdRng) -> Weight {
+        if self.min == self.max {
+            self.min
+        } else {
+            rng.random_range(self.min..=self.max)
+        }
+    }
+}
+
+impl Default for WeightRange {
+    fn default() -> Self {
+        WeightRange::unit()
+    }
+}
+
+/// A uniformly random spanning tree backbone (random node permutation, each
+/// node attached to a uniformly random earlier node), guaranteeing a
+/// connected undirected support.
+fn add_random_tree(g: &mut Graph, weights: WeightRange, rng: &mut StdRng) {
+    let n = g.n();
+    if n <= 1 {
+        return;
+    }
+    let mut order: Vec<NodeId> = (0..n).collect();
+    order.shuffle(rng);
+    for i in 1..n {
+        let u = order[i];
+        let v = order[rng.random_range(0..i)];
+        let w = weights.draw(rng);
+        // For a directed graph, orient the tree edge randomly; the
+        // communication topology is undirected either way.
+        let (a, b) = if g.is_directed() && rng.random_bool(0.5) {
+            (v, u)
+        } else {
+            (u, v)
+        };
+        let _ = g.add_edge(a, b, w);
+    }
+}
+
+/// Connected Erdős–Rényi-style graph: a random spanning tree plus
+/// `extra_edges` additional uniformly random edges (duplicates and
+/// self-loops are re-drawn; we give up after a bounded number of attempts so
+/// dense requests terminate).
+///
+/// # Examples
+///
+/// ```
+/// use mwc_graph::generators::{connected_gnm, WeightRange};
+/// use mwc_graph::Orientation;
+///
+/// let g = connected_gnm(50, 100, Orientation::Undirected, WeightRange::unit(), 7);
+/// assert!(g.is_comm_connected());
+/// assert!(g.m() >= 49); // at least the spanning tree
+/// ```
+pub fn connected_gnm(
+    n: usize,
+    extra_edges: usize,
+    orientation: Orientation,
+    weights: WeightRange,
+    seed: u64,
+) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n, orientation);
+    add_random_tree(&mut g, weights, &mut rng);
+    if n < 2 {
+        return g;
+    }
+    let mut added = 0;
+    let mut attempts = 0usize;
+    let max_attempts = extra_edges.saturating_mul(20) + 100;
+    while added < extra_edges && attempts < max_attempts {
+        attempts += 1;
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u == v {
+            continue;
+        }
+        let w = weights.draw(&mut rng);
+        if g.add_edge(u, v, w).is_ok() {
+            added += 1;
+        }
+    }
+    g
+}
+
+/// A cycle `0 — 1 — … — (n−1) — 0` (directed: `0 → 1 → … → 0`) plus
+/// `chords` random chord edges. The ring guarantees connectivity and at
+/// least one cycle of hop length `n`.
+pub fn ring_with_chords(
+    n: usize,
+    chords: usize,
+    orientation: Orientation,
+    weights: WeightRange,
+    seed: u64,
+) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n, orientation);
+    if n < 2 {
+        return g;
+    }
+    for i in 0..n {
+        let w = weights.draw(&mut rng);
+        let _ = g.add_edge(i, (i + 1) % n, w);
+    }
+    let mut added = 0;
+    let mut attempts = 0usize;
+    while added < chords && attempts < chords * 20 + 100 {
+        attempts += 1;
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u == v {
+            continue;
+        }
+        let w = weights.draw(&mut rng);
+        if g.add_edge(u, v, w).is_ok() {
+            added += 1;
+        }
+    }
+    g
+}
+
+/// A connected random graph with one *planted* cycle of `cycle_len` distinct
+/// nodes whose edges all have weight `cycle_weight_per_edge`. The remaining
+/// edges are drawn from `background_weights`, which callers typically make
+/// heavy so the planted cycle is the unique minimum weight cycle.
+///
+/// Returns the graph and the planted cycle's node sequence.
+///
+/// # Panics
+///
+/// Panics if `cycle_len < 3` (undirected) / `< 2` (directed) or
+/// `cycle_len > n`.
+pub fn planted_cycle(
+    n: usize,
+    extra_edges: usize,
+    cycle_len: usize,
+    cycle_weight_per_edge: Weight,
+    orientation: Orientation,
+    background_weights: WeightRange,
+    seed: u64,
+) -> (Graph, Vec<NodeId>) {
+    let min_len = if orientation == Orientation::Directed { 2 } else { 3 };
+    assert!(
+        cycle_len >= min_len && cycle_len <= n,
+        "cycle_len must be in [{min_len}, n]"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nodes: Vec<NodeId> = (0..n).collect();
+    nodes.shuffle(&mut rng);
+    let cycle: Vec<NodeId> = nodes[..cycle_len].to_vec();
+
+    let mut g = Graph::new(n, orientation);
+    for i in 0..cycle_len {
+        let u = cycle[i];
+        let v = cycle[(i + 1) % cycle_len];
+        g.add_edge(u, v, cycle_weight_per_edge)
+            .expect("planted cycle nodes are distinct");
+    }
+    add_random_tree_avoiding(&mut g, background_weights, &mut rng);
+    let mut added = 0;
+    let mut attempts = 0usize;
+    while added < extra_edges && attempts < extra_edges * 20 + 100 {
+        attempts += 1;
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u == v {
+            continue;
+        }
+        let w = background_weights.draw(&mut rng);
+        if g.add_edge(u, v, w).is_ok() {
+            added += 1;
+        }
+    }
+    (g, cycle)
+}
+
+/// Like [`add_random_tree`] but skips edges that already exist (the planted
+/// cycle edges), retrying with a different anchor.
+fn add_random_tree_avoiding(g: &mut Graph, weights: WeightRange, rng: &mut StdRng) {
+    let n = g.n();
+    if n <= 1 {
+        return;
+    }
+    let mut order: Vec<NodeId> = (0..n).collect();
+    order.shuffle(rng);
+    for i in 1..n {
+        let u = order[i];
+        // Try a few anchors; falling back to a linear scan guarantees
+        // progress on adversarial layouts.
+        let mut done = false;
+        for _ in 0..8 {
+            let v = order[rng.random_range(0..i)];
+            let w = weights.draw(rng);
+            let (a, b) = if g.is_directed() && rng.random_bool(0.5) {
+                (v, u)
+            } else {
+                (u, v)
+            };
+            if g.add_edge(a, b, w).is_ok() {
+                done = true;
+                break;
+            }
+        }
+        if !done {
+            for j in 0..i {
+                let v = order[j];
+                let w = weights.draw(rng);
+                if g.add_edge(u, v, w).is_ok() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// A `rows × cols` grid graph (undirected, or directed with both
+/// orientations alternating like a city street grid when `orientation` is
+/// [`Orientation::Directed`]).
+pub fn grid(rows: usize, cols: usize, orientation: Orientation, weights: WeightRange, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rows * cols;
+    let mut g = Graph::new(n, orientation);
+    let id = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                let w = weights.draw(&mut rng);
+                // Alternate direction per row for directed grids so cycles
+                // exist (one-way streets).
+                if orientation == Orientation::Directed && r % 2 == 1 {
+                    let _ = g.add_edge(id(r, c + 1), id(r, c), w);
+                } else {
+                    let _ = g.add_edge(id(r, c), id(r, c + 1), w);
+                }
+            }
+            if r + 1 < rows {
+                let w = weights.draw(&mut rng);
+                if orientation == Orientation::Directed && c % 2 == 1 {
+                    let _ = g.add_edge(id(r + 1, c), id(r, c), w);
+                } else {
+                    let _ = g.add_edge(id(r, c), id(r + 1, c), w);
+                }
+            }
+        }
+    }
+    g
+}
+
+/// The complete graph on `n` nodes (directed: both orientations of every
+/// pair).
+pub fn complete(n: usize, orientation: Orientation, weights: WeightRange, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n, orientation);
+    for u in 0..n {
+        for v in 0..n {
+            if u == v {
+                continue;
+            }
+            if orientation == Orientation::Undirected && u > v {
+                continue;
+            }
+            let w = weights.draw(&mut rng);
+            let _ = g.add_edge(u, v, w);
+        }
+    }
+    g
+}
+
+/// A (nearly) `d`-regular random graph via the pairing model: `n·d` stubs
+/// are shuffled and matched; self-loops/duplicates are dropped, so a few
+/// vertices may end up with degree `d−O(1)`. A random spanning tree is
+/// added first when `connect` is set, guaranteeing connectivity.
+///
+/// # Panics
+///
+/// Panics if `n·d` is odd or `d == 0`.
+pub fn random_regular(
+    n: usize,
+    d: usize,
+    orientation: Orientation,
+    weights: WeightRange,
+    connect: bool,
+    seed: u64,
+) -> Graph {
+    assert!(d > 0, "degree must be positive");
+    assert!((n * d).is_multiple_of(2), "n·d must be even for a pairing");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new(n, orientation);
+    if connect {
+        add_random_tree(&mut g, weights, &mut rng);
+    }
+    let mut stubs: Vec<NodeId> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+    stubs.shuffle(&mut rng);
+    for pair in stubs.chunks_exact(2) {
+        let (u, v) = (pair[0], pair[1]);
+        if u == v {
+            continue;
+        }
+        let w = weights.draw(&mut rng);
+        let (a, b) = if orientation == Orientation::Directed && rng.random_bool(0.5) {
+            (v, u)
+        } else {
+            (u, v)
+        };
+        let _ = g.add_edge(a, b, w);
+    }
+    g
+}
+
+/// A random bipartite graph on parts of size `left` and `right` with
+/// `edges` cross edges (girth ≥ 4 by construction for undirected graphs),
+/// plus a connecting path along each part so the network is connected.
+pub fn bipartite(
+    left: usize,
+    right: usize,
+    edges: usize,
+    orientation: Orientation,
+    weights: WeightRange,
+    seed: u64,
+) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = left + right;
+    let mut g = Graph::new(n, orientation);
+    // Connectivity: a zig-zag spine L0—R0—L1—R1—…, with leftovers of the
+    // larger side attached to the first node of the other side.
+    let common = left.min(right);
+    for i in 0..common {
+        let _ = g.add_edge(i, left + i, weights.draw(&mut rng));
+        if i + 1 < common {
+            let _ = g.add_edge(left + i, i + 1, weights.draw(&mut rng));
+        }
+    }
+    for i in common..left {
+        let _ = g.add_edge(i, left, weights.draw(&mut rng)); // extra lefts → R0
+    }
+    for j in common..right {
+        let _ = g.add_edge(0, left + j, weights.draw(&mut rng)); // extra rights → L0
+    }
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < edges && attempts < edges * 20 + 100 {
+        attempts += 1;
+        let u = rng.random_range(0..left);
+        let v = left + rng.random_range(0..right);
+        if g.add_edge(u, v, weights.draw(&mut rng)).is_ok() {
+            added += 1;
+        }
+    }
+    g
+}
+
+/// A barbell: two cliques of `k` nodes joined by a path of `bridge`
+/// nodes. High diameter with dense ends — a stress test for the `+D`
+/// terms and for congestion at the bridge.
+pub fn barbell(k: usize, bridge: usize, weights: WeightRange, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 2 * k + bridge;
+    let mut g = Graph::undirected(n);
+    for c in 0..2 {
+        let base = c * (k + bridge);
+        for i in 0..k {
+            for j in i + 1..k {
+                let _ = g.add_edge(base + i, base + j, weights.draw(&mut rng));
+            }
+        }
+    }
+    // Path: last node of clique 0 … bridge … first node of clique 1.
+    let mut prev = k - 1;
+    for b in 0..bridge {
+        let v = k + b;
+        let _ = g.add_edge(prev, v, weights.draw(&mut rng));
+        prev = v;
+    }
+    let _ = g.add_edge(prev, k + bridge, weights.draw(&mut rng));
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq;
+
+    #[test]
+    fn gnm_is_connected_and_deterministic() {
+        let a = connected_gnm(64, 120, Orientation::Undirected, WeightRange::unit(), 3);
+        let b = connected_gnm(64, 120, Orientation::Undirected, WeightRange::unit(), 3);
+        assert!(a.is_comm_connected());
+        assert_eq!(a.m(), b.m());
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn gnm_different_seeds_differ() {
+        let a = connected_gnm(64, 120, Orientation::Undirected, WeightRange::unit(), 3);
+        let b = connected_gnm(64, 120, Orientation::Undirected, WeightRange::unit(), 4);
+        assert_ne!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn gnm_directed_weighted() {
+        let g = connected_gnm(40, 80, Orientation::Directed, WeightRange::uniform(1, 9), 11);
+        assert!(g.is_comm_connected());
+        assert!(g.max_weight() <= 9);
+        assert!(!g.is_unit_weight() || g.max_weight() == 1);
+    }
+
+    #[test]
+    fn ring_has_hamiltonian_cycle() {
+        let g = ring_with_chords(10, 0, Orientation::Directed, WeightRange::unit(), 1);
+        assert_eq!(g.m(), 10);
+        for i in 0..10 {
+            assert!(g.has_edge(i, (i + 1) % 10));
+        }
+    }
+
+    #[test]
+    fn planted_cycle_is_minimum() {
+        // Background weights heavy, planted cycle light: the planted cycle
+        // must be the MWC.
+        let (g, cycle) = planted_cycle(
+            60,
+            80,
+            5,
+            1,
+            Orientation::Undirected,
+            WeightRange::uniform(50, 100),
+            42,
+        );
+        assert!(g.is_comm_connected());
+        assert_eq!(cycle.len(), 5);
+        let mwc = seq::mwc_undirected_exact(&g).expect("has a cycle");
+        assert_eq!(mwc.weight, 5);
+    }
+
+    #[test]
+    fn planted_cycle_directed() {
+        let (g, cycle) = planted_cycle(
+            40,
+            40,
+            4,
+            1,
+            Orientation::Directed,
+            WeightRange::uniform(30, 60),
+            9,
+        );
+        assert_eq!(cycle.len(), 4);
+        // Every consecutive pair is a directed edge with weight 1.
+        for i in 0..4 {
+            assert_eq!(g.weight(cycle[i], cycle[(i + 1) % 4]), Some(1));
+        }
+    }
+
+    #[test]
+    fn grid_dimensions() {
+        let g = grid(4, 5, Orientation::Undirected, WeightRange::unit(), 0);
+        assert_eq!(g.n(), 20);
+        // 4*4 horizontal + 3*5 vertical = 16 + 15
+        assert_eq!(g.m(), 31);
+        assert!(g.is_comm_connected());
+    }
+
+    #[test]
+    fn random_regular_degrees_near_d() {
+        let g = random_regular(60, 4, Orientation::Undirected, WeightRange::unit(), true, 5);
+        assert!(g.is_comm_connected());
+        // Pairing-model degrees concentrate near d (+ tree edges).
+        let avg: f64 = (0..60).map(|v| g.out_adj(v).len()).sum::<usize>() as f64 / 60.0;
+        assert!(avg >= 4.0 && avg <= 7.0, "avg degree {avg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn random_regular_rejects_odd_pairing() {
+        let _ = random_regular(5, 3, Orientation::Undirected, WeightRange::unit(), false, 0);
+    }
+
+    #[test]
+    fn bipartite_has_no_triangles() {
+        let g = bipartite(20, 25, 80, Orientation::Undirected, WeightRange::unit(), 3);
+        assert!(g.is_comm_connected());
+        if let Some(m) = seq::girth_exact(&g) {
+            assert!(m.weight >= 4, "bipartite graphs have girth ≥ 4, got {}", m.weight);
+        }
+    }
+
+    #[test]
+    fn barbell_shape() {
+        let g = barbell(6, 4, WeightRange::unit(), 0);
+        assert_eq!(g.n(), 16);
+        assert!(g.is_comm_connected());
+        // Diameter spans the bridge.
+        assert!(g.undirected_diameter().unwrap() >= 5);
+        // Girth 3 from the cliques.
+        assert_eq!(seq::girth_exact(&g).unwrap().weight, 3);
+    }
+
+    #[test]
+    fn complete_graph_edge_count() {
+        let und = complete(6, Orientation::Undirected, WeightRange::unit(), 0);
+        assert_eq!(und.m(), 15);
+        let dir = complete(6, Orientation::Directed, WeightRange::unit(), 0);
+        assert_eq!(dir.m(), 30);
+    }
+}

@@ -1,0 +1,45 @@
+//! Graph substrate for the CONGEST minimum-weight-cycle reproduction.
+//!
+//! This crate provides the pieces every other crate in the workspace builds
+//! on:
+//!
+//! - [`Graph`]: simple directed/undirected graphs with non-negative integer
+//!   weights (the paper's `w : E → {0, …, W}`, §1.1).
+//! - [`generators`]: seeded random and structured graph families used by
+//!   tests and benchmarks.
+//! - [`seq`]: sequential reference algorithms — BFS, Dijkstra, hop-limited
+//!   Bellman–Ford, and the classical exact MWC oracles (§1.5 of the paper)
+//!   that every distributed algorithm is validated against.
+//! - [`CycleWitness`]: a checkable certificate that a reported weight is
+//!   the weight of a real simple cycle (Definition 1.1).
+//!
+//! # Examples
+//!
+//! Build a weighted ring, find its minimum weight cycle, and check the
+//! witness:
+//!
+//! ```
+//! use mwc_graph::generators::{ring_with_chords, WeightRange};
+//! use mwc_graph::seq::mwc_exact;
+//! use mwc_graph::Orientation;
+//!
+//! let g = ring_with_chords(8, 2, Orientation::Undirected, WeightRange::uniform(1, 5), 42);
+//! if let Some(mwc) = mwc_exact(&g) {
+//!     assert_eq!(mwc.witness.validate(&g), Ok(mwc.weight));
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+// Node-indexed state vectors are idiomatic for this simulator; indexing
+// loops over node ids are deliberate.
+#![allow(clippy::needless_range_loop, clippy::type_complexity)]
+#![warn(missing_docs)]
+
+mod graph;
+pub mod generators;
+pub mod io;
+pub mod seq;
+mod witness;
+
+pub use graph::{Adj, Edge, EdgeId, Graph, GraphError, NodeId, Orientation, Weight};
+pub use witness::{CycleWitness, WitnessError};

@@ -1,0 +1,148 @@
+//! Property-based tests of the graph substrate: generator invariants,
+//! oracle cross-agreement, witness round-trips.
+
+use mwc_graph::generators::{
+    barbell, bipartite, connected_gnm, grid, planted_cycle, random_regular, ring_with_chords,
+    WeightRange,
+};
+use mwc_graph::seq::{
+    bellman_ford_hops, bfs, dijkstra, girth_exact, mwc_directed_exact, mwc_exact,
+    mwc_undirected_exact, Direction, HOP_INF, INF,
+};
+use mwc_graph::{CycleWitness, Orientation};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generator produces a simple, in-range, connected graph.
+    #[test]
+    fn generators_produce_valid_graphs(seed in 0u64..10_000, n in 4usize..40) {
+        let graphs = vec![
+            connected_gnm(n, 2 * n, Orientation::Directed, WeightRange::uniform(1, 9), seed),
+            connected_gnm(n, 2 * n, Orientation::Undirected, WeightRange::unit(), seed),
+            ring_with_chords(n, n / 3, Orientation::Undirected, WeightRange::uniform(1, 5), seed),
+            random_regular(n + n % 2, 4, Orientation::Undirected, WeightRange::unit(), true, seed),
+            bipartite(n / 2 + 1, n / 2 + 1, n, Orientation::Undirected, WeightRange::unit(), seed),
+            barbell(4, n / 4 + 1, WeightRange::unit(), seed),
+        ];
+        for g in graphs {
+            prop_assert!(g.is_comm_connected(), "n={} m={}", g.n(), g.m());
+            for e in g.edges() {
+                prop_assert!(e.u < g.n() && e.v < g.n() && e.u != e.v);
+                prop_assert!(e.weight >= 1);
+            }
+            // No duplicate edges in the declared orientation.
+            let mut seen = std::collections::HashSet::new();
+            for e in g.edges() {
+                let key = if g.is_directed() {
+                    (e.u, e.v)
+                } else {
+                    (e.u.min(e.v), e.u.max(e.v))
+                };
+                prop_assert!(seen.insert(key), "duplicate edge {key:?}");
+            }
+        }
+    }
+
+    /// Dijkstra ≤ BFS-hops × max-weight; equal on unit weights; BFS
+    /// reachability agrees with Dijkstra reachability.
+    #[test]
+    fn bfs_dijkstra_consistency(seed in 0u64..10_000, n in 4usize..30, extra in 0usize..50) {
+        let g = connected_gnm(n, extra, Orientation::Directed, WeightRange::uniform(1, 7), seed);
+        let b = bfs(&g, 0, Direction::Forward);
+        let d = dijkstra(&g, 0, Direction::Forward);
+        for v in 0..n {
+            prop_assert_eq!(b.dist[v] == HOP_INF, d.dist[v] == INF);
+            if b.dist[v] != HOP_INF {
+                prop_assert!(d.dist[v] <= 7 * b.dist[v] as u64);
+                prop_assert!(d.dist[v] >= b.dist[v] as u64);
+            }
+        }
+    }
+
+    /// Hop-limited distances are monotone in h and converge to Dijkstra.
+    #[test]
+    fn bellman_ford_monotone_in_h(seed in 0u64..10_000, n in 4usize..24, extra in 0usize..40) {
+        let g = connected_gnm(n, extra, Orientation::Directed, WeightRange::uniform(1, 9), seed);
+        let full = dijkstra(&g, 0, Direction::Forward);
+        let mut prev = bellman_ford_hops(&g, 0, 0, Direction::Forward);
+        for h in 1..n {
+            let cur = bellman_ford_hops(&g, 0, h, Direction::Forward);
+            for v in 0..n {
+                prop_assert!(cur[v] <= prev[v], "h-limited distances must not grow with h");
+                prop_assert!(cur[v] >= full.dist[v]);
+            }
+            prev = cur;
+        }
+        prop_assert_eq!(&prev, &full.dist);
+    }
+
+    /// The two undirected oracles agree; girth equals unit-weight MWC.
+    #[test]
+    fn oracles_agree(seed in 0u64..10_000, n in 4usize..20, extra in 0usize..30) {
+        let g = connected_gnm(n, extra, Orientation::Undirected, WeightRange::unit(), seed);
+        let a = girth_exact(&g).map(|m| m.weight);
+        let b = mwc_undirected_exact(&g).map(|m| m.weight);
+        let c = mwc_exact(&g).map(|m| m.weight);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(a, c);
+    }
+
+    /// Rotating or (for undirected) reversing a witness keeps it valid
+    /// with the same weight.
+    #[test]
+    fn witness_rotation_invariance(seed in 0u64..10_000, n in 4usize..20, extra in 5usize..30) {
+        let g = connected_gnm(n, extra, Orientation::Undirected, WeightRange::uniform(1, 9), seed);
+        if let Some(m) = mwc_undirected_exact(&g) {
+            let vs = m.witness.vertices().to_vec();
+            for rot in 0..vs.len() {
+                let mut rotated = vs.clone();
+                rotated.rotate_left(rot);
+                prop_assert_eq!(CycleWitness::new(rotated.clone()).validate(&g), Ok(m.weight));
+                rotated.reverse();
+                prop_assert_eq!(CycleWitness::new(rotated).validate(&g), Ok(m.weight));
+            }
+        }
+    }
+
+    /// Planted light cycles are the MWC when the background is heavy.
+    #[test]
+    fn planted_cycles_are_minimum(seed in 0u64..10_000, n in 10usize..30, len in 3usize..6) {
+        let (g, cycle) = planted_cycle(
+            n, 2 * n, len, 1,
+            Orientation::Undirected,
+            WeightRange::uniform(10 * n as u64, 20 * n as u64),
+            seed,
+        );
+        let m = mwc_undirected_exact(&g).expect("planted cycle exists");
+        prop_assert_eq!(m.weight, len as u64);
+        prop_assert_eq!(CycleWitness::new(cycle).validate(&g), Ok(len as u64));
+    }
+
+    /// Reversing a directed graph preserves its MWC weight.
+    #[test]
+    fn reversal_preserves_mwc(seed in 0u64..10_000, n in 4usize..20, extra in 0usize..40) {
+        let g = connected_gnm(n, extra, Orientation::Directed, WeightRange::uniform(1, 9), seed);
+        let a = mwc_directed_exact(&g).map(|m| m.weight);
+        let b = mwc_directed_exact(&g.reversed()).map(|m| m.weight);
+        prop_assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn grid_girth_is_four() {
+    for (r, c) in [(2usize, 2usize), (3, 5), (6, 4)] {
+        let g = grid(r, c, Orientation::Undirected, WeightRange::unit(), 0);
+        if r >= 2 && c >= 2 {
+            assert_eq!(girth_exact(&g).unwrap().weight, 4);
+        }
+    }
+}
+
+#[test]
+fn diameter_of_barbell_spans_bridge() {
+    let g = barbell(5, 7, WeightRange::unit(), 1);
+    let d = g.undirected_diameter().unwrap();
+    assert!(d >= 8 && d <= 12, "barbell diameter {d}");
+}

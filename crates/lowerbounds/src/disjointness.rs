@@ -1,0 +1,94 @@
+//! Set disjointness instances — the communication problem all of the
+//! paper's lower bounds reduce from (§1.4).
+//!
+//! Alice holds `S_a ∈ {0,1}^k`, Bob holds `S_b ∈ {0,1}^k`; deciding
+//! whether some position is 1 in both requires `Ω(k)` bits of
+//! communication even with shared randomness \[7, 35, 46\].
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A two-party set-disjointness instance.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Disjointness {
+    /// Alice's characteristic vector.
+    pub a: Vec<bool>,
+    /// Bob's characteristic vector.
+    pub b: Vec<bool>,
+}
+
+impl Disjointness {
+    /// Number of bit positions `k`.
+    pub fn k(&self) -> usize {
+        self.a.len()
+    }
+
+    /// `true` iff the sets intersect (the "not disjoint" answer).
+    pub fn intersects(&self) -> bool {
+        self.a.iter().zip(&self.b).any(|(&x, &y)| x && y)
+    }
+
+    /// A uniformly random instance with each bit set with probability
+    /// `density`, **conditioned on being disjoint** (intersecting
+    /// positions are cleared on Bob's side).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn random_disjoint(k: usize, density: f64, seed: u64) -> Self {
+        assert!(k > 0, "k must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Vec<bool> = (0..k).map(|_| rng.random_bool(density)).collect();
+        let b: Vec<bool> = a
+            .iter()
+            .map(|&ai| rng.random_bool(density) && !ai)
+            .collect();
+        let d = Disjointness { a, b };
+        debug_assert!(!d.intersects());
+        d
+    }
+
+    /// A random instance with exactly one planted intersecting position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn random_intersecting(k: usize, density: f64, seed: u64) -> Self {
+        let mut d = Self::random_disjoint(k, density, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+        let pos = rng.random_range(0..k);
+        d.a[pos] = true;
+        d.b[pos] = true;
+        debug_assert!(d.intersects());
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_instances_are_disjoint() {
+        for seed in 0..20 {
+            let d = Disjointness::random_disjoint(64, 0.4, seed);
+            assert!(!d.intersects());
+            assert_eq!(d.k(), 64);
+        }
+    }
+
+    #[test]
+    fn intersecting_instances_intersect() {
+        for seed in 0..20 {
+            let d = Disjointness::random_intersecting(64, 0.4, seed);
+            assert!(d.intersects());
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = Disjointness::random_disjoint(32, 0.5, 7);
+        let b = Disjointness::random_disjoint(32, 0.5, 7);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,240 @@
+//! Set-disjointness → MWC gadget graphs for the near-linear lower bounds
+//! (Theorems 1.2.A and 1.4.A).
+//!
+//! # Directed gadget (Theorem 1.2.A)
+//!
+//! `k = q²` bits indexed by pairs `(i, j)`. Four layers of `q` vertices
+//! each — Alice's `u_i, x_j` and Bob's `y_j, w_i` — wired as
+//!
+//! ```text
+//!   u_i ──(S_a[i,j])──▶ x_j ──fixed──▶ y_j ──(S_b[i,j])──▶ w_i ──fixed──▶ u_i
+//! ```
+//!
+//! Every directed cycle alternates `u → x → y → w → u`, so its length is a
+//! multiple of 4; a 4-cycle exists **iff** some `(i,j)` is set on both
+//! sides, and otherwise every cycle has ≥ 8 edges. Hence even a `(2−ε)`-
+//! approximation of MWC decides disjointness. The Alice/Bob cut is the
+//! `2q = Θ(n)` fixed matching edges, so any `R`-round algorithm conveys at
+//! most `R · Θ(n log n)` bits across — against the `Ω(q²) = Ω(n²)` bits
+//! disjointness needs, forcing `R = Ω(n / log n)` (constant diameter: an
+//! Alice-side hub with outgoing-only edges keeps the network connected
+//! without creating cycles).
+//!
+//! # Undirected weighted gadget (Theorem 1.4.A)
+//!
+//! The same topology, undirected: bit edges weigh `W = ⌈2/ε⌉`, fixed
+//! matching edges weigh 1, hub edges weigh `2W + 2`. Intersecting ⇒ a
+//! 4-cycle of weight `2W + 2`; disjoint ⇒ every cycle weighs ≥ `4W ≥
+//! (2−ε)(2W+2)`.
+
+use crate::disjointness::Disjointness;
+use crate::instance::LowerBoundInstance;
+use mwc_graph::{Graph, Weight};
+
+/// Builds the directed gadget for a `q² `-bit instance.
+///
+/// `n = 4q + 1` nodes; `inst.k()` must be `q²` with bit `(i,j)` at index
+/// `i·q + j`.
+///
+/// # Panics
+///
+/// Panics if `inst.k() != q²` or `q == 0`.
+pub fn directed_gadget(q: usize, inst: &Disjointness) -> LowerBoundInstance {
+    assert!(q > 0, "q must be positive");
+    assert_eq!(inst.k(), q * q, "instance must have q² bits");
+    let n = 4 * q + 1;
+    let hub = 4 * q;
+    let u = |i: usize| i;
+    let x = |j: usize| q + j;
+    let y = |j: usize| 2 * q + j;
+    let w = |i: usize| 3 * q + i;
+
+    let mut g = Graph::directed(n);
+    // Fixed crossing matchings (the Alice/Bob cut).
+    for j in 0..q {
+        g.add_edge(x(j), y(j), 1).expect("simple");
+    }
+    for i in 0..q {
+        g.add_edge(w(i), u(i), 1).expect("simple");
+    }
+    // Bit edges.
+    for i in 0..q {
+        for j in 0..q {
+            if inst.a[i * q + j] {
+                g.add_edge(u(i), x(j), 1).expect("simple");
+            }
+            if inst.b[i * q + j] {
+                g.add_edge(y(j), w(i), 1).expect("simple");
+            }
+        }
+    }
+    // Connectivity hub (outgoing only ⇒ adds no cycle), Alice-side.
+    for i in 0..q {
+        g.add_edge(hub, u(i), 1).expect("simple");
+        g.add_edge(hub, x(i), 1).expect("simple");
+    }
+
+    let mut alice = vec![false; n];
+    for i in 0..q {
+        alice[u(i)] = true;
+        alice[x(i)] = true;
+    }
+    alice[hub] = true;
+
+    LowerBoundInstance {
+        graph: g,
+        alice,
+        bits: q * q,
+        yes_threshold: 4,
+        no_threshold: 8,
+    }
+}
+
+/// Builds the undirected weighted gadget for a `q²`-bit instance with gap
+/// parameter `epsilon` (the `(2−ε)` of Theorem 1.4.A).
+///
+/// # Panics
+///
+/// Panics if `inst.k() != q²`, `q == 0`, or `epsilon` is not in `(0, 1]`.
+pub fn undirected_weighted_gadget(
+    q: usize,
+    epsilon: f64,
+    inst: &Disjointness,
+) -> LowerBoundInstance {
+    assert!(q > 0, "q must be positive");
+    assert_eq!(inst.k(), q * q, "instance must have q² bits");
+    assert!(epsilon > 0.0 && epsilon <= 1.0, "epsilon must be in (0, 1]");
+    let big_w: Weight = (2.0 / epsilon).ceil() as Weight;
+    let hub_w: Weight = 2 * big_w + 2;
+    let n = 4 * q + 1;
+    let hub = 4 * q;
+    let u = |i: usize| i;
+    let x = |j: usize| q + j;
+    let y = |j: usize| 2 * q + j;
+    let w = |i: usize| 3 * q + i;
+
+    let mut g = Graph::undirected(n);
+    for j in 0..q {
+        g.add_edge(x(j), y(j), 1).expect("simple");
+    }
+    for i in 0..q {
+        g.add_edge(w(i), u(i), 1).expect("simple");
+    }
+    for i in 0..q {
+        for j in 0..q {
+            if inst.a[i * q + j] {
+                g.add_edge(u(i), x(j), big_w).expect("simple");
+            }
+            if inst.b[i * q + j] {
+                g.add_edge(y(j), w(i), big_w).expect("simple");
+            }
+        }
+    }
+    for i in 0..q {
+        g.add_edge(hub, u(i), hub_w).expect("simple");
+        g.add_edge(hub, x(i), hub_w).expect("simple");
+    }
+
+    let mut alice = vec![false; n];
+    for i in 0..q {
+        alice[u(i)] = true;
+        alice[x(i)] = true;
+    }
+    alice[hub] = true;
+
+    LowerBoundInstance {
+        graph: g,
+        alice,
+        bits: q * q,
+        yes_threshold: 2 * big_w + 2,
+        no_threshold: 4 * big_w,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwc_graph::seq;
+
+    #[test]
+    fn directed_yes_has_four_cycle() {
+        for seed in 0..8 {
+            let inst = Disjointness::random_intersecting(64, 0.3, seed);
+            let lb = directed_gadget(8, &inst);
+            assert!(lb.graph.is_comm_connected());
+            let mwc = seq::mwc_directed_exact(&lb.graph).expect("yes ⇒ cycle");
+            assert_eq!(mwc.weight, 4);
+            assert!(lb.decide(Some(mwc.weight)));
+        }
+    }
+
+    #[test]
+    fn directed_no_has_no_short_cycle() {
+        for seed in 0..8 {
+            let inst = Disjointness::random_disjoint(64, 0.3, seed);
+            let lb = directed_gadget(8, &inst);
+            let mwc = seq::mwc_directed_exact(&lb.graph).map(|m| m.weight);
+            match mwc {
+                None => {}
+                Some(w) => assert!(w >= 8, "disjoint instance produced cycle of weight {w}"),
+            }
+            assert!(!lb.decide(mwc));
+        }
+    }
+
+    #[test]
+    fn directed_even_half_approximation_decides() {
+        // A value anywhere in [mwc, 2·mwc) still separates 4 from 8.
+        let inst = Disjointness::random_intersecting(49, 0.4, 3);
+        let lb = directed_gadget(7, &inst);
+        let mwc = seq::mwc_directed_exact(&lb.graph).unwrap().weight;
+        let approx = 2 * mwc - 1; // any (2−ε)-approximation
+        assert!(approx < lb.no_threshold);
+    }
+
+    #[test]
+    fn directed_cut_is_two_q() {
+        let inst = Disjointness::random_disjoint(25, 0.5, 1);
+        let lb = directed_gadget(5, &inst);
+        assert_eq!(lb.cut_edges(), 10);
+    }
+
+    #[test]
+    fn directed_diameter_is_constant() {
+        for seed in [0, 9] {
+            let inst = Disjointness::random_disjoint(36, 0.2, seed);
+            let lb = directed_gadget(6, &inst);
+            let d = lb.graph.undirected_diameter().expect("connected");
+            assert!(d <= 6, "diameter {d} not constant-ish");
+        }
+    }
+
+    #[test]
+    fn undirected_thresholds_hold() {
+        for seed in 0..6 {
+            let yes = Disjointness::random_intersecting(36, 0.3, seed);
+            let lb = undirected_weighted_gadget(6, 0.5, &yes);
+            assert!(lb.graph.is_comm_connected());
+            let mwc = seq::mwc_undirected_exact(&lb.graph).expect("yes ⇒ cycle").weight;
+            assert!(mwc <= lb.yes_threshold, "yes mwc {mwc} > {}", lb.yes_threshold);
+            assert!(lb.decide(Some(mwc)));
+
+            let no = Disjointness::random_disjoint(36, 0.3, seed);
+            let lb = undirected_weighted_gadget(6, 0.5, &no);
+            let mwc = seq::mwc_undirected_exact(&lb.graph).map(|m| m.weight);
+            if let Some(w) = mwc {
+                assert!(w >= lb.no_threshold, "no mwc {w} < {}", lb.no_threshold);
+            }
+            assert!(!lb.decide(mwc));
+        }
+    }
+
+    #[test]
+    fn undirected_gap_is_two_minus_epsilon() {
+        let eps = 0.25;
+        let inst = Disjointness::random_intersecting(16, 0.5, 2);
+        let lb = undirected_weighted_gadget(4, eps, &inst);
+        let ratio = lb.no_threshold as f64 / lb.yes_threshold as f64;
+        assert!(ratio >= 2.0 - eps, "gap {ratio} < 2 − ε");
+    }
+}

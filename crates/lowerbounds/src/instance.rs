@@ -1,0 +1,134 @@
+//! The common shape of a lower-bound graph instance plus the two-party
+//! communication accounting harness.
+
+use mwc_congest::Ledger;
+use mwc_graph::{Graph, NodeId, Weight};
+
+/// A graph built from a set-disjointness instance, with the Alice/Bob
+/// node partition and the MWC thresholds that separate intersecting from
+/// disjoint instances.
+#[derive(Clone, Debug)]
+pub struct LowerBoundInstance {
+    /// The gadget graph.
+    pub graph: Graph,
+    /// `alice[v]` ⇔ node `v` is simulated by Alice.
+    pub alice: Vec<bool>,
+    /// Number of disjointness bits encoded.
+    pub bits: usize,
+    /// If the sets intersect, the MWC is ≤ this.
+    pub yes_threshold: Weight,
+    /// If the sets are disjoint, every cycle weighs ≥ this.
+    pub no_threshold: Weight,
+}
+
+impl LowerBoundInstance {
+    /// Decides disjointness from a (possibly approximate) MWC value: any
+    /// `α`-approximation with `α < no_threshold / yes_threshold`
+    /// classifies correctly.
+    pub fn decide(&self, mwc: Option<Weight>) -> bool {
+        mwc.is_some_and(|w| w < self.no_threshold)
+    }
+
+    /// Number of communication links crossing the Alice/Bob cut.
+    pub fn cut_edges(&self) -> usize {
+        let mut cut = std::collections::HashSet::new();
+        for e in self.graph.edges() {
+            if self.alice[e.u] != self.alice[e.v] {
+                cut.insert((e.u.min(e.v), e.u.max(e.v)));
+            }
+        }
+        cut.len()
+    }
+
+    /// The information-theoretic round floor for **any** correct CONGEST
+    /// algorithm on this instance: disjointness needs `Ω(bits)`
+    /// communicated, each round moves at most `2 · cut_edges · word_bits`
+    /// bits across the cut, so `rounds ≥ bits / (2 · cut · word_bits)`
+    /// (up to the constant hidden in Ω). The returned value uses constant
+    /// 1 — a conservative floor every *correct* algorithm in this
+    /// repository must clear, which the tests verify.
+    pub fn round_floor(&self, word_bits: u64) -> u64 {
+        let per_round = 2 * self.cut_edges() as u64 * word_bits;
+        (self.bits as u64) / per_round.max(1)
+    }
+
+    /// Communication report for an executed algorithm: words and implied
+    /// bits that crossed the cut, plus the rounds used.
+    pub fn report(&self, ledger: &Ledger, word_bits: u64) -> CommunicationReport {
+        CommunicationReport {
+            rounds: ledger.rounds,
+            cut_edges: self.cut_edges(),
+            cut_words: ledger.words_across(&self.alice),
+            word_bits,
+            round_floor: self.round_floor(word_bits),
+        }
+    }
+
+    /// Nodes on Alice's side (for diagnostics).
+    pub fn alice_nodes(&self) -> Vec<NodeId> {
+        (0..self.graph.n()).filter(|&v| self.alice[v]).collect()
+    }
+}
+
+/// What a run of an algorithm on a [`LowerBoundInstance`] communicated.
+#[derive(Clone, Copy, Debug)]
+pub struct CommunicationReport {
+    /// Rounds the algorithm took.
+    pub rounds: u64,
+    /// Links crossing the cut.
+    pub cut_edges: usize,
+    /// Words that crossed the cut during the run.
+    pub cut_words: u64,
+    /// Bits per word assumed (`Θ(log n + log W)`).
+    pub word_bits: u64,
+    /// The conservative information-theoretic floor on rounds.
+    pub round_floor: u64,
+}
+
+impl CommunicationReport {
+    /// Bits that crossed the cut.
+    pub fn cut_bits(&self) -> u64 {
+        self.cut_words * self.word_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwc_graph::Orientation;
+
+    #[test]
+    fn cut_counts_undirected_pairs_once() {
+        let g = Graph::from_edges(
+            4,
+            Orientation::Directed,
+            [(0, 2, 1), (2, 0, 1), (1, 3, 1), (0, 1, 1)],
+        )
+        .unwrap();
+        let lb = LowerBoundInstance {
+            graph: g,
+            alice: vec![true, true, false, false],
+            bits: 100,
+            yes_threshold: 4,
+            no_threshold: 8,
+        };
+        // Crossing: 0↔2 (two directed edges, one link) and 1—3.
+        assert_eq!(lb.cut_edges(), 2);
+        assert_eq!(lb.round_floor(10), 100 / 40);
+    }
+
+    #[test]
+    fn decide_uses_no_threshold() {
+        let lb = LowerBoundInstance {
+            graph: Graph::directed(1),
+            alice: vec![true],
+            bits: 1,
+            yes_threshold: 4,
+            no_threshold: 8,
+        };
+        assert!(lb.decide(Some(4)));
+        assert!(lb.decide(Some(7))); // any (2−ε)-approx of 4
+        assert!(!lb.decide(Some(8)));
+        assert!(!lb.decide(None));
+    }
+}

@@ -1,0 +1,276 @@
+//! Path/tree lower-bound families in the style of Das Sarma et al. \[49\],
+//! used for the `α`-approximation bounds (Theorems 1.2.B, 1.4.B, 1.3.A).
+//!
+//! `Γ` vertex-disjoint **light** paths of `ℓ` unit-weight vertices run
+//! from Alice's side to Bob's; a **heavy** highway + balanced tree (weight
+//! `X`, or subdivided into `X` unit edges for the unweighted girth family)
+//! keeps the diameter low. Alice attaches `s` to the left end of path `i`
+//! iff `S_a[i] = 1`; Bob attaches the right end to `t` iff `S_b[i] = 1`;
+//! a fixed light edge `t — s` closes the loop:
+//!
+//! - intersecting ⇒ a light cycle `s → P_i → t → s` of weight `ℓ + 2`;
+//! - disjoint ⇒ every cycle uses ≥ 2 heavy edges, weight ≥ `2X`.
+//!
+//! With `X = ⌈α·(ℓ+2)⌉` even an `α`-approximation of MWC decides
+//! disjointness, while the Alice/Bob cut is `Θ(Γ/ℓ + log)`-independent —
+//! only the heavy structure and `t—s` cross — so `Ω(k)`-bit disjointness
+//! forces `Ω(min(ℓ, k / (cut·log n)))` rounds. Balancing `Γ` against `ℓ`
+//! reproduces the paper's `√n` (weighted/directed) and `n^{1/4}`
+//! (unweighted girth, where heavy edges must be subdivided and therefore
+//! cost vertices) shapes.
+
+use crate::disjointness::Disjointness;
+use crate::instance::LowerBoundInstance;
+use mwc_graph::{Graph, NodeId, Orientation, Weight};
+
+/// Parameters of the family.
+#[derive(Clone, Copy, Debug)]
+pub struct SarmaParams {
+    /// Number of paths (= disjointness bits `k`).
+    pub gamma: usize,
+    /// Vertices per path.
+    pub ell: usize,
+    /// Approximation factor the instance must defeat.
+    pub alpha: f64,
+}
+
+/// Weighted family (directed or undirected) for Theorems 1.2.B / 1.4.B.
+///
+/// # Panics
+///
+/// Panics if `inst.k() != gamma`, or `gamma == 0`, or `ell < 2`, or
+/// `alpha < 1`.
+pub fn sarma_weighted(
+    p: SarmaParams,
+    orientation: Orientation,
+    inst: &Disjointness,
+) -> LowerBoundInstance {
+    assert!(p.gamma > 0 && p.ell >= 2, "need gamma ≥ 1, ell ≥ 2");
+    assert!(p.alpha >= 1.0, "alpha must be ≥ 1");
+    assert_eq!(inst.k(), p.gamma, "instance must have gamma bits");
+    let x: Weight = (p.alpha * (p.ell as f64 + 2.0)).ceil() as Weight;
+
+    let s: NodeId = 0;
+    let t: NodeId = 1;
+    let path = |i: usize, c: usize| 2 + i * p.ell + c;
+    let hw = |c: usize| 2 + p.gamma * p.ell + c; // highway column vertices
+    let n = 2 + p.gamma * p.ell + p.ell;
+
+    let mut g = Graph::new(n, orientation);
+    let directed = orientation == Orientation::Directed;
+    // Heavy edges go in both directions for directed graphs so the
+    // communication topology matches but every heavy cycle weighs ≥ 2X.
+    let heavy = |g: &mut Graph, a: NodeId, b: NodeId| {
+        g.add_edge(a, b, x).expect("simple");
+        if directed {
+            g.add_edge(b, a, x).expect("simple");
+        }
+    };
+
+    // Light paths.
+    for i in 0..p.gamma {
+        for c in 0..p.ell - 1 {
+            g.add_edge(path(i, c), path(i, c + 1), 1).expect("simple");
+        }
+    }
+    // Heavy highway + spokes (diameter control).
+    for c in 0..p.ell - 1 {
+        heavy(&mut g, hw(c), hw(c + 1));
+    }
+    for i in 0..p.gamma {
+        for c in 0..p.ell {
+            heavy(&mut g, hw(c), path(i, c));
+        }
+    }
+    heavy(&mut g, s, hw(0));
+    heavy(&mut g, t, hw(p.ell - 1));
+    // Closing light edge t — s.
+    g.add_edge(t, s, 1).expect("simple");
+    // Bit edges.
+    for i in 0..p.gamma {
+        if inst.a[i] {
+            g.add_edge(s, path(i, 0), 1).expect("simple");
+        }
+        if inst.b[i] {
+            g.add_edge(path(i, p.ell - 1), t, 1).expect("simple");
+        }
+    }
+
+    // Partition: Alice owns s and the left half of every path and of the
+    // highway; Bob owns the rest.
+    let mut alice = vec![false; n];
+    alice[s] = true;
+    for i in 0..p.gamma {
+        for c in 0..p.ell / 2 {
+            alice[path(i, c)] = true;
+        }
+    }
+    for c in 0..p.ell / 2 {
+        alice[hw(c)] = true;
+    }
+
+    LowerBoundInstance {
+        graph: g,
+        alice,
+        bits: p.gamma,
+        yes_threshold: p.ell as Weight + 2,
+        no_threshold: 2 * x,
+    }
+}
+
+/// Unweighted girth family for Theorem 1.3.A: heavy edges are subdivided
+/// into `X` unit edges (paying vertices instead of weight), a hub keeps
+/// the graph connected; every non-planted cycle has ≥ `2X` hops.
+///
+/// # Panics
+///
+/// Panics if `inst.k() != gamma`, `gamma == 0`, `ell < 2`, or `alpha < 1`.
+pub fn sarma_unweighted_girth(p: SarmaParams, inst: &Disjointness) -> LowerBoundInstance {
+    assert!(p.gamma > 0 && p.ell >= 2, "need gamma ≥ 1, ell ≥ 2");
+    assert!(p.alpha >= 1.0, "alpha must be ≥ 1");
+    assert_eq!(inst.k(), p.gamma, "instance must have gamma bits");
+    let x = (p.alpha * (p.ell as f64 + 2.0)).ceil() as usize;
+
+    // Layout: s, t, hub, paths, then subdivision vertices appended.
+    let s: NodeId = 0;
+    let t: NodeId = 1;
+    let hub: NodeId = 2;
+    let base = 3;
+    let path = |i: usize, c: usize| base + i * p.ell + c;
+    let n_core = base + p.gamma * p.ell;
+    // Subdivided spokes: hub→s, hub→t, hub→path(i, 0) for each i.
+    let spokes = p.gamma + 2;
+    let n = n_core + spokes * (x - 1);
+
+    let mut g = Graph::undirected(n);
+    for i in 0..p.gamma {
+        for c in 0..p.ell - 1 {
+            g.add_edge(path(i, c), path(i, c + 1), 1).expect("simple");
+        }
+    }
+    // Subdivided heavy spokes from the hub.
+    let mut next_aux = n_core;
+    let spoke = |g: &mut Graph, from: NodeId, to: NodeId, next_aux: &mut usize| {
+        let mut prev = from;
+        for _ in 0..x - 1 {
+            let v = *next_aux;
+            *next_aux += 1;
+            g.add_edge(prev, v, 1).expect("simple");
+            prev = v;
+        }
+        g.add_edge(prev, to, 1).expect("simple");
+    };
+    spoke(&mut g, hub, s, &mut next_aux);
+    spoke(&mut g, hub, t, &mut next_aux);
+    for i in 0..p.gamma {
+        spoke(&mut g, hub, path(i, 0), &mut next_aux);
+    }
+    debug_assert_eq!(next_aux, n);
+    // Closing light edge t — s and the bit edges.
+    g.add_edge(t, s, 1).expect("simple");
+    for i in 0..p.gamma {
+        if inst.a[i] {
+            g.add_edge(s, path(i, 0), 1).expect("simple");
+        }
+        if inst.b[i] {
+            g.add_edge(path(i, p.ell - 1), t, 1).expect("simple");
+        }
+    }
+
+    // Alice: s + left halves of paths (hub and auxiliaries are Bob's).
+    let mut alice = vec![false; n];
+    alice[s] = true;
+    for i in 0..p.gamma {
+        for c in 0..p.ell / 2 {
+            alice[path(i, c)] = true;
+        }
+    }
+
+    LowerBoundInstance {
+        graph: g,
+        alice,
+        bits: p.gamma,
+        yes_threshold: p.ell as Weight + 2,
+        no_threshold: (2 * x) as Weight,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwc_graph::seq;
+
+    fn params() -> SarmaParams {
+        SarmaParams { gamma: 6, ell: 5, alpha: 2.0 }
+    }
+
+    fn check_family(build: impl Fn(&Disjointness) -> LowerBoundInstance, oracle: impl Fn(&Graph) -> Option<Weight>) {
+        for seed in 0..5 {
+            let yes = Disjointness::random_intersecting(6, 0.4, seed);
+            let lb = build(&yes);
+            assert!(lb.graph.is_comm_connected());
+            let w = oracle(&lb.graph).expect("yes ⇒ light cycle");
+            assert!(w <= lb.yes_threshold, "yes mwc {w} > {}", lb.yes_threshold);
+            // Even an α-approximation decides.
+            let reported = (lb.yes_threshold as f64 * 2.0).floor() as Weight;
+            assert!(reported < lb.no_threshold);
+            assert!(lb.decide(Some(w)));
+
+            let no = Disjointness::random_disjoint(6, 0.4, seed);
+            let lb = build(&no);
+            let w = oracle(&lb.graph);
+            if let Some(w) = w {
+                assert!(w >= lb.no_threshold, "no mwc {w} < {}", lb.no_threshold);
+            }
+            assert!(!lb.decide(w));
+        }
+    }
+
+    #[test]
+    fn weighted_undirected_family_separates() {
+        check_family(
+            |d| sarma_weighted(params(), Orientation::Undirected, d),
+            |g| seq::mwc_undirected_exact(g).map(|m| m.weight),
+        );
+    }
+
+    #[test]
+    fn weighted_directed_family_separates() {
+        check_family(
+            |d| sarma_weighted(params(), Orientation::Directed, d),
+            |g| seq::mwc_directed_exact(g).map(|m| m.weight),
+        );
+    }
+
+    #[test]
+    fn unweighted_girth_family_separates() {
+        check_family(
+            |d| sarma_unweighted_girth(params(), d),
+            |g| seq::girth_exact(g).map(|m| m.weight),
+        );
+    }
+
+    #[test]
+    fn gap_scales_with_alpha() {
+        let d = Disjointness::random_intersecting(4, 0.5, 1);
+        for alpha in [1.5, 3.0, 8.0] {
+            let p = SarmaParams { gamma: 4, ell: 4, alpha };
+            let lb = sarma_weighted(p, Orientation::Undirected, &d);
+            let ratio = lb.no_threshold as f64 / lb.yes_threshold as f64;
+            assert!(ratio >= 2.0 * alpha - 0.01, "gap {ratio} too small for α = {alpha}");
+        }
+    }
+
+    #[test]
+    fn cut_grows_at_most_linearly_in_bits() {
+        // Doubling the number of bits (paths) at fixed ℓ at most doubles
+        // the crossing edges (each path contributes one mid edge).
+        let d6 = Disjointness::random_disjoint(6, 0.3, 0);
+        let lb6 = sarma_weighted(SarmaParams { gamma: 6, ell: 6, alpha: 2.0 }, Orientation::Undirected, &d6);
+        let d12 = Disjointness::random_disjoint(12, 0.3, 0);
+        let lb12 = sarma_weighted(SarmaParams { gamma: 12, ell: 6, alpha: 2.0 }, Orientation::Undirected, &d12);
+        // Bits doubled; cut grows only by the extra midpoint spokes.
+        assert!(lb12.bits == 2 * lb6.bits);
+        assert!(lb12.cut_edges() <= 2 * lb6.cut_edges());
+    }
+}

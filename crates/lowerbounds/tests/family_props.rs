@@ -1,0 +1,115 @@
+//! Property-based tests of the lower-bound families: the separation and
+//! decidability invariants must hold for *every* instance, not just the
+//! seeds the unit tests happen to pick.
+
+use mwc_graph::seq;
+use mwc_graph::Orientation;
+use mwc_lowerbounds::{
+    directed_gadget, sarma_unweighted_girth, sarma_weighted, undirected_weighted_gadget,
+    Disjointness, SarmaParams,
+};
+use proptest::prelude::*;
+
+fn arbitrary_instance(k: usize, seed: u64, intersecting: bool) -> Disjointness {
+    if intersecting {
+        Disjointness::random_intersecting(k, 0.35, seed)
+    } else {
+        Disjointness::random_disjoint(k, 0.35, seed)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn directed_gadget_always_separates(q in 3usize..10, seed in 0u64..10_000, yes in any::<bool>()) {
+        let inst = arbitrary_instance(q * q, seed, yes);
+        let lb = directed_gadget(q, &inst);
+        prop_assert!(lb.graph.is_comm_connected());
+        prop_assert!(lb.graph.undirected_diameter().unwrap() <= 6);
+        let mwc = seq::mwc_directed_exact(&lb.graph).map(|m| m.weight);
+        match mwc {
+            Some(w) if yes => prop_assert!(w == 4, "yes ⇒ MWC 4, got {w}"),
+            Some(w) => prop_assert!(w >= 8, "no ⇒ MWC ≥ 8, got {w}"),
+            None => prop_assert!(!yes, "yes-instances always have the 4-cycle"),
+        }
+        prop_assert_eq!(lb.decide(mwc), inst.intersects());
+        // Even the worst legal (2−ε)-approximation decides: any value in
+        // [mwc, (2−ε)·mwc) stays on the right side of the threshold.
+        if let Some(w) = mwc {
+            let worst = (w as f64 * 1.99).floor() as u64;
+            if yes {
+                prop_assert!(lb.decide(Some(worst)));
+            }
+        }
+    }
+
+    #[test]
+    fn undirected_gadget_gap_holds(q in 3usize..9, seed in 0u64..10_000, yes in any::<bool>(),
+                                   eps_i in 1usize..4) {
+        let eps = eps_i as f64 / 4.0; // 0.25, 0.5, 0.75
+        let inst = arbitrary_instance(q * q, seed, yes);
+        let lb = undirected_weighted_gadget(q, eps, &inst);
+        prop_assert!(lb.graph.is_comm_connected());
+        let mwc = seq::mwc_undirected_exact(&lb.graph).map(|m| m.weight);
+        if yes {
+            let w = mwc.expect("yes ⇒ 4-cycle");
+            prop_assert!(w <= lb.yes_threshold, "{w} > {}", lb.yes_threshold);
+        } else if let Some(w) = mwc {
+            prop_assert!(w >= lb.no_threshold, "{w} < {}", lb.no_threshold);
+            prop_assert!(
+                w as f64 >= (2.0 - eps) * lb.yes_threshold as f64,
+                "gap below 2−ε"
+            );
+        }
+        prop_assert_eq!(lb.decide(mwc), inst.intersects());
+    }
+
+    #[test]
+    fn sarma_families_always_separate(gamma in 3usize..9, ell in 3usize..8,
+                                      seed in 0u64..10_000, yes in any::<bool>(),
+                                      alpha_i in 2usize..6) {
+        let alpha = alpha_i as f64;
+        let p = SarmaParams { gamma, ell, alpha };
+        let inst = arbitrary_instance(gamma, seed, yes);
+
+        for orientation in [Orientation::Directed, Orientation::Undirected] {
+            let lb = sarma_weighted(p, orientation, &inst);
+            prop_assert!(lb.graph.is_comm_connected());
+            let mwc = match orientation {
+                Orientation::Directed => seq::mwc_directed_exact(&lb.graph),
+                Orientation::Undirected => seq::mwc_undirected_exact(&lb.graph),
+            }
+            .map(|m| m.weight);
+            if yes {
+                let w = mwc.expect("yes ⇒ light cycle");
+                prop_assert!(w <= lb.yes_threshold);
+                // An α-approximation still lands under the no-threshold.
+                let approx = (w as f64 * alpha).floor() as u64;
+                prop_assert!(approx < lb.no_threshold || w * 2 <= lb.yes_threshold,
+                    "α-approx would misclassify: {approx} ≥ {}", lb.no_threshold);
+            } else if let Some(w) = mwc {
+                prop_assert!(w >= lb.no_threshold, "{w} < {}", lb.no_threshold);
+            }
+            prop_assert_eq!(lb.decide(mwc), inst.intersects(), "{:?}", orientation);
+        }
+
+        let lb = sarma_unweighted_girth(p, &inst);
+        prop_assert!(lb.graph.is_comm_connected());
+        let girth = seq::girth_exact(&lb.graph).map(|m| m.weight);
+        prop_assert_eq!(lb.decide(girth), inst.intersects(), "girth family");
+    }
+
+    #[test]
+    fn round_floor_is_monotone_in_bits(q in 4usize..20) {
+        let inst = Disjointness::random_disjoint(q * q, 0.3, 1);
+        let lb = directed_gadget(q, &inst);
+        let inst2 = Disjointness::random_disjoint(4 * q * q, 0.3, 1);
+        let lb2 = directed_gadget(2 * q, &inst2);
+        // 4× the bits at 2× the cut: floor must strictly grow once
+        // nontrivial.
+        prop_assert!(lb2.round_floor(9) >= lb.round_floor(9));
+        prop_assert_eq!(lb.cut_edges(), 2 * q);
+        prop_assert_eq!(lb2.cut_edges(), 4 * q);
+    }
+}

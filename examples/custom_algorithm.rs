@@ -1,0 +1,94 @@
+//! Writing your own CONGEST algorithm against the engine's node-program
+//! API: a distributed *local triangle counter*.
+//!
+//! Each node sends its (id-sorted) adjacency list to every neighbor; on
+//! receipt it intersects the list with its own to count triangles it
+//! participates in. Locality is enforced by the runtime — a node can only
+//! ever message its neighbors — and the ledger reports what the exchange
+//! cost in CONGEST rounds (Θ(max degree), since adjacency lists are
+//! Θ(deg) words).
+//!
+//! Run with: `cargo run --release --example custom_algorithm`
+
+use congest_mwc::congest::program::{run_programs, Action, NodeCtx, NodeProgram};
+use congest_mwc::congest::Ledger;
+use congest_mwc::graph::generators::{connected_gnm, WeightRange};
+use congest_mwc::graph::{NodeId, Orientation};
+use std::sync::Arc;
+
+struct TriangleCounter {
+    my_adj: Arc<Vec<NodeId>>,
+    /// Triangles this node participates in, counted with multiplicity 2
+    /// (once per incident edge pair ordering).
+    double_count: u64,
+}
+
+impl NodeProgram for TriangleCounter {
+    type Msg = Arc<Vec<NodeId>>;
+
+    fn init(&mut self, ctx: &NodeCtx) -> Vec<Action<Self::Msg>> {
+        self.my_adj = Arc::new({
+            let mut a = ctx.neighbors.clone();
+            a.sort_unstable();
+            a
+        });
+        ctx.neighbors
+            .iter()
+            .map(|&to| Action::Send {
+                to,
+                msg: Arc::clone(&self.my_adj),
+                words: self.my_adj.len().max(1) as u64,
+            })
+            .collect()
+    }
+
+    fn on_receive(&mut self, _ctx: &NodeCtx, from: NodeId, their_adj: Self::Msg) -> Vec<Action<Self::Msg>> {
+        // Common neighbors of me and `from` close triangles (me, from, x).
+        for x in their_adj.iter() {
+            if *x != from && self.my_adj.binary_search(x).is_ok() {
+                self.double_count += 1;
+            }
+        }
+        Vec::new()
+    }
+}
+
+/// Sequential reference count.
+fn triangles_sequential(g: &congest_mwc::graph::Graph) -> u64 {
+    let mut count = 0;
+    for e in g.edges() {
+        for a in g.out_adj(e.u) {
+            if a.to != e.v && g.has_edge(a.to, e.v) {
+                count += 1;
+            }
+        }
+    }
+    count / 3 // each triangle counted once per vertex
+}
+
+fn main() {
+    let g = connected_gnm(300, 1800, Orientation::Undirected, WeightRange::unit(), 99);
+    println!("network: n = {}, m = {}", g.n(), g.m());
+
+    let mut ledger = Ledger::new();
+    let nodes = run_programs(
+        &g,
+        |_| TriangleCounter { my_adj: Arc::new(Vec::new()), double_count: 0 },
+        1_000_000,
+        &mut ledger,
+    );
+
+    // Every triangle is double-counted at each of its 3 vertices.
+    let total: u64 = nodes.iter().map(|p| p.double_count).sum();
+    let triangles = total / 6;
+    let reference = triangles_sequential(&g);
+    println!("distributed triangle count: {triangles} (sequential reference: {reference})");
+    assert_eq!(triangles, reference);
+
+    println!(
+        "cost: {} CONGEST rounds, {} words moved (adjacency exchange ≈ max degree rounds)",
+        ledger.rounds, ledger.words
+    );
+    let max_deg = (0..g.n()).map(|v| g.out_adj(v).len()).max().unwrap();
+    println!("max degree = {max_deg}");
+}

@@ -1,0 +1,40 @@
+//! **congest-mwc** — a reproduction of *“Computing Minimum Weight Cycle in
+//! the CONGEST Model”* (Manoharan & Ramachandran, PODC 2024) as a Rust
+//! workspace: a round-faithful CONGEST simulator, the paper's sublinear
+//! MWC approximation algorithms with exact baselines and witnesses, the
+//! lower-bound graph families, and a benchmark harness regenerating
+//! Table 1.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! - [`graph`] ([`mwc_graph`]): graph types, generators, sequential
+//!   oracles, cycle witnesses.
+//! - [`congest`] ([`mwc_congest`]): the simulator and CONGEST primitives.
+//! - [`core`] ([`mwc_core`]): the paper's algorithms (Theorems 1.2.C/D,
+//!   1.3.B, 1.4.C, 1.6) and exact baselines.
+//! - [`lowerbounds`] ([`mwc_lowerbounds`]): disjointness gadgets and the
+//!   two-party accounting harness.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use congest_mwc::core::{approx_girth, exact_mwc, Params};
+//! use congest_mwc::graph::generators::{connected_gnm, WeightRange};
+//! use congest_mwc::graph::Orientation;
+//!
+//! let g = connected_gnm(200, 400, Orientation::Undirected, WeightRange::unit(), 7);
+//! let exact = exact_mwc(&g);
+//! let approx = approx_girth(&g, &Params::new());
+//! let (girth, reported) = (exact.weight.unwrap(), approx.weight.unwrap());
+//! assert!(reported >= girth && reported <= 2 * girth - 1);
+//! // The approximation uses far fewer simulated CONGEST rounds:
+//! assert!(approx.ledger.rounds < exact.ledger.rounds);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mwc_congest as congest;
+pub use mwc_core as core;
+pub use mwc_graph as graph;
+pub use mwc_lowerbounds as lowerbounds;

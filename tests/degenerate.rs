@@ -1,0 +1,127 @@
+//! Degenerate and boundary inputs for every public algorithm: tiny
+//! graphs, single edges, smallest legal cycles. APIs must return sound
+//! answers (or panic with their documented message), never crash with
+//! index errors.
+
+use congest_mwc::core::{
+    approx_girth, approx_mwc_directed_weighted, approx_mwc_undirected_weighted, distributed_apsp,
+    exact_mwc, has_cycle_within, k_source_bfs, shortest_cycle_within, sssp_bfs,
+    two_approx_directed_mwc, Params,
+};
+use congest_mwc::graph::seq::Direction;
+use congest_mwc::graph::{Graph, Orientation};
+
+#[test]
+fn single_node_everything() {
+    for orientation in [Orientation::Directed, Orientation::Undirected] {
+        let g = Graph::new(1, orientation);
+        let out = exact_mwc(&g);
+        out.assert_valid(&g);
+        assert_eq!(out.weight, None);
+        assert!(!has_cycle_within(&g, 5));
+        let apsp = distributed_apsp(&g);
+        assert_eq!(apsp.dist(0, 0), 0);
+        assert_eq!(apsp.diameter(), None);
+        let s = sssp_bfs(&g, 0, Direction::Forward);
+        assert_eq!(s.dist(0), 0);
+        let k = k_source_bfs(&g, &[0], Direction::Forward, &Params::new());
+        assert_eq!(k.get(0, 0), 0);
+    }
+    let g = Graph::directed(1);
+    assert_eq!(two_approx_directed_mwc(&g, &Params::new()).weight, None);
+    let g = Graph::undirected(1);
+    assert_eq!(approx_girth(&g, &Params::new()).weight, None);
+    assert_eq!(approx_mwc_undirected_weighted(&g, &Params::new()).weight, None);
+    let g = Graph::directed(1);
+    assert_eq!(approx_mwc_directed_weighted(&g, &Params::new()).weight, None);
+}
+
+#[test]
+fn single_edge_graphs() {
+    // Undirected single edge: no cycle possible.
+    let g = Graph::from_edges(2, Orientation::Undirected, [(0, 1, 3)]).unwrap();
+    assert_eq!(exact_mwc(&g).weight, None);
+    assert_eq!(approx_girth(&Graph::from_edges(2, Orientation::Undirected, [(0, 1, 1)]).unwrap(), &Params::new()).weight, None);
+    assert_eq!(approx_mwc_undirected_weighted(&g, &Params::new()).weight, None);
+    let apsp = distributed_apsp(&g);
+    assert_eq!(apsp.dist(0, 1), 3);
+
+    // Directed single edge: still no cycle.
+    let g = Graph::from_edges(2, Orientation::Directed, [(0, 1, 1)]).unwrap();
+    assert_eq!(exact_mwc(&g).weight, None);
+    assert_eq!(two_approx_directed_mwc(&g, &Params::new()).weight, None);
+    assert!(!has_cycle_within(&g, 2));
+}
+
+#[test]
+fn smallest_cycles() {
+    // Directed 2-cycle — the smallest directed cycle.
+    let g = Graph::from_edges(2, Orientation::Directed, [(0, 1, 2), (1, 0, 5)]).unwrap();
+    let out = exact_mwc(&g);
+    out.assert_valid(&g);
+    assert_eq!(out.weight, Some(7));
+    let out = two_approx_directed_mwc(
+        &Graph::from_edges(2, Orientation::Directed, [(0, 1, 1), (1, 0, 1)]).unwrap(),
+        &Params::new(),
+    );
+    assert_eq!(out.weight, Some(2));
+    let wout = approx_mwc_directed_weighted(&g, &Params::new());
+    wout.assert_valid(&g);
+    let w = wout.weight.expect("2-cycle exists");
+    assert!((7..=16).contains(&w));
+
+    // Undirected triangle — the smallest undirected cycle.
+    let g = Graph::from_edges(3, Orientation::Undirected, [(0, 1, 1), (1, 2, 1), (2, 0, 1)])
+        .unwrap();
+    assert_eq!(exact_mwc(&g).weight, Some(3));
+    assert_eq!(approx_girth(&g, &Params::new()).weight, Some(3));
+    assert_eq!(shortest_cycle_within(&g, 3).weight, Some(3));
+}
+
+#[test]
+fn zero_weight_edges_in_exact_paths() {
+    // Exact algorithms must handle w = 0 (the paper allows {0, …, W});
+    // only scaling-based approximations require w ≥ 1.
+    let g = Graph::from_edges(
+        4,
+        Orientation::Directed,
+        [(0, 1, 0), (1, 2, 0), (2, 0, 4), (2, 3, 1), (3, 0, 1)],
+    )
+    .unwrap();
+    let out = exact_mwc(&g);
+    out.assert_valid(&g);
+    assert_eq!(out.weight, Some(2)); // 0 + 0 + 1 + 1 around via node 3
+    let apsp = distributed_apsp(&g);
+    // Zero-weight edges take a round to cross but add nothing to the
+    // distance: announcements carry the true weighted candidate.
+    assert_eq!(apsp.dist(0, 2), 0);
+}
+
+#[test]
+fn two_node_k_source() {
+    let g = Graph::from_edges(2, Orientation::Undirected, [(0, 1, 1)]).unwrap();
+    let out = k_source_bfs(&g, &[0, 1], Direction::Forward, &Params::new());
+    assert_eq!(out.get(0, 1), 1);
+    assert_eq!(out.get(1, 0), 1);
+    assert_eq!(out.path_row(0, 1), Some(vec![0, 1]));
+}
+
+#[test]
+fn self_loop_and_duplicate_rejection_surface_errors() {
+    let mut g = Graph::directed(2);
+    assert!(g.add_edge(1, 1, 1).is_err());
+    g.add_edge(0, 1, 1).unwrap();
+    assert!(g.add_edge(0, 1, 9).is_err());
+    // The graph is still usable after rejected mutations.
+    g.add_edge(1, 0, 1).unwrap();
+    assert_eq!(exact_mwc(&g).weight, Some(2));
+}
+
+#[test]
+fn detection_q_equals_minimum_length() {
+    let g = Graph::from_edges(2, Orientation::Directed, [(0, 1, 1), (1, 0, 1)]).unwrap();
+    assert!(has_cycle_within(&g, 2));
+    let g = Graph::from_edges(3, Orientation::Undirected, [(0, 1, 1), (1, 2, 1), (2, 0, 1)])
+        .unwrap();
+    assert!(has_cycle_within(&g, 3));
+}

@@ -1,0 +1,125 @@
+//! End-to-end integration: every distributed algorithm against the
+//! sequential oracles and against each other, across shared graph
+//! families, with witness validation on every outcome.
+
+use congest_mwc::core::{
+    approx_girth, approx_mwc_directed_weighted, approx_mwc_undirected_weighted, exact_mwc,
+    two_approx_directed_mwc, Params,
+};
+use congest_mwc::graph::generators::{
+    connected_gnm, grid, planted_cycle, ring_with_chords, WeightRange,
+};
+use congest_mwc::graph::{seq, Graph, Orientation, Weight};
+
+fn check_exact_and_approx(
+    g: &Graph,
+    approx: impl Fn(&Graph, &Params) -> congest_mwc::core::MwcOutcome,
+    factor: f64,
+    slack: Weight,
+    seed: u64,
+) {
+    let oracle = seq::mwc_exact(g).map(|m| m.weight);
+    let exact = exact_mwc(g);
+    exact.assert_valid(g);
+    assert_eq!(exact.weight, oracle, "distributed exact ≠ sequential oracle");
+
+    let params = Params::new().with_seed(seed);
+    let out = approx(g, &params);
+    out.assert_valid(g);
+    match (out.weight, oracle) {
+        (None, None) => {}
+        (Some(w), Some(opt)) => {
+            assert!(w >= opt, "approximation underestimated: {w} < {opt}");
+            let bound = (factor * opt as f64).ceil() as Weight + slack;
+            assert!(w <= bound, "approximation too loose: {w} > {bound} (opt {opt})");
+        }
+        (got, want) => panic!("cyclicity mismatch: approx {got:?}, oracle {want:?}"),
+    }
+}
+
+#[test]
+fn directed_unweighted_pipeline() {
+    for seed in 0..4 {
+        let g = connected_gnm(64, 180, Orientation::Directed, WeightRange::unit(), seed);
+        check_exact_and_approx(&g, two_approx_directed_mwc, 2.0, 0, seed);
+    }
+}
+
+#[test]
+fn girth_pipeline() {
+    for seed in 0..4 {
+        let g = connected_gnm(80, 130, Orientation::Undirected, WeightRange::unit(), 40 + seed);
+        check_exact_and_approx(&g, approx_girth, 2.0, 0, seed);
+    }
+}
+
+#[test]
+fn undirected_weighted_pipeline() {
+    for seed in 0..3 {
+        let g =
+            connected_gnm(48, 90, Orientation::Undirected, WeightRange::uniform(1, 12), 80 + seed);
+        check_exact_and_approx(&g, approx_mwc_undirected_weighted, 2.25, 2, seed);
+    }
+}
+
+#[test]
+fn directed_weighted_pipeline() {
+    for seed in 0..3 {
+        let g =
+            connected_gnm(40, 100, Orientation::Directed, WeightRange::uniform(1, 12), 120 + seed);
+        check_exact_and_approx(&g, approx_mwc_directed_weighted, 2.25, 2, seed);
+    }
+}
+
+#[test]
+fn structured_topologies() {
+    // Grid: girth 4.
+    let g = grid(9, 9, Orientation::Undirected, WeightRange::unit(), 0);
+    check_exact_and_approx(&g, approx_girth, 2.0, 0, 1);
+
+    // Large single ring (every algorithm must find the global cycle).
+    let g = ring_with_chords(72, 0, Orientation::Directed, WeightRange::unit(), 0);
+    let out = two_approx_directed_mwc(&g, &Params::new().with_seed(2));
+    assert_eq!(out.weight, Some(72));
+
+    // Planted light cycle in heavy surroundings, all four algorithms.
+    let (gd, _) = planted_cycle(50, 90, 3, 1, Orientation::Directed, WeightRange::uniform(9, 18), 5);
+    check_exact_and_approx(&gd, approx_mwc_directed_weighted, 2.25, 2, 3);
+    let (gu, _) =
+        planted_cycle(50, 80, 4, 1, Orientation::Undirected, WeightRange::uniform(9, 18), 6);
+    check_exact_and_approx(&gu, approx_mwc_undirected_weighted, 2.25, 2, 4);
+}
+
+#[test]
+fn acyclic_and_forest_agreement() {
+    // Directed acyclic.
+    let mut g = Graph::directed(20);
+    for i in 0..19 {
+        g.add_edge(i, i + 1, 1).unwrap();
+        if i + 2 < 20 {
+            g.add_edge(i, i + 2, 1).unwrap();
+        }
+    }
+    assert_eq!(exact_mwc(&g).weight, None);
+    assert_eq!(two_approx_directed_mwc(&g, &Params::new()).weight, None);
+
+    // Undirected tree.
+    let mut g = Graph::undirected(20);
+    for i in 1..20 {
+        g.add_edge(i / 2, i, 3).unwrap();
+    }
+    assert_eq!(exact_mwc(&g).weight, None);
+    assert_eq!(approx_mwc_undirected_weighted(&g, &Params::new()).weight, None);
+}
+
+#[test]
+fn every_node_knows_the_answer_convention() {
+    // The algorithms end with a convergecast + flood-down; the ledger must
+    // therefore contain those phases (paper Definition 1.1 output
+    // convention: every node knows the weight).
+    let g = connected_gnm(50, 100, Orientation::Undirected, WeightRange::unit(), 9);
+    let out = approx_girth(&g, &Params::new());
+    assert!(out.ledger.phases.iter().any(|p| p.label.contains("convergecast")));
+    let out = exact_mwc(&g);
+    assert!(out.ledger.phases.iter().any(|p| p.label.contains("convergecast")));
+}

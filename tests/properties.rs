@@ -1,0 +1,117 @@
+//! Property-based integration tests: invariants that must hold for every
+//! algorithm on arbitrary (generated) inputs.
+//!
+//! The two one-sided guarantees that hold *deterministically* (not just
+//! w.h.p.) are the backbone: every reported weight is certified by a real
+//! simple cycle (so it is ≥ the true MWC), and the exact algorithms agree
+//! with the sequential oracles exactly.
+
+use congest_mwc::core::{
+    approx_girth, approx_mwc_undirected_weighted, exact_mwc, two_approx_directed_mwc, Params,
+};
+use congest_mwc::graph::generators::{connected_gnm, WeightRange};
+use congest_mwc::graph::{seq, Orientation};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn exact_matches_oracle_directed(seed in 0u64..10_000, n in 8usize..40, extra in 0usize..80) {
+        let g = connected_gnm(n, extra, Orientation::Directed, WeightRange::uniform(1, 9), seed);
+        let out = exact_mwc(&g);
+        out.assert_valid(&g);
+        prop_assert_eq!(out.weight, seq::mwc_exact(&g).map(|m| m.weight));
+    }
+
+    #[test]
+    fn exact_matches_oracle_undirected(seed in 0u64..10_000, n in 8usize..40, extra in 0usize..60) {
+        let g = connected_gnm(n, extra, Orientation::Undirected, WeightRange::uniform(1, 9), seed);
+        let out = exact_mwc(&g);
+        out.assert_valid(&g);
+        prop_assert_eq!(out.weight, seq::mwc_exact(&g).map(|m| m.weight));
+    }
+
+    #[test]
+    fn approximations_never_underestimate(seed in 0u64..10_000, n in 10usize..36, extra in 10usize..70) {
+        let params = Params::new().with_seed(seed);
+
+        let gd = connected_gnm(n, extra, Orientation::Directed, WeightRange::unit(), seed);
+        let opt = seq::mwc_exact(&gd).map(|m| m.weight);
+        let out = two_approx_directed_mwc(&gd, &params);
+        out.assert_valid(&gd);
+        if let (Some(w), Some(o)) = (out.weight, opt) {
+            prop_assert!(w >= o);
+        }
+        // A reported cycle implies a cycle truly exists.
+        prop_assert_eq!(out.weight.is_some(), opt.is_some());
+
+        let gu = connected_gnm(n, extra, Orientation::Undirected, WeightRange::unit(), seed + 1);
+        let opt = seq::mwc_exact(&gu).map(|m| m.weight);
+        let out = approx_girth(&gu, &params);
+        out.assert_valid(&gu);
+        if let (Some(w), Some(o)) = (out.weight, opt) {
+            prop_assert!(w >= o);
+        }
+        prop_assert_eq!(out.weight.is_some(), opt.is_some());
+    }
+
+    #[test]
+    fn weighted_approx_never_underestimates(seed in 0u64..10_000, n in 10usize..28, extra in 10usize..50) {
+        let params = Params::new().with_seed(seed);
+        let g = connected_gnm(n, extra, Orientation::Undirected, WeightRange::uniform(1, 20), seed);
+        let opt = seq::mwc_exact(&g).map(|m| m.weight);
+        let out = approx_mwc_undirected_weighted(&g, &params);
+        out.assert_valid(&g);
+        if let (Some(w), Some(o)) = (out.weight, opt) {
+            prop_assert!(w >= o);
+        }
+        prop_assert_eq!(out.weight.is_some(), opt.is_some());
+    }
+
+    #[test]
+    fn determinism_in_seed(seed in 0u64..1_000) {
+        let g = connected_gnm(30, 60, Orientation::Undirected, WeightRange::unit(), 5);
+        let params = Params::new().with_seed(seed);
+        let a = approx_girth(&g, &params);
+        let b = approx_girth(&g, &params);
+        prop_assert_eq!(a.weight, b.weight);
+        prop_assert_eq!(a.ledger.rounds, b.ledger.rounds);
+        prop_assert_eq!(a.ledger.words, b.ledger.words);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The (2 − 1/g) girth bound across arbitrary small graphs and seeds
+    /// (the w.h.p. guarantee, which at these sizes holds with margin).
+    #[test]
+    fn girth_factor_holds_probabilistically(seed in 0u64..10_000, n in 12usize..40, extra in 6usize..60) {
+        let g = connected_gnm(n, extra, Orientation::Undirected, WeightRange::unit(), seed);
+        let Some(girth) = seq::girth_exact(&g).map(|m| m.weight) else { return Ok(()) };
+        let out = approx_girth(&g, &Params::new().with_seed(seed ^ 0xF00D));
+        out.assert_valid(&g);
+        let rep = out.weight.expect("cycle exists");
+        // `2g − 1` = (2 − 1/g)·g, written the paper's way.
+        #[allow(clippy::int_plus_one)]
+        let within = rep >= girth && rep <= 2 * girth - 1;
+        prop_assert!(within, "rep {rep} girth {girth}");
+    }
+
+    /// q-bounded detection agrees with the oracle's q-truncated girth on
+    /// both orientations.
+    #[test]
+    fn bounded_detection_matches_oracle(seed in 0u64..10_000, n in 6usize..26, extra in 0usize..40, q in 3u64..8) {
+        use congest_mwc::core::shortest_cycle_within;
+        for orientation in [Orientation::Directed, Orientation::Undirected] {
+            let g = connected_gnm(n, extra, orientation, WeightRange::unit(), seed);
+            let girth = seq::mwc_exact(&g).map(|m| m.weight);
+            let out = shortest_cycle_within(&g, q);
+            match girth {
+                Some(w) if w <= q => prop_assert_eq!(out.weight, Some(w), "{:?}", orientation),
+                _ => prop_assert_eq!(out.weight, None, "{:?} girth {:?} q {}", orientation, girth, q),
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Round-complexity shape tests: the headline claims of Table 1, asserted
+//! as conservative envelopes on measured simulator rounds.
+//!
+//! These are the "does the sublinear algorithm actually beat the linear
+//! baseline" checks — the girth row, where the asymptotic gap is widest,
+//! must show a crossover at test sizes; the others must stay inside
+//! generous polylog envelopes.
+
+use congest_mwc::core::{approx_girth, exact_mwc, k_source_bfs, Params};
+use congest_mwc::graph::generators::{connected_gnm, WeightRange};
+use congest_mwc::graph::seq::Direction;
+use congest_mwc::graph::{NodeId, Orientation};
+
+#[test]
+fn girth_approximation_beats_exact_baseline() {
+    // Theorem 1.3.B vs [28]: at n = 1024 the Õ(√n + D) algorithm must use
+    // several times fewer rounds than the O(n) baseline.
+    let n = 1024;
+    let g = connected_gnm(n, 2 * n, Orientation::Undirected, WeightRange::unit(), 77);
+    let params = Params::lean().with_seed(5);
+    let exact = exact_mwc(&g);
+    let approx = approx_girth(&g, &params);
+    assert!(
+        approx.ledger.rounds * 3 <= exact.ledger.rounds,
+        "approximation ({}) should be ≥3x cheaper than exact ({}) at n = {n}",
+        approx.ledger.rounds,
+        exact.ledger.rounds
+    );
+}
+
+#[test]
+fn girth_rounds_scale_sublinearly() {
+    let params = Params::lean().with_seed(5);
+    let rounds = |n: usize| {
+        let g = connected_gnm(n, 2 * n, Orientation::Undirected, WeightRange::unit(), n as u64);
+        approx_girth(&g, &params).ledger.rounds
+    };
+    let (r512, r2048) = (rounds(512), rounds(2048));
+    // 4× the nodes must cost well under 4× the rounds (√n predicts 2×;
+    // allow 3× for polylogs).
+    assert!(
+        r2048 * 10 <= r512 * 30,
+        "girth approximation is not sublinear: {r512} → {r2048}"
+    );
+}
+
+#[test]
+fn exact_girth_is_linear() {
+    let rounds = |n: usize| {
+        let g = connected_gnm(n, 2 * n, Orientation::Undirected, WeightRange::unit(), n as u64);
+        exact_mwc(&g).ledger.rounds
+    };
+    let (r256, r1024) = (rounds(256), rounds(1024));
+    let growth = r1024 as f64 / r256 as f64;
+    assert!(
+        (2.0..8.0).contains(&growth),
+        "exact girth should grow ~linearly (×4): got ×{growth:.1}"
+    );
+}
+
+#[test]
+fn ksssp_scales_with_sqrt_nk() {
+    // Theorem 1.6.A at fixed n: moving from k to 4k in the √(nk) regime
+    // should far less than quadruple the rounds.
+    let n = 1024;
+    let g = connected_gnm(n, 3 * n, Orientation::Directed, WeightRange::unit(), 3);
+    let params = Params::lean().with_seed(8);
+    let srcs = |k: usize| (0..k).map(|i| i * n / k).collect::<Vec<NodeId>>();
+    let r64 = k_source_bfs(&g, &srcs(64), Direction::Forward, &params).ledger.rounds;
+    let r256 = k_source_bfs(&g, &srcs(256), Direction::Forward, &params).ledger.rounds;
+    assert!(
+        r256 <= r64 * 3,
+        "k-source BFS should scale ~√k in the large-k regime: {r64} → {r256}"
+    );
+}
+
+#[test]
+fn diameter_term_shows_up_on_path_like_graphs() {
+    // The +D term: on a long thin graph, even the approximation pays ~D.
+    let n = 600;
+    let mut g = congest_mwc::graph::Graph::undirected(n);
+    for i in 0..n - 1 {
+        g.add_edge(i, i + 1, 1).unwrap();
+    }
+    g.add_edge(n - 1, 0, 1).unwrap(); // one huge ring: D ≈ n/2
+    let params = Params::lean().with_seed(2);
+    let out = approx_girth(&g, &params);
+    assert_eq!(out.weight, Some(n as u64));
+    assert!(
+        out.ledger.rounds as usize >= n / 2,
+        "a D ≈ n/2 network cannot be solved in fewer than D rounds: {}",
+        out.ledger.rounds
+    );
+}

@@ -1,0 +1,128 @@
+//! Integration tests of the stretched/scaled machinery (paper §4–5,
+//! Corollary 4.1): weighted edges as latency paths, hop-limited
+//! subroutines, and the full scaling stack, exercised across crates.
+
+use congest_mwc::congest::{multi_source_bfs, Ledger, MultiBfsSpec, INF};
+use congest_mwc::core::{approx_mwc_undirected_weighted, exact_mwc, Params};
+use congest_mwc::graph::generators::{connected_gnm, WeightRange};
+use congest_mwc::graph::seq::{dijkstra, Direction, INF as SEQ_INF};
+use congest_mwc::graph::{Graph, Orientation, Weight};
+
+#[test]
+fn stretched_bfs_equals_weighted_shortest_paths() {
+    // The cornerstone of §4's stretched graphs: a BFS whose edge
+    // traversal takes w(e) rounds computes weighted distances exactly.
+    for seed in 0..4 {
+        let g = connected_gnm(50, 120, Orientation::Directed, WeightRange::uniform(1, 15), seed);
+        let lat: Vec<Weight> = g.edges().iter().map(|e| e.weight).collect();
+        let spec =
+            MultiBfsSpec { max_dist: INF, direction: Direction::Forward, latency: Some(&lat) };
+        let mut ledger = Ledger::new();
+        let mat = multi_source_bfs(&g, &[0, 25], &spec, "stretched", &mut ledger);
+        for (row, &s) in [0usize, 25].iter().enumerate() {
+            let t = dijkstra(&g, s, Direction::Forward);
+            for v in 0..g.n() {
+                let expect = if t.dist[v] == SEQ_INF { INF } else { t.dist[v] };
+                assert_eq!(mat.get_row(row, v), expect);
+            }
+        }
+        // Rounds scale with the weighted radius, not with n·W blindly.
+        let max_d = (0..g.n())
+            .map(|v| dijkstra(&g, 0, Direction::Forward).dist[v])
+            .filter(|&d| d != SEQ_INF)
+            .max()
+            .unwrap();
+        assert!(ledger.rounds >= max_d, "waves cannot beat the weighted radius");
+    }
+}
+
+#[test]
+fn stretched_budget_prunes_by_weight_not_hops() {
+    // A 2-hop heavy path vs a 5-hop light path: the budget is in weight
+    // units, so the light path survives a budget that kills the heavy one.
+    let g = Graph::from_edges(
+        7,
+        Orientation::Directed,
+        [
+            (0, 1, 40),
+            (1, 6, 40), // heavy: weight 80, 2 hops
+            (0, 2, 1),
+            (2, 3, 1),
+            (3, 4, 1),
+            (4, 5, 1),
+            (5, 6, 1), // light: weight 5, 5 hops
+        ],
+    )
+    .unwrap();
+    let lat: Vec<Weight> = g.edges().iter().map(|e| e.weight).collect();
+    let spec = MultiBfsSpec { max_dist: 10, direction: Direction::Forward, latency: Some(&lat) };
+    let mut ledger = Ledger::new();
+    let mat = multi_source_bfs(&g, &[0], &spec, "budget", &mut ledger);
+    assert_eq!(mat.get_row(0, 6), 5);
+    assert_eq!(mat.get_row(0, 1), INF, "heavy first hop exceeds the budget");
+}
+
+#[test]
+fn scaling_stack_handles_huge_weights() {
+    // W ≫ n: the scaled graphs must keep budgets bounded (that is their
+    // whole purpose) while quality holds.
+    let mut g = Graph::undirected(20);
+    for i in 0..20 {
+        g.add_edge(i, (i + 1) % 20, 1_000).unwrap();
+    }
+    g.add_edge(0, 2, 500).unwrap(); // light-ish triangle: 2500
+    let params = Params::new().with_seed(2);
+    let out = approx_mwc_undirected_weighted(&g, &params);
+    out.assert_valid(&g);
+    let opt = exact_mwc(&g).weight.unwrap();
+    assert_eq!(opt, 2_500);
+    let rep = out.weight.unwrap();
+    assert!(rep >= opt && rep as f64 <= 2.25 * opt as f64 + 2.0, "rep {rep} opt {opt}");
+}
+
+#[test]
+fn weight_heterogeneity_is_handled() {
+    // Mixed tiny/huge weights stress the per-scale coverage: every cycle
+    // weight class must fall into some scale's window.
+    for seed in 0..3 {
+        let g = connected_gnm(36, 80, Orientation::Undirected, WeightRange::uniform(1, 200), seed);
+        let params = Params::new().with_seed(seed + 5);
+        let out = approx_mwc_undirected_weighted(&g, &params);
+        out.assert_valid(&g);
+        let opt = exact_mwc(&g).weight;
+        match (out.weight, opt) {
+            (Some(rep), Some(opt)) => {
+                assert!(rep >= opt);
+                assert!(rep as f64 <= 2.25 * opt as f64 + 2.0, "rep {rep} opt {opt}");
+            }
+            (None, None) => {}
+            other => panic!("cyclicity mismatch {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn stretched_rounds_grow_with_weight_scale_for_exact_but_not_approx() {
+    // Doubling all weights doubles the exact baseline's stretched-wave
+    // rounds (it runs at weight speed) but leaves the scaled
+    // approximation's rounds essentially unchanged (scaling normalizes).
+    let base = connected_gnm(48, 100, Orientation::Undirected, WeightRange::uniform(1, 8), 9);
+    let heavy = base.map_weights(|w| w * 16);
+    let params = Params::lean().with_seed(1);
+
+    let exact_base = exact_mwc(&base).ledger.rounds;
+    let exact_heavy = exact_mwc(&heavy).ledger.rounds;
+    // The APSP wave component scales ~16× but fixed-cost phases (the
+    // 2n-word column exchange, tree/convergecast) dilute the total.
+    assert!(
+        exact_heavy >= 2 * exact_base,
+        "stretched exact APSP must slow down with weight scale: {exact_base} → {exact_heavy}"
+    );
+
+    let approx_base = approx_mwc_undirected_weighted(&base, &params).ledger.rounds;
+    let approx_heavy = approx_mwc_undirected_weighted(&heavy, &params).ledger.rounds;
+    assert!(
+        approx_heavy <= 3 * approx_base,
+        "scaling should absorb the weight scale: {approx_base} → {approx_heavy}"
+    );
+}
