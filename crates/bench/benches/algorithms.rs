@@ -1,39 +1,38 @@
-//! ALGORITHMS — criterion wall-clock benchmarks of the end-to-end MWC
+//! ALGORITHMS — stopwatch wall-clock benchmarks of the end-to-end MWC
 //! algorithms at fixed sizes (round-complexity sweeps live in the
 //! `src/bin/table1_*` binaries; these measure simulator throughput).
+//!
+//! Run with `cargo bench -p mwc-bench --bench algorithms`; results land
+//! in `results/bench/algorithms.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mwc_bench::stopwatch::Suite;
 use mwc_core::{approx_girth, exact_mwc, two_approx_directed_mwc, Params};
 use mwc_graph::generators::{connected_gnm, WeightRange};
 use mwc_graph::Orientation;
 use std::hint::black_box;
 
-fn bench_exact(c: &mut Criterion) {
+fn bench_exact(suite: &mut Suite) {
     let g = connected_gnm(256, 768, Orientation::Directed, WeightRange::unit(), 1);
-    c.bench_function("mwc/exact_directed_256", |b| {
-        b.iter(|| black_box(exact_mwc(&g).weight))
-    });
+    suite.bench("mwc/exact_directed_256", || black_box(exact_mwc(&g).weight));
     let gu = connected_gnm(256, 512, Orientation::Undirected, WeightRange::unit(), 2);
-    c.bench_function("mwc/exact_girth_256", |b| {
-        b.iter(|| black_box(exact_mwc(&gu).weight))
-    });
+    suite.bench("mwc/exact_girth_256", || black_box(exact_mwc(&gu).weight));
 }
 
-fn bench_approx(c: &mut Criterion) {
+fn bench_approx(suite: &mut Suite) {
     let params = Params::lean().with_seed(9);
     let g = connected_gnm(256, 768, Orientation::Directed, WeightRange::unit(), 3);
-    c.bench_function("mwc/two_approx_directed_256", |b| {
-        b.iter(|| black_box(two_approx_directed_mwc(&g, &params).weight))
+    suite.bench("mwc/two_approx_directed_256", || {
+        black_box(two_approx_directed_mwc(&g, &params).weight)
     });
     let gu = connected_gnm(512, 1024, Orientation::Undirected, WeightRange::unit(), 4);
-    c.bench_function("mwc/approx_girth_512", |b| {
-        b.iter(|| black_box(approx_girth(&gu, &params).weight))
+    suite.bench("mwc/approx_girth_512", || {
+        black_box(approx_girth(&gu, &params).weight)
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_exact, bench_approx
+fn main() {
+    let mut suite = Suite::new("algorithms");
+    bench_exact(&mut suite);
+    bench_approx(&mut suite);
+    suite.finish();
 }
-criterion_main!(benches);

@@ -37,14 +37,23 @@ fn overflow_count(ledger: &mwc_congest::Ledger) -> String {
 }
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(512);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(512);
     let g = connected_gnm(n, 3 * n, Orientation::Directed, WeightRange::unit(), 2024);
     let opt = exact_mwc(&g).weight.expect("cycle exists");
 
     // 1. Random delays.
     let mut t = Table::new(
         &format!("ablation 1: random-delay range (n = {n}, paper δ ∈ [1, n^{{4/5}}])"),
-        &["delay_factor", "rounds", "overflow_|Z|", "reported", "quality_ok"],
+        &[
+            "delay_factor",
+            "rounds",
+            "overflow_|Z|",
+            "reported",
+            "quality_ok",
+        ],
     );
     for df in [1.0, 0.25, 0.05, 0.0] {
         let params = Params::lean().with_seed(1).with_delay_factor(df);
@@ -114,15 +123,19 @@ fn main() {
     let gb = connected_gnm(n, 3 * n, Orientation::Undirected, WeightRange::unit(), 2);
     for (wname, g) in [("giant-ring", &ga), ("gnm-dense", &gb)] {
         let girth = exact_mwc(g).weight.expect("cycle exists");
-        for (gen_name, sampled, nbhd) in
-            [("sampled-only", true, false), ("neighborhood-only", false, true), ("both", true, true)]
-        {
+        for (gen_name, sampled, nbhd) in [
+            ("sampled-only", true, false),
+            ("neighborhood-only", false, true),
+            ("both", true, true),
+        ] {
             let out = approx_girth_parts(g, &p, sampled, nbhd);
             t.row(vec![
                 wname.into(),
                 gen_name.into(),
                 out.ledger.rounds.to_string(),
-                out.weight.map(|w| w.to_string()).unwrap_or_else(|| "—".into()),
+                out.weight
+                    .map(|w| w.to_string())
+                    .unwrap_or_else(|| "—".into()),
                 girth.to_string(),
             ]);
         }

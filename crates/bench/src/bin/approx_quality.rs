@@ -25,7 +25,11 @@ struct Audit {
 
 impl Audit {
     fn new(name: &'static str) -> Self {
-        Audit { name, ratios: Vec::new(), bound_violations: 0 }
+        Audit {
+            name,
+            ratios: Vec::new(),
+            bound_violations: 0,
+        }
     }
 
     fn record(&mut self, reported: u64, opt: u64, bound: f64) {
@@ -50,11 +54,24 @@ fn families(
     seed: u64,
 ) -> Vec<(&'static str, Graph)> {
     vec![
-        ("gnm-sparse", connected_gnm(n, n, orientation, weights, seed)),
-        ("gnm-dense", connected_gnm(n, 4 * n, orientation, weights, seed + 1)),
-        ("ring-chords", ring_with_chords(n, n / 4, orientation, weights, seed + 2)),
+        (
+            "gnm-sparse",
+            connected_gnm(n, n, orientation, weights, seed),
+        ),
+        (
+            "gnm-dense",
+            connected_gnm(n, 4 * n, orientation, weights, seed + 1),
+        ),
+        (
+            "ring-chords",
+            ring_with_chords(n, n / 4, orientation, weights, seed + 2),
+        ),
         ("planted", {
-            let len = if orientation == Orientation::Directed { 3 } else { 4 };
+            let len = if orientation == Orientation::Directed {
+                3
+            } else {
+                4
+            };
             // Background edges at the top of the family's weight range so
             // the planted cycle is (usually) the MWC; for unit-weight
             // families the planted cycle is simply a shortest-possible one.
@@ -69,8 +86,14 @@ fn families(
 }
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(96);
-    let seeds: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(96);
+    let seeds: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
 
     let mut audits = [
         Audit::new("2-approx directed (Thm 1.2.C, bound 2)"),
@@ -85,27 +108,47 @@ fn main() {
 
         for (_, g) in families(Orientation::Directed, WeightRange::unit(), n, seed * 100) {
             if let Some(opt) = exact_mwc(&g).weight {
-                let rep = two_approx_directed_mwc(&g, &params).weight.expect("finds a cycle");
+                let rep = two_approx_directed_mwc(&g, &params)
+                    .weight
+                    .expect("finds a cycle");
                 audits[0].record(rep, opt, 2.0);
             }
         }
-        for (_, g) in families(Orientation::Undirected, WeightRange::unit(), n, seed * 100 + 1) {
+        for (_, g) in families(
+            Orientation::Undirected,
+            WeightRange::unit(),
+            n,
+            seed * 100 + 1,
+        ) {
             if let Some(girth) = exact_mwc(&g).weight {
                 let rep = approx_girth(&g, &params).weight.expect("finds a cycle");
                 audits[1].record(rep, girth, 2.0 - 1.0 / girth as f64);
             }
         }
-        for (_, g) in families(Orientation::Undirected, WeightRange::uniform(1, 10), n, seed * 100 + 2) {
+        for (_, g) in families(
+            Orientation::Undirected,
+            WeightRange::uniform(1, 10),
+            n,
+            seed * 100 + 2,
+        ) {
             if let Some(opt) = exact_mwc(&g).weight {
-                let rep =
-                    approx_mwc_undirected_weighted(&g, &params).weight.expect("finds a cycle");
+                let rep = approx_mwc_undirected_weighted(&g, &params)
+                    .weight
+                    .expect("finds a cycle");
                 // +2/opt absorbs integer rounding slack of the scaled runs.
                 audits[2].record(rep, opt, 2.0 + eps + 2.0 / opt as f64);
             }
         }
-        for (_, g) in families(Orientation::Directed, WeightRange::uniform(1, 10), n / 2, seed * 100 + 3) {
+        for (_, g) in families(
+            Orientation::Directed,
+            WeightRange::uniform(1, 10),
+            n / 2,
+            seed * 100 + 3,
+        ) {
             if let Some(opt) = exact_mwc(&g).weight {
-                let rep = approx_mwc_directed_weighted(&g, &params).weight.expect("finds a cycle");
+                let rep = approx_mwc_directed_weighted(&g, &params)
+                    .weight
+                    .expect("finds a cycle");
                 audits[3].record(rep, opt, 2.0 + eps + 2.0 / opt as f64);
             }
         }
@@ -113,7 +156,13 @@ fn main() {
 
     let mut t = Table::new(
         &format!("Approximation quality audit (n = {n}, {seeds} seeds × 4 families)"),
-        &["algorithm", "samples", "worst_ratio", "mean_ratio", "bound_violations"],
+        &[
+            "algorithm",
+            "samples",
+            "worst_ratio",
+            "mean_ratio",
+            "bound_violations",
+        ],
     );
     for a in &audits {
         let (worst, mean) = a.summary();

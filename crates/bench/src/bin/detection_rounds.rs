@@ -17,7 +17,10 @@ use mwc_graph::Orientation;
 use mwc_lowerbounds::{directed_gadget, Disjointness};
 
 fn main() {
-    let max_q: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(48);
+    let max_q: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(48);
 
     let mut t = Table::new(
         "directed 4-cycle detection on the Thm 1.2.A gadget (hard family)",
@@ -56,13 +59,21 @@ fn main() {
     );
     let mut n = 128;
     while n <= 2048 {
-        let g = ring_with_chords(n, n / 8, Orientation::Directed, WeightRange::unit(), n as u64);
+        let g = ring_with_chords(
+            n,
+            n / 8,
+            Orientation::Directed,
+            WeightRange::unit(),
+            n as u64,
+        );
         let out = shortest_cycle_within(&g, 4);
         let d = g.undirected_diameter().unwrap();
         t.row(vec![
             n.to_string(),
             d.to_string(),
-            out.weight.map(|w| w.to_string()).unwrap_or_else(|| "none".into()),
+            out.weight
+                .map(|w| w.to_string())
+                .unwrap_or_else(|| "none".into()),
             out.ledger.rounds.to_string(),
             format!("{:.2}", out.ledger.rounds as f64 / n as f64),
         ]);
@@ -70,5 +81,7 @@ fn main() {
     }
     t.print();
     t.save_tsv("detection_benign");
-    println!("benign instances cost ~D + small, far below n — the gadget's congestion is the hardness.");
+    println!(
+        "benign instances cost ~D + small, far below n — the gadget's congestion is the hardness."
+    );
 }

@@ -7,11 +7,11 @@
 //! `directed|girth|uweighted|dweighted` (default `directed`, 512).
 
 use mwc_bench::Table;
+use mwc_congest::Ledger;
 use mwc_core::{
     approx_girth, approx_mwc_directed_weighted, approx_mwc_undirected_weighted,
     two_approx_directed_mwc, Params,
 };
-use mwc_congest::Ledger;
 use mwc_graph::generators::{connected_gnm, WeightRange};
 use mwc_graph::Orientation;
 use std::collections::BTreeMap;
@@ -20,12 +20,7 @@ fn aggregate(ledger: &Ledger) -> BTreeMap<String, u64> {
     let mut by_label: BTreeMap<String, u64> = BTreeMap::new();
     for p in &ledger.phases {
         // Strip scale suffixes so repeated phases aggregate.
-        let key = p
-            .label
-            .split(" 2^")
-            .next()
-            .unwrap_or(&p.label)
-            .to_string();
+        let key = p.label.split(" 2^").next().unwrap_or(&p.label).to_string();
         *by_label.entry(key).or_default() += p.rounds;
     }
     by_label
@@ -33,7 +28,10 @@ fn aggregate(ledger: &Ledger) -> BTreeMap<String, u64> {
 
 fn main() {
     let algo = std::env::args().nth(1).unwrap_or_else(|| "directed".into());
-    let max_n: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(512);
+    let max_n: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(512);
     let params = Params::lean().with_seed(42);
 
     let mut all_labels: Vec<String> = Vec::new();
@@ -42,13 +40,23 @@ fn main() {
     while n <= max_n {
         let ledger = match algo.as_str() {
             "directed" => {
-                let g =
-                    connected_gnm(n, 3 * n, Orientation::Directed, WeightRange::unit(), 7 + n as u64);
+                let g = connected_gnm(
+                    n,
+                    3 * n,
+                    Orientation::Directed,
+                    WeightRange::unit(),
+                    7 + n as u64,
+                );
                 two_approx_directed_mwc(&g, &params).ledger
             }
             "girth" => {
-                let g =
-                    connected_gnm(n, 2 * n, Orientation::Undirected, WeightRange::unit(), 5 + n as u64);
+                let g = connected_gnm(
+                    n,
+                    2 * n,
+                    Orientation::Undirected,
+                    WeightRange::unit(),
+                    5 + n as u64,
+                );
                 approx_girth(&g, &params).ledger
             }
             "uweighted" => {

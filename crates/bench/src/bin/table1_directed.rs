@@ -16,26 +16,50 @@ use mwc_graph::generators::{connected_gnm, WeightRange};
 use mwc_graph::Orientation;
 
 fn main() {
-    let max_n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1024);
+    let max_n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1024);
     let params = Params::lean().with_seed(42);
 
     // ---- unweighted: exact vs 2-approx (Theorem 1.2.C) ----
     let mut t = Table::new(
         "Table 1 / directed unweighted MWC: exact Õ(n) vs 2-approx Õ(n^{4/5}+D)",
-        &["n", "m", "D", "exact_rounds", "approx_rounds", "approx/exact", "opt", "reported", "quality"],
+        &[
+            "n",
+            "m",
+            "D",
+            "exact_rounds",
+            "approx_rounds",
+            "approx/exact",
+            "opt",
+            "reported",
+            "quality",
+        ],
     );
     let mut ns = Vec::new();
     let mut exact_rounds = Vec::new();
     let mut approx_rounds = Vec::new();
     let mut n = 128;
     while n <= max_n {
-        let g = connected_gnm(n, 3 * n, Orientation::Directed, WeightRange::unit(), 7 + n as u64);
+        let g = connected_gnm(
+            n,
+            3 * n,
+            Orientation::Directed,
+            WeightRange::unit(),
+            7 + n as u64,
+        );
         let d = g.undirected_diameter().expect("connected");
         let exact = exact_mwc(&g);
         let approx = two_approx_directed_mwc(&g, &params);
-        let opt = exact.weight.expect("random graphs of this density have cycles");
+        let opt = exact
+            .weight
+            .expect("random graphs of this density have cycles");
         let rep = approx.weight.expect("approximation must find a cycle");
-        assert!(rep >= opt && rep <= 2 * opt, "2-approx violated: {rep} vs {opt}");
+        assert!(
+            rep >= opt && rep <= 2 * opt,
+            "2-approx violated: {rep} vs {opt}"
+        );
         t.row(vec![
             n.to_string(),
             g.m().to_string(),
@@ -74,7 +98,17 @@ fn main() {
     // ---- weighted: exact vs (2+ε)-approx (Theorem 1.2.D) ----
     let mut t = Table::new(
         "Table 1 / directed weighted MWC: exact Õ(n) vs (2+ε)-approx Õ(n^{4/5}+D)",
-        &["n", "m", "W", "exact_rounds", "approx_rounds", "approx/exact", "opt", "reported", "quality"],
+        &[
+            "n",
+            "m",
+            "W",
+            "exact_rounds",
+            "approx_rounds",
+            "approx/exact",
+            "opt",
+            "reported",
+            "quality",
+        ],
     );
     let w_max = 8;
     let max_wn = (max_n / 2).max(128);
@@ -113,7 +147,11 @@ fn main() {
     t.print();
     t.save_tsv("table1_directed_weighted");
     if ns.len() >= 2 {
-        let norm: Vec<f64> = ns.iter().zip(&ar).map(|(n, r)| r / n.ln().powi(2)).collect();
+        let norm: Vec<f64> = ns
+            .iter()
+            .zip(&ar)
+            .map(|(n, r)| r / n.ln().powi(2))
+            .collect();
         println!(
             "fitted exponents: exact n^{:.2}, (2+ε)-approx n^{:.2} raw, n^{:.2} after ln²n normalization (paper ~0.8 + log(nW))",
             fit_exponent(&ns, &er),

@@ -15,17 +15,36 @@ use mwc_graph::generators::{connected_gnm, WeightRange};
 use mwc_graph::Orientation;
 
 fn main() {
-    let max_n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4096);
+    let max_n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4096);
     let params = Params::lean().with_seed(4242);
 
     let mut t = Table::new(
         "Table 1 / girth: exact O(n) vs (2 − 1/g)-approx Õ(√n + D)",
-        &["n", "m", "D", "exact_rounds", "approx_rounds", "approx/exact", "girth", "reported", "quality"],
+        &[
+            "n",
+            "m",
+            "D",
+            "exact_rounds",
+            "approx_rounds",
+            "approx/exact",
+            "girth",
+            "reported",
+            "quality",
+        ],
     );
     let (mut ns, mut er, mut ar) = (Vec::new(), Vec::new(), Vec::new());
     let mut n = 128;
     while n <= max_n {
-        let g = connected_gnm(n, 2 * n, Orientation::Undirected, WeightRange::unit(), 5 + n as u64);
+        let g = connected_gnm(
+            n,
+            2 * n,
+            Orientation::Undirected,
+            WeightRange::unit(),
+            5 + n as u64,
+        );
         let d = g.undirected_diameter().expect("connected");
         let exact = exact_mwc(&g);
         let approx = approx_girth(&g, &params);
@@ -60,8 +79,14 @@ fn main() {
             fit_exponent(&ns, &ar)
         );
         let series = vec![
-            ("exact O(n)", ns.iter().zip(&er).map(|(&x, &y)| (x, y)).collect()),
-            ("(2-1/g)-approx", ns.iter().zip(&ar).map(|(&x, &y)| (x, y)).collect()),
+            (
+                "exact O(n)",
+                ns.iter().zip(&er).map(|(&x, &y)| (x, y)).collect(),
+            ),
+            (
+                "(2-1/g)-approx",
+                ns.iter().zip(&ar).map(|(&x, &y)| (x, y)).collect(),
+            ),
         ];
         print!("{}", loglog_chart("rounds vs n", &series, 56, 12));
     }

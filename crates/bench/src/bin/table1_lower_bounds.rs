@@ -24,12 +24,26 @@ fn word_bits(n: usize, w: u64) -> u64 {
 }
 
 fn main() {
-    let max_q: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(48);
+    let max_q: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(48);
 
     // ---- directed (2−ε) gadget: Ω(n / log n) ----
     let mut t = Table::new(
         "Thm 1.2.A gadget: directed 4-vs-8 disjointness family (cut = 2q, k = q² bits)",
-        &["q", "n", "D", "bits", "cut", "floor", "rounds_yes", "rounds_no", "decides", "cut_bits"],
+        &[
+            "q",
+            "n",
+            "D",
+            "bits",
+            "cut",
+            "floor",
+            "rounds_yes",
+            "rounds_no",
+            "decides",
+            "cut_bits",
+        ],
     );
     let (mut ns, mut rs) = (Vec::new(), Vec::new());
     let mut q = 6;
@@ -94,7 +108,9 @@ fn main() {
             lby.graph.n().to_string(),
             lby.bits.to_string(),
             oy.weight.unwrap().to_string(),
-            on.weight.map(|w| w.to_string()).unwrap_or_else(|| "—".into()),
+            on.weight
+                .map(|w| w.to_string())
+                .unwrap_or_else(|| "—".into()),
             gap,
             "yes".into(),
         ]);
@@ -106,10 +122,23 @@ fn main() {
     // ---- α-approximation families ----
     let mut t = Table::new(
         "Thms 1.2.B/1.4.B/1.3.A: Das Sarma-style α-approximation families (α = 2)",
-        &["family", "gamma", "ell", "n", "yes_mwc", "no_floor", "gap", "decided_by"],
+        &[
+            "family",
+            "gamma",
+            "ell",
+            "n",
+            "yes_mwc",
+            "no_floor",
+            "gap",
+            "decided_by",
+        ],
     );
     for (gamma, ell) in [(8usize, 8usize), (16, 12), (32, 16)] {
-        let p = SarmaParams { gamma, ell, alpha: 2.0 };
+        let p = SarmaParams {
+            gamma,
+            ell,
+            alpha: 2.0,
+        };
         let yes = Disjointness::random_intersecting(gamma, 0.4, 3);
         let no = Disjointness::random_disjoint(gamma, 0.4, 3);
 

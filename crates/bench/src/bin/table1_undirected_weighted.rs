@@ -13,7 +13,10 @@ use mwc_graph::generators::{connected_gnm, WeightRange};
 use mwc_graph::Orientation;
 
 fn main() {
-    let max_n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(512);
+    let max_n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(512);
     let w_max = 8;
 
     for eps in [0.5, 0.25] {
@@ -22,7 +25,17 @@ fn main() {
             &format!(
                 "Table 1 / undirected weighted MWC (ε = {eps}): exact Õ(n) vs (2+ε) Õ(n^{{2/3}}+D)"
             ),
-            &["n", "m", "W", "exact_rounds", "approx_rounds", "approx/exact", "opt", "reported", "quality"],
+            &[
+                "n",
+                "m",
+                "W",
+                "exact_rounds",
+                "approx_rounds",
+                "approx/exact",
+                "opt",
+                "reported",
+                "quality",
+            ],
         );
         let (mut ns, mut er, mut ar) = (Vec::new(), Vec::new(), Vec::new());
         let mut n = 64;
@@ -57,9 +70,16 @@ fn main() {
             n *= 2;
         }
         t.print();
-        t.save_tsv(&format!("table1_undirected_weighted_eps{}", (eps * 100.0) as u32));
+        t.save_tsv(&format!(
+            "table1_undirected_weighted_eps{}",
+            (eps * 100.0) as u32
+        ));
         if ns.len() >= 2 {
-            let norm: Vec<f64> = ns.iter().zip(&ar).map(|(n, r)| r / n.ln().powi(2)).collect();
+            let norm: Vec<f64> = ns
+                .iter()
+                .zip(&ar)
+                .map(|(n, r)| r / n.ln().powi(2))
+                .collect();
             println!(
                 "fitted exponents (ε = {eps}): exact n^{:.2}, (2+ε)-approx n^{:.2} raw, n^{:.2} after ln²n normalization (paper ~0.67 + log(nW))\n",
                 fit_exponent(&ns, &er),

@@ -22,7 +22,10 @@ fn sources(n: usize, k: usize) -> Vec<NodeId> {
 }
 
 fn main() {
-    let max_n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2048);
+    let max_n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2048);
     let params = Params::lean().with_seed(1616);
 
     // ---- sweep n with k = n^{1/3} (exact BFS, eq. 1) ----
@@ -34,7 +37,13 @@ fn main() {
     let mut n = 128;
     while n <= max_n {
         let k = ((n as f64).powf(1.0 / 3.0).round() as usize).max(2);
-        let g = connected_gnm(n, 3 * n, Orientation::Directed, WeightRange::unit(), n as u64);
+        let g = connected_gnm(
+            n,
+            3 * n,
+            Orientation::Directed,
+            WeightRange::unit(),
+            n as u64,
+        );
         let out = k_source_bfs(&g, &sources(n, k), Direction::Forward, &params);
         let sqnk = ((n * k) as f64).sqrt();
         t.row(vec![
@@ -51,7 +60,11 @@ fn main() {
     t.print();
     t.save_tsv("thm16_bfs_sweep_n");
     if ns.len() >= 2 {
-        let norm: Vec<f64> = ns.iter().zip(&rs).map(|(n, r)| r / n.ln().powi(2)).collect();
+        let norm: Vec<f64> = ns
+            .iter()
+            .zip(&rs)
+            .map(|(n, r)| r / n.ln().powi(2))
+            .collect();
         println!(
             "fitted exponent in n: {:.2} raw, {:.2} after ln²n normalization (paper ~0.67)\n",
             fit_exponent(&ns, &rs),
@@ -127,7 +140,11 @@ fn main() {
     t.print();
     t.save_tsv("thm16_sssp_sweep_n");
     if ns.len() >= 2 {
-        let norm: Vec<f64> = ns.iter().zip(&rs).map(|(n, r)| r / n.ln().powi(2)).collect();
+        let norm: Vec<f64> = ns
+            .iter()
+            .zip(&rs)
+            .map(|(n, r)| r / n.ln().powi(2))
+            .collect();
         println!(
             "fitted exponent in n: {:.2} raw, {:.2} after ln²n normalization (paper ~0.67 + 1/ε·log(nW))",
             fit_exponent(&ns, &rs),

@@ -14,11 +14,10 @@
 
 use mwc_bench::plot::{downsample_max, sparkline_scaled};
 use mwc_bench::Table;
-use mwc_congest::{Network};
+use mwc_congest::Network;
 use mwc_graph::generators::{grid, WeightRange};
 use mwc_graph::{NodeId, Orientation};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use mwc_rng::StdRng;
 use std::collections::HashSet;
 
 /// Floods one radius-`h`-limited token per source with per-source start
@@ -64,7 +63,10 @@ fn flood_with_delays(
 }
 
 fn main() {
-    let side: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(24);
+    let side: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24);
     let g = grid(side, side, Orientation::Undirected, WeightRange::unit(), 0);
     let n = g.n();
     let h = 6u32; // restricted-BFS-style radius
@@ -75,7 +77,13 @@ fn main() {
             "random-delay scheduling on a radius-{h} flood, {} sources ({side}×{side} grid)",
             sources.len()
         ),
-        &["delay range ρ", "makespan (rounds)", "peak words/round", "mean words/round", "peak/mean"],
+        &[
+            "delay range ρ",
+            "makespan (rounds)",
+            "peak words/round",
+            "mean words/round",
+            "peak/mean",
+        ],
     );
     let rho_values = [
         ("1 (none)", 1u64),

@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod plot;
+pub mod stopwatch;
 
 use std::fmt::Write as _;
 use std::path::Path;
@@ -65,8 +66,11 @@ impl Table {
             .collect();
         let _ = writeln!(out, "{}", line.join("  "));
         for row in &self.rows {
-            let line: Vec<String> =
-                row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
             let _ = writeln!(out, "{}", line.join("  "));
         }
         out
@@ -105,7 +109,10 @@ impl Table {
 /// Panics if fewer than two points are given or any value is
 /// non-positive.
 pub fn fit_exponent(xs: &[f64], ys: &[f64]) -> f64 {
-    assert!(xs.len() >= 2 && xs.len() == ys.len(), "need ≥ 2 paired points");
+    assert!(
+        xs.len() >= 2 && xs.len() == ys.len(),
+        "need ≥ 2 paired points"
+    );
     assert!(
         xs.iter().chain(ys).all(|&v| v > 0.0),
         "power-law fit needs positive values"

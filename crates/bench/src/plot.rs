@@ -11,7 +11,12 @@ use std::fmt::Write as _;
 /// # Panics
 ///
 /// Panics if all series are empty or any coordinate is non-positive.
-pub fn loglog_chart(title: &str, series: &[(&str, Vec<(f64, f64)>)], width: usize, height: usize) -> String {
+pub fn loglog_chart(
+    title: &str,
+    series: &[(&str, Vec<(f64, f64)>)],
+    width: usize,
+    height: usize,
+) -> String {
     let pts: Vec<(f64, f64)> = series.iter().flat_map(|(_, s)| s.iter().copied()).collect();
     assert!(!pts.is_empty(), "need at least one point");
     assert!(
@@ -54,7 +59,14 @@ pub fn loglog_chart(title: &str, series: &[(&str, Vec<(f64, f64)>)], width: usiz
     let xmin = pts.iter().map(|&(x, _)| x).fold(f64::MAX, f64::min);
     let xmax = pts.iter().map(|&(x, _)| x).fold(f64::MIN, f64::max);
     let _ = writeln!(out, "{}+{}", " ".repeat(10), "-".repeat(width));
-    let _ = writeln!(out, "{}{:<10.0}{:>w$.0}", " ".repeat(10), xmin, xmax, w = width - 10);
+    let _ = writeln!(
+        out,
+        "{}{:<10.0}{:>w$.0}",
+        " ".repeat(10),
+        xmin,
+        xmax,
+        w = width - 10
+    );
     let legend: Vec<String> = series
         .iter()
         .enumerate()
@@ -89,7 +101,10 @@ pub fn downsample_max(values: &[u64], buckets: usize) -> Vec<u64> {
         return values.to_vec();
     }
     let chunk = values.len().div_ceil(buckets);
-    values.chunks(chunk).map(|c| c.iter().copied().max().unwrap_or(0)).collect()
+    values
+        .chunks(chunk)
+        .map(|c| c.iter().copied().max().unwrap_or(0))
+        .collect()
 }
 
 #[cfg(test)]
@@ -99,8 +114,14 @@ mod tests {
     #[test]
     fn chart_contains_glyphs_and_legend() {
         let series = vec![
-            ("exact", vec![(128.0, 400.0), (256.0, 800.0), (512.0, 1600.0)]),
-            ("approx", vec![(128.0, 165.0), (256.0, 261.0), (512.0, 407.0)]),
+            (
+                "exact",
+                vec![(128.0, 400.0), (256.0, 800.0), (512.0, 1600.0)],
+            ),
+            (
+                "approx",
+                vec![(128.0, 165.0), (256.0, 261.0), (512.0, 407.0)],
+            ),
         ];
         let c = loglog_chart("rounds vs n", &series, 40, 10);
         assert!(c.contains('*'));

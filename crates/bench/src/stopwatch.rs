@@ -1,0 +1,214 @@
+//! **stopwatch** — the criterion replacement: a zero-dependency
+//! warmup + median-of-N wall-clock timer.
+//!
+//! Each benchmark is measured as `samples` timed samples after `warmup`
+//! untimed ones; a sample runs the closure `iters` times, where `iters`
+//! is calibrated once so a sample lasts at least `min_sample_ms`
+//! (shielding fast closures from timer granularity). The reported
+//! statistic is the **median** per-iteration time — robust to the odd
+//! scheduler hiccup, unlike the mean.
+//!
+//! Results print as a table and are persisted as JSON under
+//! `results/bench/<suite>.json` so CI can diff runs. Wall-clock numbers
+//! are inherently machine-dependent — the JSON exists for tracking
+//! *relative* regressions on one machine, while everything seeded
+//! (round/message ledgers) stays byte-reproducible everywhere.
+//!
+//! Environment knobs: `MWC_BENCH_SAMPLES`, `MWC_BENCH_WARMUP`
+//! (e.g. set both low for a smoke run in CI).
+//!
+//! ```no_run
+//! use mwc_bench::stopwatch::Suite;
+//!
+//! let mut suite = Suite::new("example");
+//! suite.bench("sum_1k", || (0..1000u64).sum::<u64>());
+//! suite.finish();
+//! ```
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One benchmark's aggregated timing result (per-iteration nanoseconds).
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Benchmark name (conventionally `area/case`).
+    pub name: String,
+    /// Closure invocations per timed sample.
+    pub iters_per_sample: u64,
+    /// Number of timed samples.
+    pub samples: u32,
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: u64,
+    /// Fastest sample's per-iteration time.
+    pub min_ns: u64,
+    /// Slowest sample's per-iteration time.
+    pub max_ns: u64,
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// A named collection of benchmarks sharing one config, printed as they
+/// run and persisted together on [`Suite::finish`].
+pub struct Suite {
+    name: String,
+    warmup: u32,
+    samples: u32,
+    min_sample_ms: u64,
+    results: Vec<Measurement>,
+}
+
+impl Suite {
+    /// A suite with the default config (3 warmup / 11 timed samples,
+    /// ≥ 5 ms per sample), overridable via `MWC_BENCH_WARMUP` /
+    /// `MWC_BENCH_SAMPLES`.
+    pub fn new(name: &str) -> Self {
+        let env = |key: &str, default: u32| {
+            std::env::var(key)
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(default)
+        };
+        Suite {
+            name: name.to_owned(),
+            warmup: env("MWC_BENCH_WARMUP", 3),
+            samples: env("MWC_BENCH_SAMPLES", 11).max(1),
+            min_sample_ms: 5,
+            results: Vec::new(),
+        }
+    }
+
+    /// Measures `f`, printing one line and recording the result.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> &Measurement {
+        // Calibrate: batch fast closures until a sample is long enough
+        // for the monotonic clock to resolve it cleanly.
+        let t0 = Instant::now();
+        black_box(f());
+        let once_ns = t0.elapsed().as_nanos().max(1) as u64;
+        let target_ns = self.min_sample_ms * 1_000_000;
+        let iters = (target_ns / once_ns).clamp(1, 100_000);
+
+        let run_sample = |f: &mut dyn FnMut()| -> u64 {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            // Clamp to 1 ns: a fully optimized-away closure would otherwise
+            // report 0, which downstream ratio math can't handle.
+            ((t.elapsed().as_nanos() as u64) / iters).max(1)
+        };
+        let mut erased = || {
+            black_box(f());
+        };
+        for _ in 0..self.warmup {
+            run_sample(&mut erased);
+        }
+        let mut per_iter: Vec<u64> = (0..self.samples).map(|_| run_sample(&mut erased)).collect();
+        per_iter.sort_unstable();
+
+        let m = Measurement {
+            name: name.to_owned(),
+            iters_per_sample: iters,
+            samples: self.samples,
+            median_ns: per_iter[per_iter.len() / 2],
+            min_ns: per_iter[0],
+            max_ns: per_iter[per_iter.len() - 1],
+        };
+        println!(
+            "{:<44} median {:>12}   (min {:>12}, max {:>12}; {}×{} iters)",
+            m.name,
+            fmt_ns(m.median_ns),
+            fmt_ns(m.min_ns),
+            fmt_ns(m.max_ns),
+            m.samples,
+            m.iters_per_sample,
+        );
+        self.results.push(m);
+        self.results.last().expect("just pushed")
+    }
+
+    /// Writes `results/bench/<suite>.json` and consumes the suite.
+    pub fn finish(self) {
+        let path = std::path::Path::new("results").join("bench");
+        if let Err(e) = std::fs::create_dir_all(&path) {
+            eprintln!("stopwatch: cannot create {}: {e}", path.display());
+            return;
+        }
+        let file = path.join(format!("{}.json", self.name));
+        match std::fs::write(&file, self.to_json()) {
+            Ok(()) => println!("\nstopwatch: wrote {}", file.display()),
+            Err(e) => eprintln!("stopwatch: cannot write {}: {e}", file.display()),
+        }
+    }
+
+    /// The suite's results as a JSON document.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"suite\": \"{}\",\n", esc(&self.name)));
+        out.push_str(&format!(
+            "  \"config\": {{\"warmup\": {}, \"samples\": {}}},\n",
+            self.warmup, self.samples
+        ));
+        out.push_str("  \"benchmarks\": [\n");
+        for (i, m) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
+                 \"iters_per_sample\": {}, \"samples\": {}}}{}\n",
+                esc(&m.name),
+                m.median_ns,
+                m.min_ns,
+                m.max_ns,
+                m.iters_per_sample,
+                m.samples,
+                if i + 1 < self.results.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_serializes() {
+        let mut suite = Suite::new("selftest");
+        suite.warmup = 1;
+        suite.samples = 3;
+        suite.min_sample_ms = 1;
+        let m = suite.bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_add(black_box(i) * i);
+            }
+            acc
+        });
+        assert!(m.median_ns > 0);
+        assert!(m.min_ns <= m.median_ns && m.median_ns <= m.max_ns);
+        let json = suite.to_json();
+        assert!(json.contains("\"suite\": \"selftest\""));
+        assert!(json.contains("\"name\": \"spin\""));
+    }
+
+    #[test]
+    fn formats_durations() {
+        assert_eq!(fmt_ns(999), "999 ns");
+        assert_eq!(fmt_ns(1_500), "1.500 µs");
+        assert_eq!(fmt_ns(2_500_000), "2.500 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.000 s");
+    }
+}

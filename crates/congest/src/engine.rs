@@ -235,7 +235,13 @@ impl<M> Network<M> {
     ///
     /// [`SendError::NoLink`] if the nodes are not adjacent in the
     /// communication topology.
-    pub fn send(&mut self, from: NodeId, to: NodeId, payload: M, words: u64) -> Result<(), SendError> {
+    pub fn send(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        payload: M,
+        words: u64,
+    ) -> Result<(), SendError> {
         self.send_latency(from, to, payload, words, 0)
     }
 
@@ -301,7 +307,10 @@ impl<M> Network<M> {
     /// nodes observe at its end.
     pub fn step(&mut self) -> RoundOutput<M> {
         self.round += 1;
-        let mut out = RoundOutput { deliveries: Vec::new(), wakeups: Vec::new() };
+        let mut out = RoundOutput {
+            deliveries: Vec::new(),
+            wakeups: Vec::new(),
+        };
 
         // Transfer one word on every active link.
         let transferred = self.active.len() as u64;
@@ -318,7 +327,11 @@ impl<M> Network<M> {
             self.stats.per_link_words[l] += 1;
             if head.words_left == 0 {
                 let msg = q.pop_front().expect("head exists");
-                let delivery = Delivery { from: msg.from, to: msg.to, payload: msg.payload };
+                let delivery = Delivery {
+                    from: msg.from,
+                    to: msg.to,
+                    payload: msg.payload,
+                };
                 if msg.latency == 0 {
                     self.stats.messages += 1;
                     out.deliveries.push(delivery);
@@ -343,7 +356,10 @@ impl<M> Network<M> {
                 break;
             }
             self.transit.pop();
-            let msg = self.transit_msgs.remove(&seq).expect("transit message exists");
+            let msg = self
+                .transit_msgs
+                .remove(&seq)
+                .expect("transit message exists");
             self.stats.messages += 1;
             out.deliveries.push(msg);
         }
@@ -451,7 +467,10 @@ mod tests {
     #[test]
     fn send_to_non_neighbor_fails() {
         let mut net: Network<u32> = Network::new(&path3());
-        assert_eq!(net.send(0, 2, 9, 1), Err(SendError::NoLink { from: 0, to: 2 }));
+        assert_eq!(
+            net.send(0, 2, 9, 1),
+            Err(SendError::NoLink { from: 0, to: 2 })
+        );
     }
 
     #[test]

@@ -131,7 +131,11 @@ impl fmt::Display for Ledger {
             self.rounds, self.words, self.messages
         )?;
         for p in &self.phases {
-            writeln!(f, "  {:<40} {:>10} rounds {:>12} words", p.label, p.rounds, p.words)?;
+            writeln!(
+                f,
+                "  {:<40} {:>10} rounds {:>12} words",
+                p.label, p.rounds, p.words
+            )?;
         }
         Ok(())
     }

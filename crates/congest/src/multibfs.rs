@@ -20,7 +20,7 @@ use crate::ledger::Ledger;
 use mwc_graph::seq::Direction;
 use mwc_graph::{Graph, NodeId, Weight};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeSet, HashMap};
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
 
 /// Parameters of a multi-source search.
 #[derive(Clone, Copy, Debug)]
@@ -38,7 +38,11 @@ pub struct MultiBfsSpec<'a> {
 
 impl Default for MultiBfsSpec<'_> {
     fn default() -> Self {
-        MultiBfsSpec { max_dist: INF, direction: Direction::Forward, latency: None }
+        MultiBfsSpec {
+            max_dist: INF,
+            direction: Direction::Forward,
+            latency: None,
+        }
     }
 }
 
@@ -79,7 +83,8 @@ pub fn multi_source_bfs(
     let mut net: Network<Announce> = Network::new(g);
 
     // outbox[v]: fresh announcements not yet forwarded, smallest first.
-    let mut outbox: Vec<BinaryHeap<Reverse<Announce2>>> = (0..n).map(|_| BinaryHeap::new()).collect();
+    let mut outbox: Vec<BinaryHeap<Reverse<Announce2>>> =
+        (0..n).map(|_| BinaryHeap::new()).collect();
     let mut pending: Vec<NodeId> = Vec::new();
     let mut pending_flag = vec![false; n];
 
@@ -144,7 +149,11 @@ pub fn multi_source_bfs(
                 break;
             }
         }
-        let out = if any_sent { Some(net.step()) } else { net.step_fast() };
+        let out = if any_sent {
+            Some(net.step())
+        } else {
+            net.step_fast()
+        };
         let Some(out) = out else { break };
         for d in out.deliveries {
             let (row, cand) = d.payload;
@@ -249,11 +258,11 @@ pub fn source_detection(
     srcs.dedup();
 
     let admit = |v: NodeId,
-                     src_row: u32,
-                     d: Weight,
-                     pred: NodeId,
-                     best: &mut Vec<HashMap<u32, (Weight, NodeId)>>,
-                     top: &mut Vec<BTreeSet<(Weight, u32)>>|
+                 src_row: u32,
+                 d: Weight,
+                 pred: NodeId,
+                 best: &mut Vec<HashMap<u32, (Weight, NodeId)>>,
+                 top: &mut Vec<BTreeSet<(Weight, u32)>>|
      -> bool {
         match best[v].get(&src_row) {
             Some(&(old, _)) if old <= d => return false,
@@ -320,7 +329,11 @@ pub fn source_detection(
         if !any_action && net.is_idle() {
             break;
         }
-        let out = if any_action { Some(net.step()) } else { net.step_fast() };
+        let out = if any_action {
+            Some(net.step())
+        } else {
+            net.step_fast()
+        };
         let Some(out) = out else { break };
         for dmsg in out.deliveries {
             let (row, cand) = dmsg.payload;
@@ -352,7 +365,10 @@ pub fn source_detection(
                 .collect()
         })
         .collect();
-    Detection { lists, best: best_by_id }
+    Detection {
+        lists,
+        best: best_by_id,
+    }
 }
 
 #[cfg(test)]
@@ -364,7 +380,11 @@ mod tests {
 
     fn assert_matches_bfs(g: &Graph, sources: &[NodeId], h: Weight, dir: Direction) {
         let mut ledger = Ledger::new();
-        let spec = MultiBfsSpec { max_dist: h, direction: dir, latency: None };
+        let spec = MultiBfsSpec {
+            max_dist: h,
+            direction: dir,
+            latency: None,
+        };
         let mat = multi_source_bfs(g, sources, &spec, "test", &mut ledger);
         for (row, &s) in sources.iter().enumerate() {
             let t = bfs(g, s, dir);
@@ -449,9 +469,19 @@ mod tests {
     fn latency_bfs_computes_weighted_distances() {
         // Stretched search: latency = edge weight ⇒ distances = weighted
         // shortest paths (exact, because waves travel at weight-speed).
-        let g = connected_gnm(40, 80, Orientation::Directed, WeightRange::uniform(1, 6), 21);
+        let g = connected_gnm(
+            40,
+            80,
+            Orientation::Directed,
+            WeightRange::uniform(1, 6),
+            21,
+        );
         let lat: Vec<Weight> = g.edges().iter().map(|e| e.weight).collect();
-        let spec = MultiBfsSpec { max_dist: INF, direction: Direction::Forward, latency: Some(&lat) };
+        let spec = MultiBfsSpec {
+            max_dist: INF,
+            direction: Direction::Forward,
+            latency: Some(&lat),
+        };
         let mut ledger = Ledger::new();
         let mat = multi_source_bfs(&g, &[0, 5], &spec, "t", &mut ledger);
         for (row, &s) in [0usize, 5].iter().enumerate() {
@@ -465,10 +495,18 @@ mod tests {
     #[test]
     fn latency_budget_is_weighted_budget() {
         // Path with weights 3,3,3: budget 6 reaches two hops only.
-        let g = Graph::from_edges(4, Orientation::Undirected, [(0, 1, 3), (1, 2, 3), (2, 3, 3)])
-            .unwrap();
+        let g = Graph::from_edges(
+            4,
+            Orientation::Undirected,
+            [(0, 1, 3), (1, 2, 3), (2, 3, 3)],
+        )
+        .unwrap();
         let lat: Vec<Weight> = g.edges().iter().map(|e| e.weight).collect();
-        let spec = MultiBfsSpec { max_dist: 6, direction: Direction::Forward, latency: Some(&lat) };
+        let spec = MultiBfsSpec {
+            max_dist: 6,
+            direction: Direction::Forward,
+            latency: Some(&lat),
+        };
         let mut ledger = Ledger::new();
         let mat = multi_source_bfs(&g, &[0], &spec, "t", &mut ledger);
         assert_eq!(mat.get_row(0, 2), 6);
@@ -479,15 +517,29 @@ mod tests {
     fn reverse_direction_with_latency_matches_oracle() {
         // Weighted reverse BFS: distances *to* the sources along edge
         // orientation, measured in the stretched metric.
-        let g = connected_gnm(36, 90, Orientation::Directed, WeightRange::uniform(1, 7), 14);
+        let g = connected_gnm(
+            36,
+            90,
+            Orientation::Directed,
+            WeightRange::uniform(1, 7),
+            14,
+        );
         let lat: Vec<Weight> = g.edges().iter().map(|e| e.weight).collect();
-        let spec = MultiBfsSpec { max_dist: INF, direction: Direction::Reverse, latency: Some(&lat) };
+        let spec = MultiBfsSpec {
+            max_dist: INF,
+            direction: Direction::Reverse,
+            latency: Some(&lat),
+        };
         let mut ledger = Ledger::new();
         let mat = multi_source_bfs(&g, &[3, 30], &spec, "rl", &mut ledger);
         for (row, &s) in [3usize, 30].iter().enumerate() {
             let t = mwc_graph::seq::dijkstra(&g, s, Direction::Reverse);
             for v in 0..g.n() {
-                let expect = if t.dist[v] == mwc_graph::seq::INF { INF } else { t.dist[v] };
+                let expect = if t.dist[v] == mwc_graph::seq::INF {
+                    INF
+                } else {
+                    t.dist[v]
+                };
                 assert_eq!(mat.get_row(row, v), expect, "to {s} from {v}");
             }
         }
@@ -496,25 +548,31 @@ mod tests {
     #[test]
     fn budget_zero_reaches_only_sources() {
         let g = grid(4, 4, Orientation::Undirected, WeightRange::unit(), 0);
-        let spec = MultiBfsSpec { max_dist: 0, direction: Direction::Forward, latency: None };
+        let spec = MultiBfsSpec {
+            max_dist: 0,
+            direction: Direction::Forward,
+            latency: None,
+        };
         let mut ledger = Ledger::new();
         let mat = multi_source_bfs(&g, &[5], &spec, "z", &mut ledger);
         assert_eq!(mat.get_row(0, 5), 0);
-        assert!((0..16).filter(|&v| v != 5).all(|v| mat.get_row(0, v) == INF));
+        assert!((0..16)
+            .filter(|&v| v != 5)
+            .all(|v| mat.get_row(0, v) == INF));
         assert_eq!(ledger.rounds, 0);
     }
 
     #[test]
     fn zero_weight_edges_stay_exact() {
         // w = 0 edges add nothing to distance but one round of travel.
-        let g = Graph::from_edges(
-            4,
-            Orientation::Directed,
-            [(0, 1, 0), (1, 2, 0), (2, 3, 5)],
-        )
-        .unwrap();
+        let g =
+            Graph::from_edges(4, Orientation::Directed, [(0, 1, 0), (1, 2, 0), (2, 3, 5)]).unwrap();
         let lat: Vec<Weight> = g.edges().iter().map(|e| e.weight).collect();
-        let spec = MultiBfsSpec { max_dist: INF, direction: Direction::Forward, latency: Some(&lat) };
+        let spec = MultiBfsSpec {
+            max_dist: INF,
+            direction: Direction::Forward,
+            latency: Some(&lat),
+        };
         let mut ledger = Ledger::new();
         let mat = multi_source_bfs(&g, &[0], &spec, "t", &mut ledger);
         assert_eq!(mat.get_row(0, 1), 0);
@@ -524,12 +582,7 @@ mod tests {
         assert!(ledger.rounds >= 3);
     }
 
-    fn detection_oracle(
-        g: &Graph,
-        sources: &[NodeId],
-        h: Weight,
-        sigma: usize,
-    ) -> DetectionLists {
+    fn detection_oracle(g: &Graph, sources: &[NodeId], h: Weight, sigma: usize) -> DetectionLists {
         let mut lists: DetectionLists = vec![Vec::new(); g.n()];
         let mut srcs = sources.to_vec();
         srcs.sort_unstable();
@@ -553,7 +606,17 @@ mod tests {
         let g = connected_gnm(48, 70, Orientation::Undirected, WeightRange::unit(), 33);
         let sources: Vec<NodeId> = (0..48).step_by(3).collect();
         let mut ledger = Ledger::new();
-        let got = source_detection(&g, &sources, 6, 4, Direction::Forward, None, "sd", &mut ledger).lists;
+        let got = source_detection(
+            &g,
+            &sources,
+            6,
+            4,
+            Direction::Forward,
+            None,
+            "sd",
+            &mut ledger,
+        )
+        .lists;
         let want = detection_oracle(&g, &sources, 6, 4);
         assert_eq!(got, want);
     }
@@ -564,11 +627,25 @@ mod tests {
         let g = grid(7, 7, Orientation::Undirected, WeightRange::unit(), 0);
         let sources: Vec<NodeId> = (0..g.n()).collect();
         let mut ledger = Ledger::new();
-        let got = source_detection(&g, &sources, 12, 7, Direction::Forward, None, "sd", &mut ledger).lists;
+        let got = source_detection(
+            &g,
+            &sources,
+            12,
+            7,
+            Direction::Forward,
+            None,
+            "sd",
+            &mut ledger,
+        )
+        .lists;
         let want = detection_oracle(&g, &sources, 12, 7);
         assert_eq!(got, want);
         // Rounds stay O(h + σ), far below O(n).
-        assert!(ledger.rounds <= 4 * (12 + 7), "took {} rounds", ledger.rounds);
+        assert!(
+            ledger.rounds <= 4 * (12 + 7),
+            "took {} rounds",
+            ledger.rounds
+        );
     }
 
     #[test]
@@ -576,7 +653,16 @@ mod tests {
         let g = connected_gnm(40, 60, Orientation::Undirected, WeightRange::unit(), 12);
         let sources: Vec<NodeId> = (0..40).step_by(4).collect();
         let mut ledger = Ledger::new();
-        let det = source_detection(&g, &sources, 8, 5, Direction::Forward, None, "sd", &mut ledger);
+        let det = source_detection(
+            &g,
+            &sources,
+            8,
+            5,
+            Direction::Forward,
+            None,
+            "sd",
+            &mut ledger,
+        );
         for v in 0..g.n() {
             for &(d, s) in &det.lists[v] {
                 let p = det.path_to_source(v, s).expect("detected ⇒ path");
@@ -596,14 +682,30 @@ mod tests {
         let g = Graph::from_edges(3, Orientation::Undirected, [(0, 1, 5), (1, 2, 1)]).unwrap();
         let lat: Vec<Weight> = g.edges().iter().map(|e| e.weight).collect();
         let mut ledger = Ledger::new();
-        let det =
-            source_detection(&g, &[0], 10, 2, Direction::Forward, Some(&lat), "sd", &mut ledger);
+        let det = source_detection(
+            &g,
+            &[0],
+            10,
+            2,
+            Direction::Forward,
+            Some(&lat),
+            "sd",
+            &mut ledger,
+        );
         assert_eq!(det.lists[2], vec![(6, 0)]);
         assert_eq!(det.dist(2, 0), Some(6));
         // Budget cuts off stretched-far nodes.
         let mut ledger = Ledger::new();
-        let det =
-            source_detection(&g, &[0], 4, 2, Direction::Forward, Some(&lat), "sd", &mut ledger);
+        let det = source_detection(
+            &g,
+            &[0],
+            4,
+            2,
+            Direction::Forward,
+            Some(&lat),
+            "sd",
+            &mut ledger,
+        );
         assert!(det.lists[1].is_empty());
     }
 
@@ -612,7 +714,17 @@ mod tests {
         let g = connected_gnm(30, 80, Orientation::Directed, WeightRange::unit(), 8);
         let sources: Vec<NodeId> = (0..30).step_by(2).collect();
         let mut ledger = Ledger::new();
-        let got = source_detection(&g, &sources, 5, 3, Direction::Forward, None, "sd", &mut ledger).lists;
+        let got = source_detection(
+            &g,
+            &sources,
+            5,
+            3,
+            Direction::Forward,
+            None,
+            "sd",
+            &mut ledger,
+        )
+        .lists;
         // Oracle with forward BFS.
         let mut want: DetectionLists = vec![Vec::new(); g.n()];
         for &s in &sources {

@@ -86,12 +86,7 @@ pub trait NodeProgram {
 ///
 /// Panics if a program sends to a non-neighbor (locality violation) or
 /// the round budget is exhausted with traffic still pending.
-pub fn run_programs<P, F>(
-    g: &Graph,
-    mut make: F,
-    max_rounds: u64,
-    ledger: &mut Ledger,
-) -> Vec<P>
+pub fn run_programs<P, F>(g: &Graph, mut make: F, max_rounds: u64, ledger: &mut Ledger) -> Vec<P>
 where
     P: NodeProgram,
     F: FnMut(NodeId) -> P,
@@ -99,7 +94,12 @@ where
     let n = g.n();
     let mut net: Network<P::Msg> = Network::new(g);
     let ctxs: Vec<NodeCtx> = (0..n)
-        .map(|v| NodeCtx { id: v, neighbors: g.comm_neighbors(v), n, round: 0 })
+        .map(|v| NodeCtx {
+            id: v,
+            neighbors: g.comm_neighbors(v),
+            n,
+            round: 0,
+        })
         .collect();
     let mut programs: Vec<P> = (0..n).map(&mut make).collect();
 
@@ -119,7 +119,11 @@ where
         apply(&mut net, v, actions);
     }
     while let Some(out) = net.step_fast() {
-        assert!(net.round() <= max_rounds, "round budget exhausted at {}", net.round());
+        assert!(
+            net.round() <= max_rounds,
+            "round budget exhausted at {}",
+            net.round()
+        );
         let round = net.round();
         for d in out.deliveries {
             let mut ctx = ctxs[d.to].clone();
@@ -163,7 +167,11 @@ impl NodeProgram for FloodMax {
     fn init(&mut self, ctx: &NodeCtx) -> Vec<Action<NodeId>> {
         ctx.neighbors
             .iter()
-            .map(|&to| Action::Send { to, msg: self.best, words: 1 })
+            .map(|&to| Action::Send {
+                to,
+                msg: self.best,
+                words: 1,
+            })
             .collect()
     }
 
@@ -210,7 +218,11 @@ impl NodeProgram for BfsTreeProgram {
         if ctx.id == self.root {
             ctx.neighbors
                 .iter()
-                .map(|&to| Action::Send { to, msg: 0, words: 1 })
+                .map(|&to| Action::Send {
+                    to,
+                    msg: 0,
+                    words: 1,
+                })
                 .collect()
         } else {
             Vec::new()
@@ -224,7 +236,11 @@ impl NodeProgram for BfsTreeProgram {
             ctx.neighbors
                 .iter()
                 .filter(|&&to| to != from)
-                .map(|&to| Action::Send { to, msg: self.depth, words: 1 })
+                .map(|&to| Action::Send {
+                    to,
+                    msg: self.depth,
+                    words: 1,
+                })
                 .collect()
         } else {
             Vec::new()
@@ -244,7 +260,10 @@ pub struct DelayedFlood {
 impl DelayedFlood {
     /// A node that will start flooding its own token at round `delay`.
     pub fn new(delay: u64) -> Self {
-        DelayedFlood { delay: delay.max(1), seen: Vec::new() }
+        DelayedFlood {
+            delay: delay.max(1),
+            seen: Vec::new(),
+        }
     }
 }
 
@@ -259,7 +278,11 @@ impl NodeProgram for DelayedFlood {
         self.seen.push(ctx.id);
         ctx.neighbors
             .iter()
-            .map(|&to| Action::Send { to, msg: ctx.id, words: 1 })
+            .map(|&to| Action::Send {
+                to,
+                msg: ctx.id,
+                words: 1,
+            })
             .collect()
     }
 
@@ -270,7 +293,11 @@ impl NodeProgram for DelayedFlood {
         self.seen.push(origin);
         ctx.neighbors
             .iter()
-            .map(|&to| Action::Send { to, msg: origin, words: 1 })
+            .map(|&to| Action::Send {
+                to,
+                msg: origin,
+                words: 1,
+            })
             .collect()
     }
 }
@@ -293,7 +320,12 @@ mod tests {
         // earlier (stale) improvement messages on a link, so the bound is
         // a small multiple of D rather than D+1.
         let d = g.undirected_diameter().unwrap() as u64;
-        assert!(ledger.rounds <= 2 * (d + 1), "{} rounds > 2(D+1) = {}", ledger.rounds, 2 * (d + 1));
+        assert!(
+            ledger.rounds <= 2 * (d + 1),
+            "{} rounds > 2(D+1) = {}",
+            ledger.rounds,
+            2 * (d + 1)
+        );
     }
 
     #[test]
@@ -322,7 +354,12 @@ mod tests {
     fn delayed_flood_wakeups_fire_and_tokens_spread() {
         let g = grid(4, 4, Orientation::Undirected, WeightRange::unit(), 0);
         let mut ledger = Ledger::new();
-        let nodes = run_programs(&g, |v| DelayedFlood::new((v as u64 % 5) + 1), 10_000, &mut ledger);
+        let nodes = run_programs(
+            &g,
+            |v| DelayedFlood::new((v as u64 % 5) + 1),
+            10_000,
+            &mut ledger,
+        );
         // Every node eventually sees every token.
         for p in &nodes {
             assert_eq!(p.seen.len(), 16);
@@ -342,7 +379,11 @@ mod tests {
                 if ctx.id == 0 {
                     // Node 0 tries to message node 3 directly on a path
                     // graph — not a neighbor.
-                    vec![Action::Send { to: 3, msg: (), words: 1 }]
+                    vec![Action::Send {
+                        to: 3,
+                        msg: (),
+                        words: 1,
+                    }]
                 } else {
                     Vec::new()
                 }
@@ -368,10 +409,21 @@ mod tests {
         impl NodeProgram for PingPong {
             type Msg = ();
             fn init(&mut self, ctx: &NodeCtx) -> Vec<Action<()>> {
-                ctx.neighbors.iter().map(|&to| Action::Send { to, msg: (), words: 1 }).collect()
+                ctx.neighbors
+                    .iter()
+                    .map(|&to| Action::Send {
+                        to,
+                        msg: (),
+                        words: 1,
+                    })
+                    .collect()
             }
             fn on_receive(&mut self, _: &NodeCtx, from: NodeId, _: ()) -> Vec<Action<()>> {
-                vec![Action::Send { to: from, msg: (), words: 1 }]
+                vec![Action::Send {
+                    to: from,
+                    msg: (),
+                    words: 1,
+                }]
             }
         }
         let g = Graph::from_edges(2, Orientation::Undirected, [(0, 1, 1)]).unwrap();

@@ -53,7 +53,8 @@ impl BfsTree {
                     parent[v] = Some(d.from);
                     for w in g.comm_neighbors(v) {
                         if depth[w] == usize::MAX {
-                            net.send(v, w, d.payload + 1, 1).expect("neighbors are linked");
+                            net.send(v, w, d.payload + 1, 1)
+                                .expect("neighbors are linked");
                         }
                     }
                 }
@@ -71,7 +72,13 @@ impl BfsTree {
             }
         }
         let height = depth.iter().copied().max().unwrap_or(0);
-        BfsTree { root, parent, depth, children, height }
+        BfsTree {
+            root,
+            parent,
+            depth,
+            children,
+            height,
+        }
     }
 }
 
@@ -104,7 +111,9 @@ pub fn broadcast<T: Clone>(
         for d in out.deliveries {
             let v = d.to;
             match tree.parent[v] {
-                Some(p) => net.send(v, p, d.payload, words_per_item).expect("tree edges are links"),
+                Some(p) => net
+                    .send(v, p, d.payload, words_per_item)
+                    .expect("tree edges are links"),
                 None => collected.push(d.payload),
             }
         }
@@ -116,7 +125,8 @@ pub fn broadcast<T: Clone>(
     let mut received: Vec<usize> = vec![0; n];
     for &c in &tree.children[tree.root] {
         for item in &collected {
-            net.send(tree.root, c, item.clone(), words_per_item).expect("tree edges are links");
+            net.send(tree.root, c, item.clone(), words_per_item)
+                .expect("tree edges are links");
         }
     }
     while let Some(out) = net.step_fast() {
@@ -124,7 +134,8 @@ pub fn broadcast<T: Clone>(
             let v = d.to;
             received[v] += 1;
             for &c in &tree.children[v] {
-                net.send(v, c, d.payload.clone(), words_per_item).expect("tree edges are links");
+                net.send(v, c, d.payload.clone(), words_per_item)
+                    .expect("tree edges are links");
             }
         }
     }
@@ -136,7 +147,13 @@ pub fn broadcast<T: Clone>(
 /// Convergecast of an associative, commutative operation over one value per
 /// node, followed by flooding the result down so **every node knows it**.
 /// Costs `O(D)` rounds (values are single words).
-pub fn convergecast<T, F>(g: &Graph, tree: &BfsTree, values: Vec<T>, op: F, ledger: &mut Ledger) -> T
+pub fn convergecast<T, F>(
+    g: &Graph,
+    tree: &BfsTree,
+    values: Vec<T>,
+    op: F,
+    ledger: &mut Ledger,
+) -> T
 where
     T: Copy,
     F: Fn(T, T) -> T,
@@ -174,7 +191,8 @@ where
     // every node to know the final MWC weight).
     let mut net: Network<T> = Network::new(g);
     for &c in &tree.children[tree.root] {
-        net.send(tree.root, c, result, 1).expect("tree edges are links");
+        net.send(tree.root, c, result, 1)
+            .expect("tree edges are links");
     }
     while let Some(out) = net.step_fast() {
         for d in out.deliveries {
@@ -188,12 +206,7 @@ where
 }
 
 /// Convenience: convergecast of the minimum of one `u64` per node.
-pub fn convergecast_min(
-    g: &Graph,
-    tree: &BfsTree,
-    values: Vec<u64>,
-    ledger: &mut Ledger,
-) -> u64 {
+pub fn convergecast_min(g: &Graph, tree: &BfsTree, values: Vec<u64>, ledger: &mut Ledger) -> u64 {
     convergecast(g, tree, values, u64::min, ledger)
 }
 
@@ -266,7 +279,11 @@ mod tests {
         values.sort_unstable();
         assert_eq!(values, (100..116).collect::<Vec<_>>());
         // O(M + D): M = 16 items, D = 15 → comfortably under 4·(M + D).
-        assert!(bl.rounds <= 4 * (16 + 15), "broadcast took {} rounds", bl.rounds);
+        assert!(
+            bl.rounds <= 4 * (16 + 15),
+            "broadcast took {} rounds",
+            bl.rounds
+        );
     }
 
     #[test]
@@ -295,7 +312,12 @@ mod tests {
         broadcast(&g, &tree, vec![(7, 0u64); 20], 1, &mut l1);
         let mut l3 = Ledger::new();
         broadcast(&g, &tree, vec![(7, 0u64); 20], 3, &mut l3);
-        assert!(l3.rounds > l1.rounds * 2, "3-word items must cost ~3×: {} vs {}", l3.rounds, l1.rounds);
+        assert!(
+            l3.rounds > l1.rounds * 2,
+            "3-word items must cost ~3×: {} vs {}",
+            l3.rounds,
+            l1.rounds
+        );
     }
 
     #[test]
@@ -309,7 +331,11 @@ mod tests {
         let m = convergecast_min(&g, &tree, values, &mut cl);
         assert_eq!(m, 3);
         // Up + down ≤ 2·height + slack.
-        assert!(cl.rounds as usize <= 2 * tree.height + 2, "convergecast took {} rounds", cl.rounds);
+        assert!(
+            cl.rounds as usize <= 2 * tree.height + 2,
+            "convergecast took {} rounds",
+            cl.rounds
+        );
     }
 
     #[test]

@@ -1,20 +1,23 @@
 //! Property-based tests of the CONGEST engine's bandwidth and ordering
 //! invariants — the trustworthiness of every round count in the
 //! repository rests on these.
+//!
+//! Runs on `mwc_rng::proptest_lite`; new failures persist their case
+//! seed under `proplite-regressions/`.
 
 use mwc_congest::{broadcast, multi_source_bfs, BfsTree, Ledger, MultiBfsSpec, Network};
 use mwc_graph::generators::{connected_gnm, WeightRange};
 use mwc_graph::seq::{bfs, Direction, HOP_INF};
 use mwc_graph::{Graph, NodeId, Orientation};
-use proptest::prelude::*;
+use mwc_rng::proptest_lite::{self as plite, Config};
+use mwc_rng::{prop_assert, prop_assert_eq, prop_tests};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+prop_tests! {
+    config = Config::with_cases(48);
 
     /// FIFO per link: messages queued on one link arrive in send order,
     /// exactly `Σ words` rounds after the first transfer begins.
-    #[test]
-    fn fifo_and_bandwidth(words in proptest::collection::vec(1u64..5, 1..20)) {
+    fn fifo_and_bandwidth(words in plite::vec(1u64..5, 1..20)) {
         let g = Graph::from_edges(2, Orientation::Undirected, [(0, 1, 1)]).unwrap();
         let mut net: Network<usize> = Network::new(&g);
         for (i, &w) in words.iter().enumerate() {
@@ -41,7 +44,6 @@ proptest! {
 
     /// Latency delays delivery without consuming bandwidth: k unit
     /// messages over a latency-L link finish at rounds L+1 … L+k.
-    #[test]
     fn latency_pipelines(k in 1u64..12, lat in 0u64..9) {
         let g = Graph::from_edges(2, Orientation::Undirected, [(0, 1, 1)]).unwrap();
         let mut net: Network<u64> = Network::new(&g);
@@ -63,7 +65,6 @@ proptest! {
 
     /// Multi-source BFS is exact on arbitrary connected graphs, both
     /// orientations, arbitrary source sets.
-    #[test]
     fn multibfs_exact(seed in 0u64..5000, n in 4usize..30, extra in 0usize..60, nsrc in 1usize..5) {
         for orientation in [Orientation::Directed, Orientation::Undirected] {
             let g = connected_gnm(n, extra, orientation, WeightRange::unit(), seed);
@@ -85,7 +86,6 @@ proptest! {
 
     /// Broadcast delivers every item to the root and costs within the
     /// O(M + D) envelope.
-    #[test]
     fn broadcast_envelope(seed in 0u64..5000, n in 3usize..24, items in 1usize..40) {
         let g = connected_gnm(n, n, Orientation::Undirected, WeightRange::unit(), seed);
         let mut ledger = Ledger::new();
@@ -104,7 +104,6 @@ proptest! {
 
     /// Word accounting is conserved across a full BFS: words recorded by
     /// the ledger equal the per-link sums.
-    #[test]
     fn ledger_conservation(seed in 0u64..5000, n in 4usize..20) {
         let g = connected_gnm(n, n, Orientation::Undirected, WeightRange::unit(), seed);
         let mut ledger = Ledger::new();

@@ -120,7 +120,11 @@ mod tests {
     fn unweighted_rounds_are_linear() {
         let g = connected_gnm(150, 300, Orientation::Undirected, WeightRange::unit(), 2);
         let apsp = distributed_apsp(&g);
-        assert!(apsp.ledger.rounds <= 4 * 150, "rounds {}", apsp.ledger.rounds);
+        assert!(
+            apsp.ledger.rounds <= 4 * 150,
+            "rounds {}",
+            apsp.ledger.rounds
+        );
     }
 
     #[test]

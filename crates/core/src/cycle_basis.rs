@@ -108,14 +108,18 @@ impl CycleBasis {
 /// # }
 /// ```
 pub fn fundamental_cycle_basis(g: &Graph) -> CycleBasis {
-    assert!(!g.is_directed(), "cycle bases are defined for undirected graphs");
+    assert!(
+        !g.is_directed(),
+        "cycle bases are defined for undirected graphs"
+    );
     let mut ledger = Ledger::new();
     let tree = BfsTree::build(g, 0, &mut ledger);
 
     // One round: endpoints learn each other's (depth, parent) so every
     // node knows which incident edges are non-tree chords.
-    let depths: Vec<(usize, Option<NodeId>)> =
-        (0..g.n()).map(|v| (tree.depth[v], tree.parent[v])).collect();
+    let depths: Vec<(usize, Option<NodeId>)> = (0..g.n())
+        .map(|v| (tree.depth[v], tree.parent[v]))
+        .collect();
     let _ = crate::exchange::exchange_with_neighbors(
         g,
         &depths,
@@ -153,7 +157,11 @@ pub fn fundamental_cycle_basis(g: &Graph) -> CycleBasis {
         cycles.push(CycleWitness::new(cyc));
         chords.push(eid);
     }
-    CycleBasis { cycles, chords, ledger }
+    CycleBasis {
+        cycles,
+        chords,
+        ledger,
+    }
 }
 
 #[cfg(test)]
@@ -188,10 +196,19 @@ mod tests {
     #[test]
     fn basis_spans_the_minimum_weight_cycle() {
         for seed in 0..5 {
-            let g = connected_gnm(30, 55, Orientation::Undirected, WeightRange::uniform(1, 9), seed);
+            let g = connected_gnm(
+                30,
+                55,
+                Orientation::Undirected,
+                WeightRange::uniform(1, 9),
+                seed,
+            );
             let b = fundamental_cycle_basis(&g);
             if let Some(m) = seq::mwc_undirected_exact(&g) {
-                assert!(b.spans(&g, &m.witness), "MWC outside the basis span (seed {seed})");
+                assert!(
+                    b.spans(&g, &m.witness),
+                    "MWC outside the basis span (seed {seed})"
+                );
             }
         }
     }
@@ -201,7 +218,7 @@ mod tests {
         let g = grid(5, 5, Orientation::Undirected, WeightRange::unit(), 0);
         let b = fundamental_cycle_basis(&g);
         assert_eq!(b.dimension(), g.m() - g.n() + 1); // 16 faces
-        // Each unit face is spanned.
+                                                      // Each unit face is spanned.
         let id = |r: usize, c: usize| r * 5 + c;
         for r in 0..4 {
             for c in 0..4 {
@@ -229,6 +246,10 @@ mod tests {
         let g = grid(12, 12, Orientation::Undirected, WeightRange::unit(), 0);
         let b = fundamental_cycle_basis(&g);
         let d = g.undirected_diameter().unwrap() as u64;
-        assert!(b.ledger.rounds <= 2 * d + 4, "{} rounds ≫ D = {d}", b.ledger.rounds);
+        assert!(
+            b.ledger.rounds <= 2 * d + 4,
+            "{} rounds ≫ D = {d}",
+            b.ledger.rounds
+        );
     }
 }

@@ -125,8 +125,9 @@ pub fn shortest_cycle_within(g: &Graph, q: u64) -> MwcOutcome {
                     .expect("neighbors are linked");
             }
         }
-        let mut nbr: Vec<std::collections::HashMap<NodeId, std::sync::Arc<Vec<(u32, Weight, u32)>>>> =
-            vec![std::collections::HashMap::new(); n];
+        let mut nbr: Vec<
+            std::collections::HashMap<NodeId, std::sync::Arc<Vec<(u32, Weight, u32)>>>,
+        > = vec![std::collections::HashMap::new(); n];
         while let Some(out) = net.step_fast() {
             for d in out.deliveries {
                 nbr[d.to].insert(d.from, d.payload);
@@ -136,11 +137,15 @@ pub fn shortest_cycle_within(g: &Graph, q: u64) -> MwcOutcome {
 
         for e in g.edges() {
             let (x, y) = (e.u, e.v);
-            let Some(ylist) = nbr[x].get(&y) else { continue };
+            let Some(ylist) = nbr[x].get(&y) else {
+                continue;
+            };
             let ymap: std::collections::HashMap<u32, (Weight, u32)> =
                 ylist.iter().map(|&(s, d, p)| (s, (d, p))).collect();
             for &(s, dx, xpred) in entries[x].iter() {
-                let Some(&(dy, ypred)) = ymap.get(&s) else { continue };
+                let Some(&(dy, ypred)) = ymap.get(&s) else {
+                    continue;
+                };
                 if xpred as usize == y || ypred as usize == x {
                     continue; // BFS-tree edge: no cycle
                 }

@@ -32,15 +32,11 @@ use mwc_congest::{
 };
 use mwc_graph::seq::Direction;
 use mwc_graph::{CycleWitness, Graph, NodeId, Weight};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use mwc_rng::StdRng;
 use std::collections::HashMap;
 use std::sync::Arc;
 
 const SALT_MWC_SAMPLES: u64 = 0xB2;
-const SALT_PARTITION: u64 = 0xB3;
-const SALT_DELAYS: u64 = 0xB4;
-const SALT_RSET: u64 = 0xB5;
 
 /// How the algorithm measures length.
 #[derive(Clone, Copy)]
@@ -126,7 +122,15 @@ pub(crate) fn hop_limited_directed_mwc(
     h_star: Weight,
     h_real: u64,
 ) -> Partial {
-    directed_mwc_core(g, params, Mode::Stretched { latency, h_star, h_real })
+    directed_mwc_core(
+        g,
+        params,
+        Mode::Stretched {
+            latency,
+            h_star,
+            h_real,
+        },
+    )
 }
 
 fn directed_mwc_core(g: &Graph, params: &Params, mode: Mode<'_>) -> Partial {
@@ -169,12 +173,24 @@ fn directed_mwc_core(g: &Graph, params: &Params, mode: Mode<'_>) -> Partial {
             (DistTable::KsBfs(fwd), DistTable::KsBfs(rev))
         }
         Mode::Stretched { latency, .. } => {
-            let spec_f =
-                MultiBfsSpec { max_dist: budget, direction: Direction::Forward, latency: Some(latency) };
-            let spec_r =
-                MultiBfsSpec { max_dist: budget, direction: Direction::Reverse, latency: Some(latency) };
+            let spec_f = MultiBfsSpec {
+                max_dist: budget,
+                direction: Direction::Forward,
+                latency: Some(latency),
+            };
+            let spec_r = MultiBfsSpec {
+                max_dist: budget,
+                direction: Direction::Reverse,
+                latency: Some(latency),
+            };
             let f = multi_source_bfs(g, &samples, &spec_f, "stretched BFS from S", &mut ledger);
-            let r = multi_source_bfs(g, &samples, &spec_r, "stretched reverse BFS from S", &mut ledger);
+            let r = multi_source_bfs(
+                g,
+                &samples,
+                &spec_r,
+                "stretched reverse BFS from S",
+                &mut ledger,
+            );
             (DistTable::Mat(f), DistTable::Mat(r))
         }
     };
@@ -319,7 +335,7 @@ pub(crate) fn build_rsets(
     };
 
     let mut rset: Vec<Arc<Vec<(u32, Weight)>>> = Vec::with_capacity(n);
-    let mut rng_r = StdRng::seed_from_u64(seed ^ SALT_RSET);
+    let mut rng_r = StdRng::seed_from_u64(seed).fork("alg3/rset");
     for v in 0..n {
         let mut r: Vec<(u32, Weight)> = Vec::new();
         for class in classes {
@@ -349,8 +365,7 @@ pub(crate) fn in_neighborhood(
     rset: &[(u32, Weight)],
 ) -> bool {
     rset.iter().all(|&(t_i, dvt)| {
-        d_y_to_t(t_i as usize)
-            .saturating_add(2u64.saturating_mul(d_vy))
+        d_y_to_t(t_i as usize).saturating_add(2u64.saturating_mul(d_vy))
             <= d_t_to_y(t_i as usize).saturating_add(2u64.saturating_mul(dvt))
     })
 }
@@ -376,7 +391,7 @@ fn short_cycles_restricted_bfs(
     // Lines 2–8: partition S into β = ⌈log₂ n⌉ classes and build R(v)
     // locally at every vertex.
     let beta = ((n.max(2) as f64).log2().ceil() as usize).max(1);
-    let mut rng = StdRng::seed_from_u64(params.seed ^ SALT_PARTITION);
+    let mut rng = StdRng::seed_from_u64(params.seed).fork("alg3/partition");
     let mut class = vec![0usize; ns];
     for (i, c) in class.iter_mut().enumerate() {
         *c = (i + rng.random_range(0..beta)) % beta;
@@ -399,17 +414,26 @@ fn short_cycles_restricted_bfs(
 
     let rset = build_rsets(n, ns, &classes, &to_s, d_st, params.seed);
 
-    // Line 9: random delays δ_v ∈ [1, ρ].
-    let mut rng_d = StdRng::seed_from_u64(params.seed ^ SALT_DELAYS);
-    let delays: Vec<u64> = (0..n).map(|_| rng_d.random_range(1..=rho)).collect();
+    // Line 9: random delays δ_v ∈ [1, ρ]. One labeled substream per
+    // node: δ_v depends only on (seed, v), so the schedule is stable
+    // under changes to n, topology iteration order, or earlier phases.
+    let delay_root = StdRng::seed_from_u64(params.seed).fork("alg3/delays");
+    let delays: Vec<u64> = (0..n)
+        .map(|v| delay_root.fork_u64(v as u64).random_range(1..=rho))
+        .collect();
 
     // Line 11: every node sends {(d(v,s), d(s,v))} to each neighbor —
     // a 2|S|-word bulk exchange, O(|S|) rounds.
     let mut net: Network<(Arc<Vec<Weight>>, Arc<Vec<Weight>>)> = Network::new(g);
     for v in 0..n {
         for w in g.comm_neighbors(v) {
-            net.send(v, w, (Arc::clone(&to_s[v]), Arc::clone(&from_s[v])), 2 * ns as u64)
-                .expect("neighbors are linked");
+            net.send(
+                v,
+                w,
+                (Arc::clone(&to_s[v]), Arc::clone(&from_s[v])),
+                2 * ns as u64,
+            )
+            .expect("neighbors are linked");
         }
     }
     let mut nbr_to_s: Vec<HashMap<NodeId, Arc<Vec<Weight>>>> = vec![HashMap::new(); n];
@@ -426,8 +450,12 @@ fn short_cycles_restricted_bfs(
     // out-neighbor u iff ∀(t, d(y,t)) ∈ Q(y):
     //   d(u,t) + 2d*(y,u) ≤ d(t,u) + 2d(y,t).
     let forward_test = |v: NodeId, u: NodeId, cand: Weight, q: &[(u32, Weight)]| -> bool {
-        let Some(ut) = nbr_to_s[v].get(&u) else { return false };
-        let Some(tu) = nbr_from_s[v].get(&u) else { return false };
+        let Some(ut) = nbr_to_s[v].get(&u) else {
+            return false;
+        };
+        let Some(tu) = nbr_from_s[v].get(&u) else {
+            return false;
+        };
         q.iter().all(|&(t_i, dyt)| {
             ut[t_i as usize].saturating_add(2u64.saturating_mul(cand))
                 <= tu[t_i as usize].saturating_add(2u64.saturating_mul(dyt))
@@ -465,7 +493,11 @@ fn short_cycles_restricted_bfs(
                         sends.push((
                             v,
                             a.to,
-                            BfsMsg { src: v as u32, dist: ell, q: Arc::clone(&q) },
+                            BfsMsg {
+                                src: v as u32,
+                                dist: ell,
+                                q: Arc::clone(&q),
+                            },
                         ));
                     }
                 }
@@ -478,7 +510,8 @@ fn short_cycles_restricted_bfs(
         // Per-edge receive counting (line 19) and first-message dedup
         // (line 20).
         let mut per_edge: HashMap<(NodeId, NodeId), usize> = HashMap::new();
-        let mut fresh: Vec<Vec<(u32, Weight, NodeId, Arc<Vec<(u32, Weight)>>)>> = vec![Vec::new(); n];
+        let mut fresh: Vec<Vec<(u32, Weight, NodeId, Arc<Vec<(u32, Weight)>>)>> =
+            vec![Vec::new(); n];
         for (from, to, msg) in arriving {
             if overflow[to] {
                 continue;
@@ -493,7 +526,13 @@ fn short_cycles_restricted_bfs(
             if reached[to].contains_key(&msg.src) || msg.src as usize == to {
                 continue; // not the first message for this source
             }
-            reached[to].insert(msg.src, Reach { dist: msg.dist, pred: from });
+            reached[to].insert(
+                msg.src,
+                Reach {
+                    dist: msg.dist,
+                    pred: from,
+                },
+            );
             fresh[to].push((msg.src, msg.dist, from, msg.q));
         }
 
@@ -514,7 +553,15 @@ fn short_cycles_restricted_bfs(
                         continue;
                     }
                     if forward_test(v, a.to, cand, &q) {
-                        sends.push((v, a.to, BfsMsg { src, dist: cand, q: Arc::clone(&q) }));
+                        sends.push((
+                            v,
+                            a.to,
+                            BfsMsg {
+                                src,
+                                dist: cand,
+                                q: Arc::clone(&q),
+                            },
+                        ));
                     }
                 }
             }
@@ -561,7 +608,10 @@ fn short_cycles_restricted_bfs(
             // Prune by the mode-unit candidate d(v, y) + stretch(y, v).
             let eid = g.edge_id(y, v).expect("edge exists");
             let cand = rec.dist.saturating_add(mode.stretch_of(eid));
-            if best.weight().is_some_and(|b| matches!(mode, Mode::Unweighted) && cand >= b) {
+            if best
+                .weight()
+                .is_some_and(|b| matches!(mode, Mode::Unweighted) && cand >= b)
+            {
                 continue;
             }
             if let Some(path) = reconstruct_restricted_path(&reached, v, y, n) {
@@ -667,22 +717,20 @@ mod tests {
     #[test]
     fn denser_graphs_within_factor_two() {
         for seed in 0..4 {
-            let g = connected_gnm(80, 420, Orientation::Directed, WeightRange::unit(), 50 + seed);
+            let g = connected_gnm(
+                80,
+                420,
+                Orientation::Directed,
+                WeightRange::unit(),
+                50 + seed,
+            );
             check_two_approx(&g, &Params::new().with_seed(seed));
         }
     }
 
     #[test]
     fn planted_short_cycle_found() {
-        let (g, _) = planted_cycle(
-            70,
-            120,
-            3,
-            1,
-            Orientation::Directed,
-            WeightRange::unit(),
-            7,
-        );
+        let (g, _) = planted_cycle(70, 120, 3, 1, Orientation::Directed, WeightRange::unit(), 7);
         check_two_approx(&g, &Params::new().with_seed(3));
     }
 
@@ -694,7 +742,10 @@ mod tests {
         let out = two_approx_directed_mwc(&g, &Params::new().with_seed(4));
         out.assert_valid(&g);
         let w = out.weight.expect("cycle exists");
-        assert!(w >= 2 && w <= 4, "2-cycle must be ≤2-approximated, got {w}");
+        assert!(
+            (2..=4).contains(&w),
+            "2-cycle must be ≤2-approximated, got {w}"
+        );
     }
 
     #[test]
@@ -726,15 +777,21 @@ mod tests {
     /// connected in the shortest-path out-tree (Lemma 3.2).
     #[test]
     fn neighborhood_size_and_connectivity_lemmas() {
-        use mwc_graph::seq::{dijkstra, Direction as D, INF as SINF};
         use crate::util::sample_vertices;
+        use mwc_graph::seq::{dijkstra, Direction as D, INF as SINF};
 
         let n = 140;
         let g = connected_gnm(n, 560, Orientation::Directed, WeightRange::unit(), 77);
         // Exact distances via the oracle (the algorithm has the same
         // numbers from Algorithm 1).
         let fwd: Vec<_> = (0..n).map(|v| dijkstra(&g, v, D::Forward)).collect();
-        let to = |a: usize, b: usize| if fwd[a].dist[b] == SINF { INF } else { fwd[a].dist[b] };
+        let to = |a: usize, b: usize| {
+            if fwd[a].dist[b] == SINF {
+                INF
+            } else {
+                fwd[a].dist[b]
+            }
+        };
 
         let samples = sample_vertices(n, 0.18, 5, 0xB2);
         let ns = samples.len();
@@ -749,9 +806,7 @@ mod tests {
             .map(|v| Arc::new(samples.iter().map(|&s| to(v, s)).collect()))
             .collect();
         let beta = ((n as f64).log2().ceil() as usize).max(1);
-        let classes: Vec<Vec<usize>> = (0..beta)
-            .map(|c| (c..ns).step_by(beta).collect())
-            .collect();
+        let classes: Vec<Vec<usize>> = (0..beta).map(|c| (c..ns).step_by(beta).collect()).collect();
         let rsets = build_rsets(n, ns, &classes, &to_s, &d_st, 5);
 
         let mut total_p = 0usize;
@@ -794,7 +849,10 @@ mod tests {
         // absorbing the polylog.
         let mean = total_p as f64 / n as f64;
         let bound = 6.0 * n as f64 / ns as f64;
-        assert!(mean <= bound, "mean |P(v)| = {mean:.1} > {bound:.1} (|S| = {ns})");
+        assert!(
+            mean <= bound,
+            "mean |P(v)| = {mean:.1} > {bound:.1} (|S| = {ns})"
+        );
     }
 
     #[test]

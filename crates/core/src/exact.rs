@@ -116,7 +116,11 @@ pub fn exact_mwc(g: &Graph) -> MwcOutcome {
     // Every node learns the global minimum.
     let tree = BfsTree::build(g, 0, &mut ledger);
     let global = convergecast_min(g, &tree, local_best, &mut ledger);
-    debug_assert_eq!(global, best.weight().unwrap_or(INF), "convergecast ≠ tracked best");
+    debug_assert_eq!(
+        global,
+        best.weight().unwrap_or(INF),
+        "convergecast ≠ tracked best"
+    );
 
     let mut out = best.into_outcome(ledger);
     // The candidate value at the argmin equals the witness cycle's weight
@@ -170,7 +174,13 @@ mod tests {
     #[test]
     fn directed_weighted_matches_oracle() {
         for seed in 0..8 {
-            let g = connected_gnm(35, 80, Orientation::Directed, WeightRange::uniform(1, 12), seed);
+            let g = connected_gnm(
+                35,
+                80,
+                Orientation::Directed,
+                WeightRange::uniform(1, 12),
+                seed,
+            );
             check(&g);
         }
     }
@@ -186,8 +196,13 @@ mod tests {
     #[test]
     fn undirected_weighted_matches_oracle() {
         for seed in 0..8 {
-            let g =
-                connected_gnm(35, 70, Orientation::Undirected, WeightRange::uniform(1, 15), seed);
+            let g = connected_gnm(
+                35,
+                70,
+                Orientation::Undirected,
+                WeightRange::uniform(1, 15),
+                seed,
+            );
             check(&g);
         }
     }

@@ -23,7 +23,8 @@ pub(crate) fn exchange_with_neighbors<T: Clone>(
     let mut net: Network<T> = Network::new(g);
     for v in 0..n {
         for w in g.comm_neighbors(v) {
-            net.send(v, w, values[v].clone(), words).expect("neighbors are linked");
+            net.send(v, w, values[v].clone(), words)
+                .expect("neighbors are linked");
         }
     }
     let mut got: Vec<HashMap<NodeId, T>> = vec![HashMap::new(); n];
@@ -127,9 +128,7 @@ mod tests {
         let e = g
             .edges()
             .iter()
-            .find(|e| {
-                mat.pred_row(0, e.u) != Some(e.v) && mat.pred_row(0, e.v) != Some(e.u)
-            })
+            .find(|e| mat.pred_row(0, e.u) != Some(e.v) && mat.pred_row(0, e.v) != Some(e.u))
             .expect("square has a non-tree edge");
         let cyc = lca_cycle(&mat, 0, e.u, e.v).expect("cycle");
         assert_eq!(cyc.len(), 4);

@@ -66,7 +66,10 @@ const SALT_GIRTH_SAMPLES: u64 = 0xC1;
 /// ```
 pub fn approx_girth(g: &Graph, params: &Params) -> MwcOutcome {
     assert!(!g.is_directed(), "girth requires an undirected graph");
-    assert!(g.is_unit_weight(), "girth requires an unweighted graph; see §5 for weighted");
+    assert!(
+        g.is_unit_weight(),
+        "girth requires an unweighted graph; see §5 for weighted"
+    );
     let parts = girth_core(g, params, None);
     let mut ledger = parts.ledger;
     let tree = BfsTree::build(g, 0, &mut ledger);
@@ -105,7 +108,10 @@ pub fn approx_girth_parts(
     sampled_part: bool,
     neighborhood_part: bool,
 ) -> MwcOutcome {
-    assert!(sampled_part || neighborhood_part, "enable at least one candidate generator");
+    assert!(
+        sampled_part || neighborhood_part,
+        "enable at least one candidate generator"
+    );
     assert!(!g.is_directed(), "girth requires an undirected graph");
     assert!(g.is_unit_weight(), "girth requires an unweighted graph");
     let parts = girth_core_parts(g, params, None, sampled_part, neighborhood_part);
@@ -140,32 +146,44 @@ fn girth_core_parts(
 
     // Part 1: BFS from Õ(√n) sampled sources.
     if sampled_part {
-    let p = params.sample_prob(n, sigma as u64);
-    let samples = sample_vertices(n, p, params.seed, SALT_GIRTH_SAMPLES);
-    let spec = MultiBfsSpec { max_dist: bfs_budget, direction: Direction::Forward, latency };
-    let mat = multi_source_bfs(g, &samples, &spec, "BFS from sampled sources", &mut parts.ledger);
-    let cols = exchange_matrix_columns(g, &mat, "sampled-distance exchange", &mut parts.ledger);
-    for e in g.edges() {
-        let (x, y) = (e.u, e.v);
-        let Some(ycol) = cols[x].get(&y) else { continue };
-        for row in 0..samples.len() {
-            let dx = mat.get_row(row, x);
-            let (dy, ypred) = ycol[row];
-            if dx == INF || dy == INF {
+        let p = params.sample_prob(n, sigma as u64);
+        let samples = sample_vertices(n, p, params.seed, SALT_GIRTH_SAMPLES);
+        let spec = MultiBfsSpec {
+            max_dist: bfs_budget,
+            direction: Direction::Forward,
+            latency,
+        };
+        let mat = multi_source_bfs(
+            g,
+            &samples,
+            &spec,
+            "BFS from sampled sources",
+            &mut parts.ledger,
+        );
+        let cols = exchange_matrix_columns(g, &mat, "sampled-distance exchange", &mut parts.ledger);
+        for e in g.edges() {
+            let (x, y) = (e.u, e.v);
+            let Some(ycol) = cols[x].get(&y) else {
                 continue;
-            }
-            if mat.pred_row(row, x) == Some(y) || ypred as usize == x {
-                continue; // tree edge w.r.t. this source
-            }
-            let cand = dx + e.weight + dy;
-            if parts.best.weight().is_some_and(|b| cand >= b) {
-                continue;
-            }
-            if let Some(cyc) = lca_cycle(&mat, row, x, y) {
-                offer_validated(g, &mut parts.best, cyc);
+            };
+            for row in 0..samples.len() {
+                let dx = mat.get_row(row, x);
+                let (dy, ypred) = ycol[row];
+                if dx == INF || dy == INF {
+                    continue;
+                }
+                if mat.pred_row(row, x) == Some(y) || ypred as usize == x {
+                    continue; // tree edge w.r.t. this source
+                }
+                let cand = dx + e.weight + dy;
+                if parts.best.weight().is_some_and(|b| cand >= b) {
+                    continue;
+                }
+                if let Some(cyc) = lca_cycle(&mat, row, x, y) {
+                    offer_validated(g, &mut parts.best, cyc);
+                }
             }
         }
-    }
     }
 
     if !neighborhood_part {
@@ -213,11 +231,15 @@ fn girth_core_parts(
     // (a) Per-edge candidates among common detected sources.
     for e in g.edges() {
         let (x, y) = (e.u, e.v);
-        let Some(ylist) = nbr_lists[x].get(&y) else { continue };
+        let Some(ylist) = nbr_lists[x].get(&y) else {
+            continue;
+        };
         let ymap: HashMap<NodeId, (Weight, NodeId)> =
             ylist.iter().map(|&(s, d, p)| (s, (d, p))).collect();
         for &(v, dx, xpred) in lists[x].iter() {
-            let Some(&(dy, ypred)) = ymap.get(&v) else { continue };
+            let Some(&(dy, ypred)) = ymap.get(&v) else {
+                continue;
+            };
             if xpred == y || ypred == x {
                 continue; // tree-ish edge: degenerate closed walk
             }
@@ -280,8 +302,12 @@ fn offer_closed_walk(
     y: NodeId,
     via: Option<NodeId>,
 ) {
-    let Some(px) = det.path_to_source(x, v) else { return };
-    let Some(py) = det.path_to_source(y, v) else { return };
+    let Some(px) = det.path_to_source(x, v) else {
+        return;
+    };
+    let Some(py) = det.path_to_source(y, v) else {
+        return;
+    };
     let mut walk: Vec<NodeId> = px.into_iter().rev().collect(); // v … x
     if let Some(z) = via {
         walk.push(z);
@@ -306,6 +332,8 @@ mod tests {
     use mwc_graph::seq;
     use mwc_graph::Orientation;
 
+    // `2g − 1` = (2 − 1/g)·g, written the paper's way.
+    #[allow(clippy::int_plus_one)]
     fn check_quality(g: &Graph, params: &Params) {
         let out = approx_girth(g, params);
         out.assert_valid(g);

@@ -107,7 +107,12 @@ impl KSourceDistances {
     /// single-source strategy of Theorem 1.6.A's `min`) in the common
     /// accessor interface.
     pub(crate) fn from_direct(sources: Vec<NodeId>, mat: DistMatrix, ledger: Ledger) -> Self {
-        KSourceDistances { sources, flipped: false, pipe: Pipeline::Direct(mat), ledger }
+        KSourceDistances {
+            sources,
+            flipped: false,
+            pipe: Pipeline::Direct(mat),
+            ledger,
+        }
     }
 }
 
@@ -164,13 +169,32 @@ pub fn k_source_bfs(
     let mut ledger = Ledger::new();
 
     let pipe = if h as usize + 1 >= n {
-        let spec = MultiBfsSpec { max_dist: INF, direction: Direction::Forward, latency: None };
-        Pipeline::Direct(multi_source_bfs(g, sources, &spec, "k-source BFS (direct)", &mut ledger))
+        let spec = MultiBfsSpec {
+            max_dist: INF,
+            direction: Direction::Forward,
+            latency: None,
+        };
+        Pipeline::Direct(multi_source_bfs(
+            g,
+            sources,
+            &spec,
+            "k-source BFS (direct)",
+            &mut ledger,
+        ))
     } else {
-        let spec = MultiBfsSpec { max_dist: h, direction: Direction::Forward, latency: None };
-        skeleton_pipeline(g, sources, h, params, &mut ledger, |g, srcs, label, ledger| {
-            multi_source_bfs(g, srcs, &spec, label, ledger)
-        })
+        let spec = MultiBfsSpec {
+            max_dist: h,
+            direction: Direction::Forward,
+            latency: None,
+        };
+        skeleton_pipeline(
+            g,
+            sources,
+            h,
+            params,
+            &mut ledger,
+            |g, srcs, label, ledger| multi_source_bfs(g, srcs, &spec, label, ledger),
+        )
     };
     // Charge the reverse h-hop BFS from S that lets samples know their
     // incoming skeleton edges (Algorithm 1 line 2 "repeat in the reversed
@@ -178,11 +202,26 @@ pub fn k_source_bfs(
     // both views, so only the rounds are charged.
     if g.is_directed() {
         if let Pipeline::Skeleton(parts) = &pipe {
-            let spec = MultiBfsSpec { max_dist: h, direction: Direction::Reverse, latency: None };
-            let _ = multi_source_bfs(g, &parts.samples, &spec, "h-hop reverse BFS from S", &mut ledger);
+            let spec = MultiBfsSpec {
+                max_dist: h,
+                direction: Direction::Reverse,
+                latency: None,
+            };
+            let _ = multi_source_bfs(
+                g,
+                &parts.samples,
+                &spec,
+                "h-hop reverse BFS from S",
+                &mut ledger,
+            );
         }
     }
-    KSourceDistances { sources: sources.to_vec(), flipped: false, pipe, ledger }
+    KSourceDistances {
+        sources: sources.to_vec(),
+        flipped: false,
+        pipe,
+        ledger,
+    }
 }
 
 /// `(1+ε)`-approximate weighted SSSP from `k` sources — Theorem 1.6.B.
@@ -227,15 +266,27 @@ pub fn k_source_approx_sssp(
             &mut ledger,
         ))
     } else {
-        skeleton_pipeline(g, sources, h, params, &mut ledger, |g, srcs, label, ledger| {
-            scaled_hop_sssp(g, srcs, h, eps, label, ledger)
-        })
+        skeleton_pipeline(
+            g,
+            sources,
+            h,
+            params,
+            &mut ledger,
+            |g, srcs, label, ledger| scaled_hop_sssp(g, srcs, h, eps, label, ledger),
+        )
     };
     if g.is_directed() {
         // Charge the reverse segment run from S (see k_source_bfs).
         if let Pipeline::Skeleton(parts) = &pipe {
             let rev = g.reversed();
-            let _ = scaled_hop_sssp(&rev, &parts.samples, h, eps, "reverse segments from S", &mut ledger);
+            let _ = scaled_hop_sssp(
+                &rev,
+                &parts.samples,
+                h,
+                eps,
+                "reverse segments from S",
+                &mut ledger,
+            );
         }
     }
     KSourceApproxSssp {
@@ -259,7 +310,11 @@ mod tests {
         for (row, &s) in sources.iter().enumerate() {
             let t = bfs(g, s, dir);
             for v in 0..g.n() {
-                let expect = if t.dist[v] == HOP_INF { INF } else { t.dist[v] as Weight };
+                let expect = if t.dist[v] == HOP_INF {
+                    INF
+                } else {
+                    t.dist[v] as Weight
+                };
                 assert_eq!(
                     out.get_row(row, v),
                     expect,
@@ -374,7 +429,11 @@ mod tests {
                     continue;
                 }
                 assert_ne!(est, INF, "reachable pair missing (s={s}, v={v})");
-                assert!(est >= t.dist[v], "est {est} < true {} (s={s}, v={v})", t.dist[v]);
+                assert!(
+                    est >= t.dist[v],
+                    "est {est} < true {} (s={s}, v={v})",
+                    t.dist[v]
+                );
                 // +4 absorbs the O(1) ceil-rounding per skeleton segment.
                 let bound = ((1.0 + eps) * t.dist[v] as f64).ceil() as Weight + 4;
                 assert!(
@@ -392,9 +451,9 @@ mod tests {
                     assert_eq!(*p.last().unwrap(), last);
                     let mut w = 0;
                     for e in p.windows(2) {
-                        w += g.weight(e[0], e[1]).unwrap_or_else(|| {
-                            panic!("path edge {}→{} missing", e[0], e[1])
-                        });
+                        w += g
+                            .weight(e[0], e[1])
+                            .unwrap_or_else(|| panic!("path edge {}→{} missing", e[0], e[1]));
                     }
                     assert!(w <= est, "witness weight {w} > estimate {est}");
                 }
@@ -404,7 +463,13 @@ mod tests {
 
     #[test]
     fn approx_sssp_directed_weighted() {
-        let g = connected_gnm(70, 150, Orientation::Directed, WeightRange::uniform(1, 20), 13);
+        let g = connected_gnm(
+            70,
+            150,
+            Orientation::Directed,
+            WeightRange::uniform(1, 20),
+            13,
+        );
         let params = Params::new().with_seed(2).with_epsilon(0.25);
         check_approx(&g, &[0, 5, 33], Direction::Forward, &params);
         check_approx(&g, &[0, 5, 33], Direction::Reverse, &params);
@@ -412,7 +477,13 @@ mod tests {
 
     #[test]
     fn approx_sssp_undirected_weighted() {
-        let g = connected_gnm(60, 100, Orientation::Undirected, WeightRange::uniform(1, 40), 23);
+        let g = connected_gnm(
+            60,
+            100,
+            Orientation::Undirected,
+            WeightRange::uniform(1, 40),
+            23,
+        );
         let params = Params::new().with_seed(4).with_epsilon(0.5);
         check_approx(&g, &[10, 59], Direction::Forward, &params);
     }
@@ -428,7 +499,13 @@ mod tests {
     #[test]
     fn approx_sssp_many_seeds() {
         for seed in 0..6 {
-            let g = connected_gnm(50, 110, Orientation::Directed, WeightRange::uniform(1, 12), seed);
+            let g = connected_gnm(
+                50,
+                110,
+                Orientation::Directed,
+                WeightRange::uniform(1, 12),
+                seed,
+            );
             let params = Params::new().with_seed(100 + seed);
             check_approx(&g, &[seed as usize % 50, 30], Direction::Forward, &params);
         }

@@ -125,8 +125,16 @@ impl BestCycle {
     /// Consumes the accumulator into an outcome with the given ledger.
     pub fn into_outcome(self, ledger: Ledger) -> MwcOutcome {
         match self.best {
-            Some((w, c)) => MwcOutcome { weight: Some(w), witness: Some(c), ledger },
-            None => MwcOutcome { weight: None, witness: None, ledger },
+            Some((w, c)) => MwcOutcome {
+                weight: Some(w),
+                witness: Some(c),
+                ledger,
+            },
+            None => MwcOutcome {
+                weight: None,
+                witness: None,
+                ledger,
+            },
         }
     }
 }
@@ -161,14 +169,18 @@ mod tests {
         assert_eq!(t[1], Some(7));
         assert_eq!(t[7], Some(4));
         assert_eq!(t[0], None);
-        let none = MwcOutcome { weight: None, witness: None, ledger: Ledger::new() };
+        let none = MwcOutcome {
+            weight: None,
+            witness: None,
+            ledger: Ledger::new(),
+        };
         assert!(none.cycle_routing(8).is_none());
     }
 
     #[test]
     fn outcome_validation_passes_for_real_cycle() {
-        let g = Graph::from_edges(3, Orientation::Directed, [(0, 1, 2), (1, 2, 2), (2, 0, 2)])
-            .unwrap();
+        let g =
+            Graph::from_edges(3, Orientation::Directed, [(0, 1, 2), (1, 2, 2), (2, 0, 2)]).unwrap();
         let o = MwcOutcome {
             weight: Some(6),
             witness: Some(CycleWitness::new(vec![0, 1, 2])),
@@ -180,8 +192,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "witness weight")]
     fn outcome_validation_catches_wrong_weight() {
-        let g = Graph::from_edges(3, Orientation::Directed, [(0, 1, 2), (1, 2, 2), (2, 0, 2)])
-            .unwrap();
+        let g =
+            Graph::from_edges(3, Orientation::Directed, [(0, 1, 2), (1, 2, 2), (2, 0, 2)]).unwrap();
         let o = MwcOutcome {
             weight: Some(5),
             witness: Some(CycleWitness::new(vec![0, 1, 2])),
@@ -194,7 +206,11 @@ mod tests {
     #[should_panic(expected = "without witness")]
     fn outcome_validation_catches_missing_witness() {
         let g = Graph::directed(2);
-        let o = MwcOutcome { weight: Some(5), witness: None, ledger: Ledger::new() };
+        let o = MwcOutcome {
+            weight: Some(5),
+            witness: None,
+            ledger: Ledger::new(),
+        };
         o.assert_valid(&g);
     }
 }

@@ -151,7 +151,10 @@ mod tests {
 
     #[test]
     fn builders_chain() {
-        let p = Params::new().with_seed(7).with_epsilon(0.5).with_sampling_factor(1.0);
+        let p = Params::new()
+            .with_seed(7)
+            .with_epsilon(0.5)
+            .with_sampling_factor(1.0);
         assert_eq!(p.seed, 7);
         assert_eq!(p.epsilon, 0.5);
         assert_eq!(p.sampling_factor, 1.0);

@@ -100,8 +100,7 @@ impl<S: Segments> SkeletonParts<S> {
         }
         let t = (0..ns)
             .filter(|&t| {
-                self.seg_u.get(row, self.samples[t]) != INF
-                    && self.skel_dist[t * ns + si] != INF
+                self.seg_u.get(row, self.samples[t]) != INF && self.skel_dist[t * ns + si] != INF
             })
             .min_by_key(|&t| self.seg_u.get(row, self.samples[t]) + self.skel_dist[t * ns + si])?;
         let mut p = self.seg_u.path(row, self.samples[t])?;

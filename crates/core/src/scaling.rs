@@ -159,9 +159,11 @@ pub(crate) fn scaled_hop_sssp(
             direction: Direction::Forward,
             latency: Some(&lat),
         };
-        let mat =
-            multi_source_bfs(g, sources, &spec, &format!("{label}: scale 2^{i}"), ledger);
-        runs.push(Run { mat, scale: Some(i) });
+        let mat = multi_source_bfs(g, sources, &spec, &format!("{label}: scale 2^{i}"), ledger);
+        runs.push(Run {
+            mat,
+            scale: Some(i),
+        });
         i += 1;
     }
 
@@ -188,7 +190,12 @@ pub(crate) fn scaled_hop_sssp(
         }
     }
 
-    ScaledSegments { n, est, choice, runs }
+    ScaledSegments {
+        n,
+        est,
+        choice,
+        runs,
+    }
 }
 
 #[cfg(test)]
@@ -255,13 +262,25 @@ mod tests {
 
     #[test]
     fn approximates_weighted_distances_directed() {
-        let g = connected_gnm(60, 140, Orientation::Directed, WeightRange::uniform(1, 30), 3);
+        let g = connected_gnm(
+            60,
+            140,
+            Orientation::Directed,
+            WeightRange::uniform(1, 30),
+            3,
+        );
         check_bounds(&g, &[0, 11, 25], 12, 0.25);
     }
 
     #[test]
     fn approximates_weighted_distances_undirected() {
-        let g = connected_gnm(50, 90, Orientation::Undirected, WeightRange::uniform(1, 50), 9);
+        let g = connected_gnm(
+            50,
+            90,
+            Orientation::Undirected,
+            WeightRange::uniform(1, 50),
+            9,
+        );
         check_bounds(&g, &[4, 44], 10, 0.5);
     }
 
@@ -289,7 +308,13 @@ mod tests {
 
     #[test]
     fn tighter_eps_costs_more_rounds() {
-        let g = connected_gnm(40, 80, Orientation::Directed, WeightRange::uniform(1, 20), 1);
+        let g = connected_gnm(
+            40,
+            80,
+            Orientation::Directed,
+            WeightRange::uniform(1, 20),
+            1,
+        );
         let rounds = |eps: f64| {
             let mut ledger = Ledger::new();
             let _ = scaled_hop_sssp(&g, &[0], 8, EpsQ::from_f64(eps), "t", &mut ledger);

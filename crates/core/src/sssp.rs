@@ -61,7 +61,11 @@ impl SsspResult {
 /// ```
 pub fn sssp_bfs(g: &Graph, src: NodeId, direction: Direction) -> SsspResult {
     let mut ledger = Ledger::new();
-    let spec = MultiBfsSpec { max_dist: INF, direction, latency: None };
+    let spec = MultiBfsSpec {
+        max_dist: INF,
+        direction,
+        latency: None,
+    };
     let mat = multi_source_bfs(g, &[src], &spec, "single-source BFS", &mut ledger);
     SsspResult { mat, ledger }
 }
@@ -74,7 +78,11 @@ pub fn sssp_bfs(g: &Graph, src: NodeId, direction: Direction) -> SsspResult {
 pub fn sssp_exact_weighted(g: &Graph, src: NodeId, direction: Direction) -> SsspResult {
     let mut ledger = Ledger::new();
     let lat: Vec<Weight> = g.edges().iter().map(|e| e.weight).collect();
-    let spec = MultiBfsSpec { max_dist: INF, direction, latency: Some(&lat) };
+    let spec = MultiBfsSpec {
+        max_dist: INF,
+        direction,
+        latency: Some(&lat),
+    };
     let mat = multi_source_bfs(g, &[src], &spec, "stretched exact SSSP", &mut ledger);
     SsspResult { mat, ledger }
 }
@@ -106,7 +114,11 @@ pub fn k_source_bfs_repeated(
     let mut ledger = Ledger::new();
     let mut combined = DistMatrix::new(g.n(), sources.to_vec());
     for (row, &s) in sources.iter().enumerate() {
-        let spec = MultiBfsSpec { max_dist: INF, direction, latency: None };
+        let spec = MultiBfsSpec {
+            max_dist: INF,
+            direction,
+            latency: None,
+        };
         let mat = multi_source_bfs(g, &[s], &spec, &format!("BFS from source {s}"), &mut ledger);
         for v in 0..g.n() {
             let d = mat.get_row(0, v);
@@ -178,7 +190,11 @@ mod tests {
         let out = sssp_bfs(&g, 5, Direction::Forward);
         let t = bfs(&g, 5, Direction::Forward);
         for v in 0..g.n() {
-            let expect = if t.dist[v] == HOP_INF { INF } else { t.dist[v] as Weight };
+            let expect = if t.dist[v] == HOP_INF {
+                INF
+            } else {
+                t.dist[v] as Weight
+            };
             assert_eq!(out.dist(v), expect);
         }
         // One BFS costs about the eccentricity, far below n.
@@ -187,7 +203,13 @@ mod tests {
 
     #[test]
     fn exact_weighted_sssp_matches_dijkstra() {
-        let g = connected_gnm(60, 140, Orientation::Directed, WeightRange::uniform(1, 9), 8);
+        let g = connected_gnm(
+            60,
+            140,
+            Orientation::Directed,
+            WeightRange::uniform(1, 9),
+            8,
+        );
         let out = sssp_exact_weighted(&g, 0, Direction::Forward);
         let t = dijkstra(&g, 0, Direction::Forward);
         for v in 0..g.n() {
@@ -207,7 +229,13 @@ mod tests {
 
     #[test]
     fn single_source_approx_wrapper() {
-        let g = connected_gnm(50, 110, Orientation::Directed, WeightRange::uniform(1, 9), 2);
+        let g = connected_gnm(
+            50,
+            110,
+            Orientation::Directed,
+            WeightRange::uniform(1, 9),
+            2,
+        );
         let out = sssp_approx(&g, 7, Direction::Forward, &Params::new().with_seed(1));
         let t = dijkstra(&g, 7, Direction::Forward);
         for v in 0..g.n() {
@@ -226,7 +254,12 @@ mod tests {
         let g = connected_gnm(70, 150, Orientation::Directed, WeightRange::unit(), 4);
         let sources = [0, 9, 33];
         let (mat, ledger) = k_source_bfs_repeated(&g, &sources, Direction::Forward);
-        let sk = k_source_bfs(&g, &sources, Direction::Forward, &Params::new().with_seed(2));
+        let sk = k_source_bfs(
+            &g,
+            &sources,
+            Direction::Forward,
+            &Params::new().with_seed(2),
+        );
         for (row, _) in sources.iter().enumerate() {
             for v in 0..g.n() {
                 assert_eq!(mat.get_row(row, v), sk.get_row(row, v));
@@ -239,12 +272,15 @@ mod tests {
     fn auto_picks_repetition_for_tiny_k_small_d() {
         // Dense graph: D small, k tiny ⇒ repetition wins.
         let g = connected_gnm(200, 1200, Orientation::Directed, WeightRange::unit(), 6);
-        let (out, strat) =
-            k_source_bfs_auto(&g, &[0, 50], Direction::Forward, &Params::lean());
+        let (out, strat) = k_source_bfs_auto(&g, &[0, 50], Direction::Forward, &Params::lean());
         assert_eq!(strat, KSourceStrategy::Repeated);
         let t = bfs(&g, 0, Direction::Forward);
         for v in 0..g.n() {
-            let expect = if t.dist[v] == HOP_INF { INF } else { t.dist[v] as Weight };
+            let expect = if t.dist[v] == HOP_INF {
+                INF
+            } else {
+                t.dist[v] as Weight
+            };
             assert_eq!(out.get_row(0, v), expect);
         }
     }
@@ -257,7 +293,11 @@ mod tests {
         assert_eq!(strat, KSourceStrategy::Skeleton);
         let t = bfs(&g, 4, Direction::Forward);
         for v in 0..g.n() {
-            let expect = if t.dist[v] == HOP_INF { INF } else { t.dist[v] as Weight };
+            let expect = if t.dist[v] == HOP_INF {
+                INF
+            } else {
+                t.dist[v] as Weight
+            };
             assert_eq!(out.get(4, v), expect);
         }
     }
@@ -270,6 +310,10 @@ mod tests {
         let sources: Vec<NodeId> = (0..16).map(|i| i * 8).collect();
         let (_, rep_ledger) = k_source_bfs_repeated(&g, &sources, Direction::Forward);
         // k·D = 16·127 ≈ 2032; each BFS costs ecc = n−1.
-        assert!(rep_ledger.rounds >= 16 * 100, "rounds {}", rep_ledger.rounds);
+        assert!(
+            rep_ledger.rounds >= 16 * 100,
+            "rounds {}",
+            rep_ledger.rounds
+        );
     }
 }

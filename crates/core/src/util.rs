@@ -1,19 +1,25 @@
 //! Small shared helpers: seeded sampling and path simplification.
 
 use mwc_graph::NodeId;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use mwc_rng::StdRng;
 
 /// Samples each of `0..n` independently with probability `p`, using a
 /// deterministic RNG derived from `seed` and `salt` (different phases of
 /// one algorithm pass different salts so their samples are independent).
 /// Guarantees a non-empty result by force-including one pseudorandom node
 /// when the draw comes out empty.
+///
+/// Each vertex draws from its own [`mwc_rng`] substream
+/// (`fork_u64(salt).fork_u64(v)`), so whether `v` is sampled depends only
+/// on `(seed, salt, v)` — never on `n` or on iteration order.
 pub fn sample_vertices(n: usize, p: f64, seed: u64, salt: u64) -> Vec<NodeId> {
-    let mut rng = StdRng::seed_from_u64(seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    let mut s: Vec<NodeId> = (0..n).filter(|_| rng.random_bool(p.clamp(0.0, 1.0))).collect();
+    let root = StdRng::seed_from_u64(seed).fork_u64(salt);
+    let p = p.clamp(0.0, 1.0);
+    let mut s: Vec<NodeId> = (0..n)
+        .filter(|&v| root.fork_u64(v as u64).random_bool(p))
+        .collect();
     if s.is_empty() && n > 0 {
-        s.push(rng.random_range(0..n));
+        s.push(root.fork("nonempty-fallback").random_range(0..n));
     }
     s
 }
@@ -101,7 +107,10 @@ mod tests {
     #[test]
     fn extract_cycle_finds_triangle() {
         // Closed walk v..x, y ..v with a genuine triangle 1,2,3.
-        assert_eq!(extract_cycle_from_walk(&[0, 1, 2, 3, 1, 0], 3), Some(vec![1, 2, 3]));
+        assert_eq!(
+            extract_cycle_from_walk(&[0, 1, 2, 3, 1, 0], 3),
+            Some(vec![1, 2, 3])
+        );
     }
 
     #[test]

@@ -91,7 +91,10 @@ fn scaled_latencies(g: &Graph, h: u64, eps: EpsQ) -> (Vec<Vec<Weight>>, Weight) 
 /// # }
 /// ```
 pub fn approx_mwc_undirected_weighted(g: &Graph, params: &Params) -> MwcOutcome {
-    assert!(!g.is_directed(), "use approx_mwc_directed_weighted for directed graphs");
+    assert!(
+        !g.is_directed(),
+        "use approx_mwc_directed_weighted for directed graphs"
+    );
     assert!(
         g.edges().iter().all(|e| e.weight >= 1),
         "scaling-based approximation requires weights ≥ 1"
@@ -139,7 +142,10 @@ pub fn approx_mwc_undirected_weighted(g: &Graph, params: &Params) -> MwcOutcome 
 /// # }
 /// ```
 pub fn approx_mwc_directed_weighted(g: &Graph, params: &Params) -> MwcOutcome {
-    assert!(g.is_directed(), "use approx_mwc_undirected_weighted for undirected graphs");
+    assert!(
+        g.is_directed(),
+        "use approx_mwc_undirected_weighted for undirected graphs"
+    );
     assert!(
         g.edges().iter().all(|e| e.weight >= 1),
         "scaling-based approximation requires weights ≥ 1"
@@ -191,7 +197,13 @@ fn long_cycles_undirected(g: &Graph, params: &Params, h: u64, parts: &mut Partia
     let cols: Vec<Arc<Vec<Weight>>> = (0..n)
         .map(|v| Arc::new((0..k).map(|row| sssp.get_row(row, v)).collect()))
         .collect();
-    let nbr = exchange_with_neighbors(g, &cols, k as u64, "long-cycle estimate exchange", &mut parts.ledger);
+    let nbr = exchange_with_neighbors(
+        g,
+        &cols,
+        k as u64,
+        "long-cycle estimate exchange",
+        &mut parts.ledger,
+    );
 
     for e in g.edges() {
         let (x, y, w) = (e.u, e.v, e.weight);
@@ -234,8 +246,12 @@ fn long_cycles_directed(g: &Graph, params: &Params, h: u64, parts: &mut Partial)
             if parts.best.weight().is_some_and(|b| cand >= b) {
                 continue;
             }
-            let Some(p1) = fwd.path_row(row, v) else { continue }; // s → v
-            let Some(p2) = rev.path_row(row, v) else { continue }; // v → s
+            let Some(p1) = fwd.path_row(row, v) else {
+                continue;
+            }; // s → v
+            let Some(p2) = rev.path_row(row, v) else {
+                continue;
+            }; // v → s
             let mut walk = p1;
             walk.extend_from_slice(&p2[1..]); // closed walk s → v → s
             if let Some(cyc) = extract_cycle_from_walk(&walk, 2) {
@@ -255,8 +271,12 @@ fn offer_walk_cycle(
     x: NodeId,
     y: NodeId,
 ) {
-    let Some(px) = sssp.path_row(row, x) else { return }; // s … x
-    let Some(py) = sssp.path_row(row, y) else { return }; // s … y
+    let Some(px) = sssp.path_row(row, x) else {
+        return;
+    }; // s … x
+    let Some(py) = sssp.path_row(row, y) else {
+        return;
+    }; // s … y
     let mut walk = px;
     walk.extend(py.into_iter().rev()); // s … x, y … s
     if let Some(cyc) = extract_cycle_from_walk(&walk, 3) {
@@ -301,7 +321,10 @@ mod tests {
         // The correct scale for a weight-w(C) ≈ 2^i cycle keeps it within
         // h*: an h-hop path of weight 2^i has stretch ≤ 2h/ε + h.
         let last = tables.last().unwrap();
-        assert!(last.iter().all(|&l| l <= h_star), "final scale fits the budget");
+        assert!(
+            last.iter().all(|&l| l <= h_star),
+            "final scale fits the budget"
+        );
     }
 
     #[test]
@@ -352,7 +375,13 @@ mod tests {
     #[test]
     fn undirected_random_weighted() {
         for seed in 0..5 {
-            let g = connected_gnm(40, 70, Orientation::Undirected, WeightRange::uniform(1, 10), seed);
+            let g = connected_gnm(
+                40,
+                70,
+                Orientation::Undirected,
+                WeightRange::uniform(1, 10),
+                seed,
+            );
             check_undirected(&g, &Params::new().with_seed(seed + 1));
         }
     }
@@ -360,15 +389,26 @@ mod tests {
     #[test]
     fn undirected_heavy_weights() {
         for seed in 0..3 {
-            let g =
-                connected_gnm(30, 55, Orientation::Undirected, WeightRange::uniform(5, 60), 30 + seed);
+            let g = connected_gnm(
+                30,
+                55,
+                Orientation::Undirected,
+                WeightRange::uniform(5, 60),
+                30 + seed,
+            );
             check_undirected(&g, &Params::new().with_seed(seed));
         }
     }
 
     #[test]
     fn undirected_weighted_ring_long_cycle() {
-        let g = ring_with_chords(48, 0, Orientation::Undirected, WeightRange::uniform(2, 6), 3);
+        let g = ring_with_chords(
+            48,
+            0,
+            Orientation::Undirected,
+            WeightRange::uniform(2, 6),
+            3,
+        );
         check_undirected(&g, &Params::new().with_seed(2));
     }
 
@@ -387,13 +427,19 @@ mod tests {
         out.assert_valid(&g);
         // Planted cycle weight 8; (2+ε) ⇒ at most ~18.5.
         let w = out.weight.expect("cycle exists");
-        assert!(w >= 8 && w <= 19, "got {w}");
+        assert!((8..=19).contains(&w), "got {w}");
     }
 
     #[test]
     fn directed_random_weighted() {
         for seed in 0..4 {
-            let g = connected_gnm(36, 90, Orientation::Directed, WeightRange::uniform(1, 10), seed);
+            let g = connected_gnm(
+                36,
+                90,
+                Orientation::Directed,
+                WeightRange::uniform(1, 10),
+                seed,
+            );
             check_directed(&g, &Params::new().with_seed(seed + 7));
         }
     }
@@ -413,7 +459,13 @@ mod tests {
 
     #[test]
     fn tighter_epsilon_still_valid() {
-        let g = connected_gnm(30, 60, Orientation::Undirected, WeightRange::uniform(1, 8), 5);
+        let g = connected_gnm(
+            30,
+            60,
+            Orientation::Undirected,
+            WeightRange::uniform(1, 8),
+            5,
+        );
         check_undirected(&g, &Params::new().with_seed(1).with_epsilon(0.125));
     }
 

@@ -8,9 +8,7 @@
 //! benchmark families (a connected network plus structure).
 
 use crate::graph::{Graph, NodeId, Orientation, Weight};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{RngExt, SeedableRng};
+use mwc_rng::{SliceRandom, StdRng};
 
 /// Inclusive range of weights drawn uniformly for generated edges.
 ///
@@ -181,7 +179,11 @@ pub fn planted_cycle(
     background_weights: WeightRange,
     seed: u64,
 ) -> (Graph, Vec<NodeId>) {
-    let min_len = if orientation == Orientation::Directed { 2 } else { 3 };
+    let min_len = if orientation == Orientation::Directed {
+        2
+    } else {
+        3
+    };
     assert!(
         cycle_len >= min_len && cycle_len <= n,
         "cycle_len must be in [{min_len}, n]"
@@ -258,7 +260,13 @@ fn add_random_tree_avoiding(g: &mut Graph, weights: WeightRange, rng: &mut StdRn
 /// A `rows × cols` grid graph (undirected, or directed with both
 /// orientations alternating like a city street grid when `orientation` is
 /// [`Orientation::Directed`]).
-pub fn grid(rows: usize, cols: usize, orientation: Orientation, weights: WeightRange, seed: u64) -> Graph {
+pub fn grid(
+    rows: usize,
+    cols: usize,
+    orientation: Orientation,
+    weights: WeightRange,
+    seed: u64,
+) -> Graph {
     let mut rng = StdRng::seed_from_u64(seed);
     let n = rows * cols;
     let mut g = Graph::new(n, orientation);
@@ -440,7 +448,13 @@ mod tests {
 
     #[test]
     fn gnm_directed_weighted() {
-        let g = connected_gnm(40, 80, Orientation::Directed, WeightRange::uniform(1, 9), 11);
+        let g = connected_gnm(
+            40,
+            80,
+            Orientation::Directed,
+            WeightRange::uniform(1, 9),
+            11,
+        );
         assert!(g.is_comm_connected());
         assert!(g.max_weight() <= 9);
         assert!(!g.is_unit_weight() || g.max_weight() == 1);
@@ -507,7 +521,7 @@ mod tests {
         assert!(g.is_comm_connected());
         // Pairing-model degrees concentrate near d (+ tree edges).
         let avg: f64 = (0..60).map(|v| g.out_adj(v).len()).sum::<usize>() as f64 / 60.0;
-        assert!(avg >= 4.0 && avg <= 7.0, "avg degree {avg}");
+        assert!((4.0..=7.0).contains(&avg), "avg degree {avg}");
     }
 
     #[test]
@@ -521,7 +535,11 @@ mod tests {
         let g = bipartite(20, 25, 80, Orientation::Undirected, WeightRange::unit(), 3);
         assert!(g.is_comm_connected());
         if let Some(m) = seq::girth_exact(&g) {
-            assert!(m.weight >= 4, "bipartite graphs have girth ≥ 4, got {}", m.weight);
+            assert!(
+                m.weight >= 4,
+                "bipartite graphs have girth ≥ 4, got {}",
+                m.weight
+            );
         }
     }
 

@@ -204,12 +204,28 @@ impl Graph {
         let id = self.edges.len();
         self.edges.push(Edge { u, v, weight });
         self.index.insert((u, v), id);
-        self.out_adj[u].push(Adj { to: v, weight, edge: id });
-        self.in_adj[v].push(Adj { to: u, weight, edge: id });
+        self.out_adj[u].push(Adj {
+            to: v,
+            weight,
+            edge: id,
+        });
+        self.in_adj[v].push(Adj {
+            to: u,
+            weight,
+            edge: id,
+        });
         if self.orientation == Orientation::Undirected {
             self.index.insert((v, u), id);
-            self.out_adj[v].push(Adj { to: u, weight, edge: id });
-            self.in_adj[u].push(Adj { to: v, weight, edge: id });
+            self.out_adj[v].push(Adj {
+                to: u,
+                weight,
+                edge: id,
+            });
+            self.in_adj[u].push(Adj {
+                to: v,
+                weight,
+                edge: id,
+            });
         }
         self.max_weight = self.max_weight.max(weight);
         if weight != 1 {
@@ -521,16 +537,24 @@ mod tests {
 
     #[test]
     fn from_edges_builder() {
-        let g = Graph::from_edges(3, Orientation::Undirected, [(0, 1, 1), (1, 2, 1), (2, 0, 1)])
-            .unwrap();
+        let g = Graph::from_edges(
+            3,
+            Orientation::Undirected,
+            [(0, 1, 1), (1, 2, 1), (2, 0, 1)],
+        )
+        .unwrap();
         assert_eq!(g.m(), 3);
         assert_eq!(g.undirected_diameter(), Some(1));
     }
 
     #[test]
     fn total_weight_bounds_cycles() {
-        let g = Graph::from_edges(3, Orientation::Directed, [(0, 1, 10), (1, 2, 20), (2, 0, 30)])
-            .unwrap();
+        let g = Graph::from_edges(
+            3,
+            Orientation::Directed,
+            [(0, 1, 10), (1, 2, 20), (2, 0, 30)],
+        )
+        .unwrap();
         assert_eq!(g.total_weight(), 60);
     }
 }

@@ -56,7 +56,10 @@ impl fmt::Display for ParseGraphError {
         match self {
             ParseGraphError::MissingHeader => f.write_str("missing header line"),
             ParseGraphError::BadHeader { line } => {
-                write!(f, "bad header {line:?}: expected \"<n> directed|undirected\"")
+                write!(
+                    f,
+                    "bad header {line:?}: expected \"<n> directed|undirected\""
+                )
             }
             ParseGraphError::BadEdge { line_no, line } => {
                 write!(f, "line {line_no}: bad edge {line:?}: expected \"u v [w]\"")
@@ -91,8 +94,14 @@ pub fn parse_edge_list(text: &str) -> Result<Graph, ParseGraphError> {
 
     let (_, header) = lines.next().ok_or(ParseGraphError::MissingHeader)?;
     let mut h = header.split_whitespace();
-    let bad_header = || ParseGraphError::BadHeader { line: header.to_owned() };
-    let n: usize = h.next().ok_or_else(bad_header)?.parse().map_err(|_| bad_header())?;
+    let bad_header = || ParseGraphError::BadHeader {
+        line: header.to_owned(),
+    };
+    let n: usize = h
+        .next()
+        .ok_or_else(bad_header)?
+        .parse()
+        .map_err(|_| bad_header())?;
     let orientation = match h.next().unwrap_or("undirected") {
         "directed" => Orientation::Directed,
         "undirected" => Orientation::Undirected,
@@ -101,7 +110,10 @@ pub fn parse_edge_list(text: &str) -> Result<Graph, ParseGraphError> {
 
     let mut g = Graph::new(n, orientation);
     for (line_no, line) in lines {
-        let bad = || ParseGraphError::BadEdge { line_no, line: line.to_owned() };
+        let bad = || ParseGraphError::BadEdge {
+            line_no,
+            line: line.to_owned(),
+        };
         let mut t = line.split_whitespace();
         let u: usize = t.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
         let v: usize = t.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;

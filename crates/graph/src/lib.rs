@@ -35,8 +35,8 @@
 #![allow(clippy::needless_range_loop, clippy::type_complexity)]
 #![warn(missing_docs)]
 
-mod graph;
 pub mod generators;
+mod graph;
 pub mod io;
 pub mod seq;
 mod witness;

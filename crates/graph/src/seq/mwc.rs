@@ -45,7 +45,10 @@ pub struct Mwc {
 /// # }
 /// ```
 pub fn mwc_directed_exact(g: &Graph) -> Option<Mwc> {
-    assert!(g.is_directed(), "mwc_directed_exact requires a directed graph");
+    assert!(
+        g.is_directed(),
+        "mwc_directed_exact requires a directed graph"
+    );
     let mut best: Option<Mwc> = None;
     for v in 0..g.n() {
         let t = dijkstra(g, v, Direction::Forward);
@@ -58,7 +61,10 @@ pub fn mwc_directed_exact(g: &Graph) -> Option<Mwc> {
             if best.as_ref().is_none_or(|b| cand < b.weight) {
                 let path = extract_path(&t.parent, v, u)
                     .expect("u is reachable so the parent chain exists");
-                best = Some(Mwc { weight: cand, witness: CycleWitness::new(path) });
+                best = Some(Mwc {
+                    weight: cand,
+                    witness: CycleWitness::new(path),
+                });
             }
         }
     }
@@ -92,7 +98,10 @@ pub fn mwc_undirected_exact(g: &Graph) -> Option<Mwc> {
             let path = extract_path(&t.parent, e.u, e.v)
                 .expect("e.v is reachable so the parent chain exists");
             // path = x … y; closing edge (y, x) is e itself.
-            best = Some(Mwc { weight: cand, witness: CycleWitness::new(path) });
+            best = Some(Mwc {
+                weight: cand,
+                witness: CycleWitness::new(path),
+            });
         }
     }
     debug_assert!(best
@@ -135,7 +144,10 @@ pub fn girth_exact(g: &Graph) -> Option<Mwc> {
             cyc.extend(pv[z + 1..].iter().rev());
             let len = cyc.len() as Weight;
             if len >= 3 && best.as_ref().is_none_or(|b| len < b.weight) {
-                best = Some(Mwc { weight: len, witness: CycleWitness::new(cyc) });
+                best = Some(Mwc {
+                    weight: len,
+                    witness: CycleWitness::new(cyc),
+                });
             }
         }
     }
@@ -163,7 +175,8 @@ mod tests {
     use super::*;
     use crate::generators::{connected_gnm, planted_cycle, ring_with_chords, WeightRange};
     use crate::graph::Orientation;
-    use proptest::prelude::*;
+    use mwc_rng::proptest_lite::Config;
+    use mwc_rng::{prop_assert_eq, prop_tests};
 
     /// Brute-force MWC by DFS enumeration of simple cycles; only usable for
     /// tiny graphs, used as an independent ground truth.
@@ -213,8 +226,8 @@ mod tests {
 
     #[test]
     fn directed_triangle() {
-        let g = Graph::from_edges(3, Orientation::Directed, [(0, 1, 2), (1, 2, 3), (2, 0, 4)])
-            .unwrap();
+        let g =
+            Graph::from_edges(3, Orientation::Directed, [(0, 1, 2), (1, 2, 3), (2, 0, 4)]).unwrap();
         let m = mwc_directed_exact(&g).unwrap();
         assert_eq!(m.weight, 9);
         assert_eq!(m.witness.validate(&g), Ok(9));
@@ -233,8 +246,8 @@ mod tests {
 
     #[test]
     fn directed_acyclic_is_none() {
-        let g = Graph::from_edges(4, Orientation::Directed, [(0, 1, 1), (0, 2, 1), (1, 3, 1)])
-            .unwrap();
+        let g =
+            Graph::from_edges(4, Orientation::Directed, [(0, 1, 1), (0, 2, 1), (1, 3, 1)]).unwrap();
         assert!(mwc_directed_exact(&g).is_none());
     }
 
@@ -255,8 +268,12 @@ mod tests {
 
     #[test]
     fn undirected_forest_is_none() {
-        let g = Graph::from_edges(4, Orientation::Undirected, [(0, 1, 1), (1, 2, 1), (1, 3, 1)])
-            .unwrap();
+        let g = Graph::from_edges(
+            4,
+            Orientation::Undirected,
+            [(0, 1, 1), (1, 2, 1), (1, 3, 1)],
+        )
+        .unwrap();
         assert!(mwc_undirected_exact(&g).is_none());
         assert!(girth_exact(&g).is_none());
     }
@@ -315,10 +332,9 @@ mod tests {
         assert_eq!(mwc_exact(&u).unwrap().weight, 12);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
+    prop_tests! {
+        config = Config::with_cases(64);
 
-        #[test]
         fn directed_oracle_matches_brute_force(seed in 0u64..500, n in 4usize..8, extra in 0usize..10) {
             let g = connected_gnm(n, extra, Orientation::Directed, WeightRange::uniform(1, 9), seed);
             let oracle = mwc_directed_exact(&g).map(|m| m.weight);
@@ -326,7 +342,6 @@ mod tests {
             prop_assert_eq!(oracle, brute);
         }
 
-        #[test]
         fn undirected_oracle_matches_brute_force(seed in 0u64..500, n in 4usize..8, extra in 0usize..10) {
             let g = connected_gnm(n, extra, Orientation::Undirected, WeightRange::uniform(1, 9), seed);
             let oracle = mwc_undirected_exact(&g).map(|m| m.weight);
@@ -334,7 +349,6 @@ mod tests {
             prop_assert_eq!(oracle, brute);
         }
 
-        #[test]
         fn witnesses_always_validate(seed in 0u64..200, n in 4usize..12, extra in 0usize..16) {
             let g = connected_gnm(n, extra, Orientation::Directed, WeightRange::uniform(1, 9), seed);
             if let Some(m) = mwc_directed_exact(&g) {

@@ -210,8 +210,12 @@ mod tests {
 
     #[test]
     fn bfs_undirected_symmetric() {
-        let g = Graph::from_edges(4, Orientation::Undirected, [(0, 1, 1), (1, 2, 1), (2, 3, 1)])
-            .unwrap();
+        let g = Graph::from_edges(
+            4,
+            Orientation::Undirected,
+            [(0, 1, 1), (1, 2, 1), (2, 3, 1)],
+        )
+        .unwrap();
         let f = bfs(&g, 3, Direction::Forward);
         assert_eq!(f.dist, vec![3, 2, 1, 0]);
         let r = bfs(&g, 3, Direction::Reverse);

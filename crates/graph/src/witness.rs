@@ -108,7 +108,10 @@ impl CycleWitness {
     pub fn validate(&self, graph: &Graph) -> Result<Weight, WitnessError> {
         let min = if graph.is_directed() { 2 } else { 3 };
         if self.vertices.len() < min {
-            return Err(WitnessError::TooShort { len: self.vertices.len(), min });
+            return Err(WitnessError::TooShort {
+                len: self.vertices.len(),
+                min,
+            });
         }
         let mut seen = HashSet::with_capacity(self.vertices.len());
         for &v in &self.vertices {
@@ -151,8 +154,12 @@ mod tests {
     use crate::graph::Orientation;
 
     fn triangle() -> Graph {
-        Graph::from_edges(4, Orientation::Undirected, [(0, 1, 1), (1, 2, 2), (2, 0, 3), (2, 3, 9)])
-            .unwrap()
+        Graph::from_edges(
+            4,
+            Orientation::Undirected,
+            [(0, 1, 1), (1, 2, 2), (2, 0, 3), (2, 3, 9)],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -213,8 +220,8 @@ mod tests {
 
     #[test]
     fn directed_orientation_matters() {
-        let g = Graph::from_edges(3, Orientation::Directed, [(0, 1, 1), (1, 2, 1), (2, 0, 1)])
-            .unwrap();
+        let g =
+            Graph::from_edges(3, Orientation::Directed, [(0, 1, 1), (1, 2, 1), (2, 0, 1)]).unwrap();
         assert!(CycleWitness::new(vec![0, 1, 2]).validate(&g).is_ok());
         assert_eq!(
             CycleWitness::new(vec![2, 1, 0]).validate(&g),

@@ -1,5 +1,8 @@
 //! Property-based tests of the graph substrate: generator invariants,
 //! oracle cross-agreement, witness round-trips.
+//!
+//! Runs on `mwc_rng::proptest_lite`; new failures persist their case
+//! seed under `proplite-regressions/`.
 
 use mwc_graph::generators::{
     barbell, bipartite, connected_gnm, grid, planted_cycle, random_regular, ring_with_chords,
@@ -10,44 +13,84 @@ use mwc_graph::seq::{
     mwc_undirected_exact, Direction, HOP_INF, INF,
 };
 use mwc_graph::{CycleWitness, Orientation};
-use proptest::prelude::*;
+use mwc_rng::proptest_lite::{Config, TestCaseResult};
+use mwc_rng::{prop_assert, prop_assert_eq, prop_tests};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Shared body of `generators_produce_valid_graphs`, also exercised by
+/// the pinned regression case below.
+fn generators_valid(seed: u64, n: usize) -> TestCaseResult {
+    let graphs = vec![
+        connected_gnm(
+            n,
+            2 * n,
+            Orientation::Directed,
+            WeightRange::uniform(1, 9),
+            seed,
+        ),
+        connected_gnm(n, 2 * n, Orientation::Undirected, WeightRange::unit(), seed),
+        ring_with_chords(
+            n,
+            n / 3,
+            Orientation::Undirected,
+            WeightRange::uniform(1, 5),
+            seed,
+        ),
+        random_regular(
+            n + n % 2,
+            4,
+            Orientation::Undirected,
+            WeightRange::unit(),
+            true,
+            seed,
+        ),
+        bipartite(
+            n / 2 + 1,
+            n / 2 + 1,
+            n,
+            Orientation::Undirected,
+            WeightRange::unit(),
+            seed,
+        ),
+        barbell(4, n / 4 + 1, WeightRange::unit(), seed),
+    ];
+    for g in graphs {
+        prop_assert!(g.is_comm_connected(), "n={} m={}", g.n(), g.m());
+        for e in g.edges() {
+            prop_assert!(e.u < g.n() && e.v < g.n() && e.u != e.v);
+            prop_assert!(e.weight >= 1);
+        }
+        // No duplicate edges in the declared orientation.
+        let mut seen = std::collections::HashSet::new();
+        for e in g.edges() {
+            let key = if g.is_directed() {
+                (e.u, e.v)
+            } else {
+                (e.u.min(e.v), e.u.max(e.v))
+            };
+            prop_assert!(seen.insert(key), "duplicate edge {key:?}");
+        }
+    }
+    Ok(())
+}
+
+/// The shrunken case the old proptest suite once caught
+/// (`graph_props.proptest-regressions`: "shrinks to seed = 1443,
+/// n = 24"), inlined as a permanent fixed regression.
+#[test]
+fn regression_generators_valid_seed_1443_n_24() {
+    generators_valid(1443, 24).unwrap_or_else(|e| panic!("{}", e.0));
+}
+
+prop_tests! {
+    config = Config::with_cases(48);
 
     /// Every generator produces a simple, in-range, connected graph.
-    #[test]
     fn generators_produce_valid_graphs(seed in 0u64..10_000, n in 4usize..40) {
-        let graphs = vec![
-            connected_gnm(n, 2 * n, Orientation::Directed, WeightRange::uniform(1, 9), seed),
-            connected_gnm(n, 2 * n, Orientation::Undirected, WeightRange::unit(), seed),
-            ring_with_chords(n, n / 3, Orientation::Undirected, WeightRange::uniform(1, 5), seed),
-            random_regular(n + n % 2, 4, Orientation::Undirected, WeightRange::unit(), true, seed),
-            bipartite(n / 2 + 1, n / 2 + 1, n, Orientation::Undirected, WeightRange::unit(), seed),
-            barbell(4, n / 4 + 1, WeightRange::unit(), seed),
-        ];
-        for g in graphs {
-            prop_assert!(g.is_comm_connected(), "n={} m={}", g.n(), g.m());
-            for e in g.edges() {
-                prop_assert!(e.u < g.n() && e.v < g.n() && e.u != e.v);
-                prop_assert!(e.weight >= 1);
-            }
-            // No duplicate edges in the declared orientation.
-            let mut seen = std::collections::HashSet::new();
-            for e in g.edges() {
-                let key = if g.is_directed() {
-                    (e.u, e.v)
-                } else {
-                    (e.u.min(e.v), e.u.max(e.v))
-                };
-                prop_assert!(seen.insert(key), "duplicate edge {key:?}");
-            }
-        }
+        generators_valid(seed, n)?;
     }
 
     /// Dijkstra ≤ BFS-hops × max-weight; equal on unit weights; BFS
     /// reachability agrees with Dijkstra reachability.
-    #[test]
     fn bfs_dijkstra_consistency(seed in 0u64..10_000, n in 4usize..30, extra in 0usize..50) {
         let g = connected_gnm(n, extra, Orientation::Directed, WeightRange::uniform(1, 7), seed);
         let b = bfs(&g, 0, Direction::Forward);
@@ -62,7 +105,6 @@ proptest! {
     }
 
     /// Hop-limited distances are monotone in h and converge to Dijkstra.
-    #[test]
     fn bellman_ford_monotone_in_h(seed in 0u64..10_000, n in 4usize..24, extra in 0usize..40) {
         let g = connected_gnm(n, extra, Orientation::Directed, WeightRange::uniform(1, 9), seed);
         let full = dijkstra(&g, 0, Direction::Forward);
@@ -79,7 +121,6 @@ proptest! {
     }
 
     /// The two undirected oracles agree; girth equals unit-weight MWC.
-    #[test]
     fn oracles_agree(seed in 0u64..10_000, n in 4usize..20, extra in 0usize..30) {
         let g = connected_gnm(n, extra, Orientation::Undirected, WeightRange::unit(), seed);
         let a = girth_exact(&g).map(|m| m.weight);
@@ -91,7 +132,6 @@ proptest! {
 
     /// Rotating or (for undirected) reversing a witness keeps it valid
     /// with the same weight.
-    #[test]
     fn witness_rotation_invariance(seed in 0u64..10_000, n in 4usize..20, extra in 5usize..30) {
         let g = connected_gnm(n, extra, Orientation::Undirected, WeightRange::uniform(1, 9), seed);
         if let Some(m) = mwc_undirected_exact(&g) {
@@ -107,7 +147,6 @@ proptest! {
     }
 
     /// Planted light cycles are the MWC when the background is heavy.
-    #[test]
     fn planted_cycles_are_minimum(seed in 0u64..10_000, n in 10usize..30, len in 3usize..6) {
         let (g, cycle) = planted_cycle(
             n, 2 * n, len, 1,
@@ -121,7 +160,6 @@ proptest! {
     }
 
     /// Reversing a directed graph preserves its MWC weight.
-    #[test]
     fn reversal_preserves_mwc(seed in 0u64..10_000, n in 4usize..20, extra in 0usize..40) {
         let g = connected_gnm(n, extra, Orientation::Directed, WeightRange::uniform(1, 9), seed);
         let a = mwc_directed_exact(&g).map(|m| m.weight);
@@ -144,5 +182,5 @@ fn grid_girth_is_four() {
 fn diameter_of_barbell_spans_bridge() {
     let g = barbell(5, 7, WeightRange::unit(), 1);
     let d = g.undirected_diameter().unwrap();
-    assert!(d >= 8 && d <= 12, "barbell diameter {d}");
+    assert!((8..=12).contains(&d), "barbell diameter {d}");
 }

@@ -1,0 +1,198 @@
+//! Cross-validation of the sequential oracles against brute force.
+//!
+//! The oracles in `seq` are the ground truth every distributed algorithm
+//! is tested against, so they get their own independent check: exhaustive
+//! enumeration of *all* graphs on 4 nodes (every edge subset, directed
+//! and undirected, unit and non-uniform weights) plus mwc-rng-seeded
+//! random graphs up to n = 7, compared against a brute-force simple-cycle
+//! enumerator and a brute-force simple-path minimizer that share no code
+//! with the oracles.
+
+use mwc_graph::generators::{connected_gnm, WeightRange};
+use mwc_graph::seq::{self, dijkstra, Direction, INF};
+use mwc_graph::{Graph, NodeId, Orientation, Weight};
+use mwc_rng::StdRng;
+
+/// Brute-force MWC: DFS over all simple cycles, anchored at each cycle's
+/// minimum vertex so rotations are not re-enumerated.
+fn brute_force_mwc(g: &Graph) -> Option<Weight> {
+    let min_len = if g.is_directed() { 2 } else { 3 };
+    let mut best: Option<Weight> = None;
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        g: &Graph,
+        start: NodeId,
+        u: NodeId,
+        weight: Weight,
+        visited: &mut Vec<bool>,
+        depth: usize,
+        min_len: usize,
+        best: &mut Option<Weight>,
+    ) {
+        for a in g.out_adj(u) {
+            if a.to == start {
+                if depth >= min_len {
+                    let w = weight + a.weight;
+                    if best.is_none() || w < best.unwrap() {
+                        *best = Some(w);
+                    }
+                }
+                continue;
+            }
+            if a.to < start || visited[a.to] {
+                continue;
+            }
+            visited[a.to] = true;
+            dfs(
+                g,
+                start,
+                a.to,
+                weight + a.weight,
+                visited,
+                depth + 1,
+                min_len,
+                best,
+            );
+            visited[a.to] = false;
+        }
+    }
+    for start in 0..g.n() {
+        let mut visited = vec![false; g.n()];
+        visited[start] = true;
+        dfs(g, start, start, 0, &mut visited, 1, min_len, &mut best);
+    }
+    best
+}
+
+/// Brute-force girth: same enumeration, counting hops instead of weight.
+fn brute_force_girth(g: &Graph) -> Option<Weight> {
+    let unit = Graph::from_edges(
+        g.n(),
+        g.orientation(),
+        g.edges().iter().map(|e| (e.u, e.v, 1)),
+    )
+    .expect("same topology, unit weights");
+    brute_force_mwc(&unit)
+}
+
+/// Brute-force single-source distances: DFS over all simple paths.
+fn brute_force_distances(g: &Graph, src: NodeId) -> Vec<Weight> {
+    fn dfs(g: &Graph, u: NodeId, weight: Weight, visited: &mut Vec<bool>, dist: &mut Vec<Weight>) {
+        if weight < dist[u] {
+            dist[u] = weight;
+        }
+        for a in g.out_adj(u) {
+            if !visited[a.to] {
+                visited[a.to] = true;
+                dfs(g, a.to, weight + a.weight, visited, dist);
+                visited[a.to] = false;
+            }
+        }
+    }
+    let mut dist = vec![INF; g.n()];
+    let mut visited = vec![false; g.n()];
+    visited[src] = true;
+    dfs(g, src, 0, &mut visited, &mut dist);
+    dist
+}
+
+/// All unordered node pairs of `{0, …, 3}` — the 6 possible undirected
+/// edges on 4 nodes.
+const UNDIRECTED_PAIRS: [(usize, usize); 6] = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+
+#[test]
+fn exhaustive_undirected_n4_matches_brute_force() {
+    // All 2^6 edge subsets, each under unit weights (exercises girth_exact
+    // via mwc_exact) and a fixed non-uniform weighting (exercises
+    // mwc_undirected_exact).
+    for mask in 0u32..64 {
+        for unit in [true, false] {
+            let edges: Vec<(usize, usize, Weight)> = UNDIRECTED_PAIRS
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(i, &(u, v))| (u, v, if unit { 1 } else { 1 + (i as Weight * 3) % 5 }))
+                .collect();
+            let g = Graph::from_edges(4, Orientation::Undirected, edges).unwrap();
+            let expect = brute_force_mwc(&g);
+            assert_eq!(
+                seq::mwc_exact(&g).map(|m| m.weight),
+                expect,
+                "mask {mask:#08b} unit {unit}"
+            );
+            assert_eq!(
+                seq::mwc_undirected_exact(&g).map(|m| m.weight),
+                expect,
+                "mask {mask:#08b} unit {unit} (per-edge-deletion oracle)"
+            );
+            assert_eq!(
+                seq::girth_exact(&g).map(|m| m.weight),
+                brute_force_girth(&g),
+                "mask {mask:#08b} girth"
+            );
+        }
+    }
+}
+
+#[test]
+fn exhaustive_directed_n4_matches_brute_force() {
+    // All 2^12 subsets of the 12 ordered pairs on 4 nodes, with weights
+    // varying by edge index so asymmetric cycles are distinguished.
+    let pairs: Vec<(usize, usize)> = (0..4)
+        .flat_map(|u| (0..4).filter(move |&v| v != u).map(move |v| (u, v)))
+        .collect();
+    for mask in 0u32..4096 {
+        let edges: Vec<(usize, usize, Weight)> = pairs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(i, &(u, v))| (u, v, 1 + (i as Weight * 5) % 7))
+            .collect();
+        let g = Graph::from_edges(4, Orientation::Directed, edges).unwrap();
+        assert_eq!(
+            seq::mwc_directed_exact(&g).map(|m| m.weight),
+            brute_force_mwc(&g),
+            "mask {mask:#014b}"
+        );
+    }
+}
+
+#[test]
+fn random_small_graphs_match_brute_force() {
+    let mut seeds = StdRng::seed_from_u64(0xC0DE).fork("oracle-cross/mwc");
+    for n in 5usize..=7 {
+        for orientation in [Orientation::Directed, Orientation::Undirected] {
+            for _ in 0..40 {
+                let seed = seeds.next_u64();
+                let extra = (seed % 2 * n as u64) as usize;
+                let g = connected_gnm(n, extra, orientation, WeightRange::uniform(1, 9), seed);
+                assert_eq!(
+                    seq::mwc_exact(&g).map(|m| m.weight),
+                    brute_force_mwc(&g),
+                    "n {n} {orientation:?} seed {seed}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dijkstra_matches_brute_force_paths() {
+    let mut seeds = StdRng::seed_from_u64(0xC0DE).fork("oracle-cross/dijkstra");
+    for n in 4usize..=7 {
+        for orientation in [Orientation::Directed, Orientation::Undirected] {
+            for _ in 0..30 {
+                let seed = seeds.next_u64();
+                let g = connected_gnm(n, n, orientation, WeightRange::uniform(1, 9), seed);
+                for src in 0..n {
+                    let t = dijkstra(&g, src, Direction::Forward);
+                    assert_eq!(
+                        t.dist,
+                        brute_force_distances(&g, src),
+                        "n {n} {orientation:?} seed {seed} src {src}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -5,8 +5,7 @@
 //! whether some position is 1 in both requires `Ω(k)` bits of
 //! communication even with shared randomness \[7, 35, 46\].
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use mwc_rng::StdRng;
 
 /// A two-party set-disjointness instance.
 #[derive(Clone, PartialEq, Eq, Debug)]

@@ -215,8 +215,14 @@ mod tests {
             let yes = Disjointness::random_intersecting(36, 0.3, seed);
             let lb = undirected_weighted_gadget(6, 0.5, &yes);
             assert!(lb.graph.is_comm_connected());
-            let mwc = seq::mwc_undirected_exact(&lb.graph).expect("yes ⇒ cycle").weight;
-            assert!(mwc <= lb.yes_threshold, "yes mwc {mwc} > {}", lb.yes_threshold);
+            let mwc = seq::mwc_undirected_exact(&lb.graph)
+                .expect("yes ⇒ cycle")
+                .weight;
+            assert!(
+                mwc <= lb.yes_threshold,
+                "yes mwc {mwc} > {}",
+                lb.yes_threshold
+            );
             assert!(lb.decide(Some(mwc)));
 
             let no = Disjointness::random_disjoint(36, 0.3, seed);

@@ -82,7 +82,10 @@ mod harness_tests {
         let out = exact_mwc(&lb.graph);
         let wb = word_bits(lb.graph.n(), 1);
         let report = lb.report(&out.ledger, wb);
-        assert!(report.round_floor >= 1, "floor should be nontrivial: {report:?}");
+        assert!(
+            report.round_floor >= 1,
+            "floor should be nontrivial: {report:?}"
+        );
         assert!(
             report.rounds >= report.round_floor,
             "measured {} rounds below the information-theoretic floor {}",
@@ -113,16 +116,26 @@ mod harness_tests {
         // The α-approx family must be decidable even by the approximation
         // algorithm (that is its whole point).
         use mwc_core::{approx_girth, Params};
-        let p = SarmaParams { gamma: 5, ell: 5, alpha: 2.0 };
+        let p = SarmaParams {
+            gamma: 5,
+            ell: 5,
+            alpha: 2.0,
+        };
         let yes = Disjointness::random_intersecting(5, 0.4, 2);
         let lb = sarma_unweighted_girth(p, &yes);
         let out = approx_girth(&lb.graph, &Params::new().with_seed(1));
         // approx ≤ (2 − 1/g)·g < 2·(ℓ+2) ≤ no_threshold.
-        assert!(lb.decide(out.weight), "approximation failed to decide yes-instance");
+        assert!(
+            lb.decide(out.weight),
+            "approximation failed to decide yes-instance"
+        );
 
         let no = Disjointness::random_disjoint(5, 0.4, 2);
         let lb = sarma_unweighted_girth(p, &no);
         let out = approx_girth(&lb.graph, &Params::new().with_seed(1));
-        assert!(!lb.decide(out.weight), "approximation misclassified no-instance");
+        assert!(
+            !lb.decide(out.weight),
+            "approximation misclassified no-instance"
+        );
     }
 }

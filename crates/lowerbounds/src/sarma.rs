@@ -201,10 +201,17 @@ mod tests {
     use mwc_graph::seq;
 
     fn params() -> SarmaParams {
-        SarmaParams { gamma: 6, ell: 5, alpha: 2.0 }
+        SarmaParams {
+            gamma: 6,
+            ell: 5,
+            alpha: 2.0,
+        }
     }
 
-    fn check_family(build: impl Fn(&Disjointness) -> LowerBoundInstance, oracle: impl Fn(&Graph) -> Option<Weight>) {
+    fn check_family(
+        build: impl Fn(&Disjointness) -> LowerBoundInstance,
+        oracle: impl Fn(&Graph) -> Option<Weight>,
+    ) {
         for seed in 0..5 {
             let yes = Disjointness::random_intersecting(6, 0.4, seed);
             let lb = build(&yes);
@@ -254,10 +261,17 @@ mod tests {
     fn gap_scales_with_alpha() {
         let d = Disjointness::random_intersecting(4, 0.5, 1);
         for alpha in [1.5, 3.0, 8.0] {
-            let p = SarmaParams { gamma: 4, ell: 4, alpha };
+            let p = SarmaParams {
+                gamma: 4,
+                ell: 4,
+                alpha,
+            };
             let lb = sarma_weighted(p, Orientation::Undirected, &d);
             let ratio = lb.no_threshold as f64 / lb.yes_threshold as f64;
-            assert!(ratio >= 2.0 * alpha - 0.01, "gap {ratio} too small for α = {alpha}");
+            assert!(
+                ratio >= 2.0 * alpha - 0.01,
+                "gap {ratio} too small for α = {alpha}"
+            );
         }
     }
 
@@ -266,9 +280,25 @@ mod tests {
         // Doubling the number of bits (paths) at fixed ℓ at most doubles
         // the crossing edges (each path contributes one mid edge).
         let d6 = Disjointness::random_disjoint(6, 0.3, 0);
-        let lb6 = sarma_weighted(SarmaParams { gamma: 6, ell: 6, alpha: 2.0 }, Orientation::Undirected, &d6);
+        let lb6 = sarma_weighted(
+            SarmaParams {
+                gamma: 6,
+                ell: 6,
+                alpha: 2.0,
+            },
+            Orientation::Undirected,
+            &d6,
+        );
         let d12 = Disjointness::random_disjoint(12, 0.3, 0);
-        let lb12 = sarma_weighted(SarmaParams { gamma: 12, ell: 6, alpha: 2.0 }, Orientation::Undirected, &d12);
+        let lb12 = sarma_weighted(
+            SarmaParams {
+                gamma: 12,
+                ell: 6,
+                alpha: 2.0,
+            },
+            Orientation::Undirected,
+            &d12,
+        );
         // Bits doubled; cut grows only by the extra midpoint spokes.
         assert!(lb12.bits == 2 * lb6.bits);
         assert!(lb12.cut_edges() <= 2 * lb6.cut_edges());

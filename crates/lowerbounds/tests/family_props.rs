@@ -1,6 +1,9 @@
 //! Property-based tests of the lower-bound families: the separation and
 //! decidability invariants must hold for *every* instance, not just the
 //! seeds the unit tests happen to pick.
+//!
+//! Runs on `mwc_rng::proptest_lite`; new failures persist their case
+//! seed under `proplite-regressions/`.
 
 use mwc_graph::seq;
 use mwc_graph::Orientation;
@@ -8,7 +11,8 @@ use mwc_lowerbounds::{
     directed_gadget, sarma_unweighted_girth, sarma_weighted, undirected_weighted_gadget,
     Disjointness, SarmaParams,
 };
-use proptest::prelude::*;
+use mwc_rng::proptest_lite::{any_bool, Config};
+use mwc_rng::{prop_assert, prop_assert_eq, prop_tests};
 
 fn arbitrary_instance(k: usize, seed: u64, intersecting: bool) -> Disjointness {
     if intersecting {
@@ -18,11 +22,10 @@ fn arbitrary_instance(k: usize, seed: u64, intersecting: bool) -> Disjointness {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+prop_tests! {
+    config = Config::with_cases(40);
 
-    #[test]
-    fn directed_gadget_always_separates(q in 3usize..10, seed in 0u64..10_000, yes in any::<bool>()) {
+    fn directed_gadget_always_separates(q in 3usize..10, seed in 0u64..10_000, yes in any_bool()) {
         let inst = arbitrary_instance(q * q, seed, yes);
         let lb = directed_gadget(q, &inst);
         prop_assert!(lb.graph.is_comm_connected());
@@ -44,8 +47,7 @@ proptest! {
         }
     }
 
-    #[test]
-    fn undirected_gadget_gap_holds(q in 3usize..9, seed in 0u64..10_000, yes in any::<bool>(),
+    fn undirected_gadget_gap_holds(q in 3usize..9, seed in 0u64..10_000, yes in any_bool(),
                                    eps_i in 1usize..4) {
         let eps = eps_i as f64 / 4.0; // 0.25, 0.5, 0.75
         let inst = arbitrary_instance(q * q, seed, yes);
@@ -65,9 +67,8 @@ proptest! {
         prop_assert_eq!(lb.decide(mwc), inst.intersects());
     }
 
-    #[test]
     fn sarma_families_always_separate(gamma in 3usize..9, ell in 3usize..8,
-                                      seed in 0u64..10_000, yes in any::<bool>(),
+                                      seed in 0u64..10_000, yes in any_bool(),
                                       alpha_i in 2usize..6) {
         let alpha = alpha_i as f64;
         let p = SarmaParams { gamma, ell, alpha };
@@ -100,7 +101,6 @@ proptest! {
         prop_assert_eq!(lb.decide(girth), inst.intersects(), "girth family");
     }
 
-    #[test]
     fn round_floor_is_monotone_in_bits(q in 4usize..20) {
         let inst = Disjointness::random_disjoint(q * q, 0.3, 1);
         let lb = directed_gadget(q, &inst);

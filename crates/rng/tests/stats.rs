@@ -1,0 +1,119 @@
+//! Statistical sanity checks for the in-tree generator.
+//!
+//! These are not a PRNG test battery (xoshiro256** has published
+//! BigCrush results); they are cheap guards against *integration* bugs —
+//! a biased `random_range` reduction, an off-by-one in Fisher–Yates, or
+//! correlated fork streams — the kinds of mistake that silently skew
+//! every sampled experiment downstream. All tests are fixed-seed and
+//! deterministic: the thresholds are generous (≫ 5σ) so they can never
+//! flake, only catch real breakage.
+
+use mwc_rng::{SliceRandom, StdRng};
+
+/// Pearson chi-square statistic for `counts` against a uniform
+/// expectation of `total / counts.len()` per bucket.
+fn chi_square(counts: &[u64], total: u64) -> f64 {
+    let expect = total as f64 / counts.len() as f64;
+    counts
+        .iter()
+        .map(|&c| (c as f64 - expect).powi(2) / expect)
+        .sum()
+}
+
+#[test]
+fn random_range_buckets_are_uniform() {
+    // 100k draws into k buckets; χ² has k−1 degrees of freedom, so mean
+    // k−1 and σ = √(2(k−1)). A cutoff of k−1 + 8·σ is far beyond any
+    // plausible healthy run but instantly catches modulo bias or a
+    // truncated range.
+    for (span, seed) in [(10u64, 1u64), (16, 2), (100, 3), (1000, 4), (7, 5)] {
+        let mut rng = StdRng::seed_from_u64(seed).fork("stats/uniform");
+        let total = 100_000u64;
+        let mut counts = vec![0u64; span as usize];
+        for _ in 0..total {
+            counts[rng.random_range(0..span) as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "span {span}: empty bucket");
+        let dof = (span - 1) as f64;
+        let cutoff = dof + 8.0 * (2.0 * dof).sqrt();
+        let x2 = chi_square(&counts, total);
+        assert!(x2 < cutoff, "span {span}: χ² = {x2:.1} ≥ {cutoff:.1}");
+    }
+}
+
+#[test]
+fn inclusive_range_hits_both_endpoints() {
+    let mut rng = StdRng::seed_from_u64(6).fork("stats/inclusive");
+    let mut seen = [false; 5];
+    for _ in 0..1_000 {
+        seen[rng.random_range(0usize..=4)] = true;
+    }
+    assert_eq!(seen, [true; 5]);
+}
+
+#[test]
+fn shuffle_reaches_all_permutations_uniformly() {
+    // 24 permutations of [0,1,2,3]; 48k shuffles ⇒ 2000 expected each.
+    // A correct Fisher–Yates is uniform; the classic naive-swap bug is
+    // biased by factors ~1.4 and trips the same χ² cutoff immediately.
+    let mut rng = StdRng::seed_from_u64(7).fork("stats/shuffle");
+    let total = 48_000u64;
+    let mut counts = vec![0u64; 24];
+    for _ in 0..total {
+        let mut v = [0usize, 1, 2, 3];
+        v.shuffle(&mut rng);
+        // Lehmer code → permutation index in 0..24.
+        let mut idx = 0usize;
+        for i in 0..4 {
+            let rank = v[i + 1..].iter().filter(|&&x| x < v[i]).count();
+            idx = idx * (4 - i) + rank;
+        }
+        counts[idx] += 1;
+    }
+    assert!(
+        counts.iter().all(|&c| c > 0),
+        "some permutation never produced"
+    );
+    let dof = 23.0f64;
+    let cutoff = dof + 8.0 * (2.0 * dof).sqrt();
+    let x2 = chi_square(&counts, total);
+    assert!(x2 < cutoff, "χ² = {x2:.1} ≥ {cutoff:.1}; counts {counts:?}");
+}
+
+#[test]
+fn random_bool_frequency_tracks_p() {
+    for (p, seed) in [(0.1f64, 8u64), (0.5, 9), (0.9, 10)] {
+        let mut rng = StdRng::seed_from_u64(seed).fork("stats/bool");
+        let total = 100_000;
+        let hits = (0..total).filter(|_| rng.random_bool(p)).count() as f64;
+        let freq = hits / total as f64;
+        // 8σ of a binomial with n = 100k: σ ≤ 0.00158.
+        assert!((freq - p).abs() < 0.013, "p {p}: observed {freq}");
+    }
+}
+
+#[test]
+fn sibling_forks_are_pairwise_decorrelated() {
+    // Draw 256 words from each of 32 sibling streams: no two streams may
+    // share a word at the same position (collision probability ≈ 2^-47),
+    // and the pooled low bits must stay balanced.
+    let root = StdRng::seed_from_u64(11).fork("stats/forks");
+    let streams: Vec<Vec<u64>> = (0..32)
+        .map(|i| {
+            let mut r = root.fork_u64(i);
+            (0..256).map(|_| r.next_u64()).collect()
+        })
+        .collect();
+    for i in 0..streams.len() {
+        for j in i + 1..streams.len() {
+            assert!(
+                streams[i].iter().zip(&streams[j]).all(|(a, b)| a != b),
+                "streams {i} and {j} collide"
+            );
+        }
+    }
+    let ones: u32 = streams.iter().flatten().map(|w| (w & 1) as u32).sum();
+    let total = (32 * 256) as f64;
+    let freq = ones as f64 / total;
+    assert!((freq - 0.5).abs() < 0.05, "low-bit frequency {freq}");
+}

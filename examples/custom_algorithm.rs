@@ -42,7 +42,12 @@ impl NodeProgram for TriangleCounter {
             .collect()
     }
 
-    fn on_receive(&mut self, _ctx: &NodeCtx, from: NodeId, their_adj: Self::Msg) -> Vec<Action<Self::Msg>> {
+    fn on_receive(
+        &mut self,
+        _ctx: &NodeCtx,
+        from: NodeId,
+        their_adj: Self::Msg,
+    ) -> Vec<Action<Self::Msg>> {
         // Common neighbors of me and `from` close triangles (me, from, x).
         for x in their_adj.iter() {
             if *x != from && self.my_adj.binary_search(x).is_ok() {
@@ -73,7 +78,10 @@ fn main() {
     let mut ledger = Ledger::new();
     let nodes = run_programs(
         &g,
-        |_| TriangleCounter { my_adj: Arc::new(Vec::new()), double_count: 0 },
+        |_| TriangleCounter {
+            my_adj: Arc::new(Vec::new()),
+            double_count: 0,
+        },
         1_000_000,
         &mut ledger,
     );

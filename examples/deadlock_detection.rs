@@ -13,8 +13,7 @@
 
 use congest_mwc::core::{approx_mwc_directed_weighted, exact_mwc, Params};
 use congest_mwc::graph::{Graph, NodeId};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use congest_mwc::rng::StdRng;
 
 /// Builds a wait-for graph: `n` transactions, a sprinkle of wait edges,
 /// plus one planted tight deadlock ring among `ring` transactions.
@@ -86,7 +85,10 @@ fn main() {
         approx.ledger.rounds
     );
     println!("  victim set: {}", approx.witness.as_ref().unwrap());
-    assert!(rep >= opt, "approximation can never report less than the optimum");
+    assert!(
+        rep >= opt,
+        "approximation can never report less than the optimum"
+    );
     println!(
         "\nquality: {rep} / {opt} = {:.2} (guaranteed ≤ {:.2})",
         rep as f64 / opt as f64,

@@ -16,7 +16,13 @@ use congest_mwc::graph::{NodeId, Orientation};
 fn main() {
     let n = 1000;
     let k = 12;
-    let g = connected_gnm(n, 2500, Orientation::Directed, WeightRange::uniform(1, 20), 31);
+    let g = connected_gnm(
+        n,
+        2500,
+        Orientation::Directed,
+        WeightRange::uniform(1, 20),
+        31,
+    );
     let gateways: Vec<NodeId> = (0..k).map(|i| i * n / k).collect();
     println!("network: n = {n}, m = {}, gateways: {gateways:?}", g.m());
 

@@ -18,7 +18,10 @@ fn main() {
     let q = 64;
 
     for (label, inst) in [
-        ("intersecting", Disjointness::random_intersecting(q * q, 0.35, 11)),
+        (
+            "intersecting",
+            Disjointness::random_intersecting(q * q, 0.35, 11),
+        ),
         ("disjoint", Disjointness::random_disjoint(q * q, 0.35, 11)),
     ] {
         let lb = directed_gadget(q, &inst);
@@ -37,7 +40,10 @@ fn main() {
         }
         let decided = lb.decide(out.weight);
         assert_eq!(decided, inst.intersects(), "the reduction must be sound");
-        println!("  ⇒ network decided: sets {}", if decided { "INTERSECT" } else { "are disjoint" });
+        println!(
+            "  ⇒ network decided: sets {}",
+            if decided { "INTERSECT" } else { "are disjoint" }
+        );
 
         // The 4-cycle-detection corollary (§1.3): the same instance is
         // hard for q-cycle detection, any q ≥ 4.

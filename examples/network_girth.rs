@@ -65,12 +65,20 @@ fn main() {
         basis.ledger.rounds
     );
     let longest = basis.cycles.iter().map(|c| c.hop_len()).max().unwrap_or(0);
-    println!("longest basis cycle: {longest} hops (fundamental bases trade length for O(D) rounds)");
+    println!(
+        "longest basis cycle: {longest} hops (fundamental bases trade length for O(D) rounds)"
+    );
 
     println!("\n-- scaling: the approximation pulls away as n grows --");
     let mut n = 256;
     while n <= 2048 {
-        let g = connected_gnm(n, 2 * n, Orientation::Undirected, WeightRange::unit(), n as u64);
+        let g = connected_gnm(
+            n,
+            2 * n,
+            Orientation::Undirected,
+            WeightRange::unit(),
+            n as u64,
+        );
         analyze("gnm (m = 3n)", &g, &params);
         n *= 2;
     }

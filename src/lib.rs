@@ -14,6 +14,10 @@
 //!   1.3.B, 1.4.C, 1.6) and exact baselines.
 //! - [`lowerbounds`] ([`mwc_lowerbounds`]): disjointness gadgets and the
 //!   two-party accounting harness.
+//! - [`rng`] ([`mwc_rng`]): the in-tree deterministic RNG (seeded
+//!   xoshiro256** with labeled substream forking) and the
+//!   `proptest_lite` property-testing harness — the workspace has no
+//!   external dependencies.
 //!
 //! # Quickstart
 //!
@@ -38,3 +42,4 @@ pub use mwc_congest as congest;
 pub use mwc_core as core;
 pub use mwc_graph as graph;
 pub use mwc_lowerbounds as lowerbounds;
+pub use mwc_rng as rng;

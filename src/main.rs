@@ -52,7 +52,11 @@ struct Opts {
 
 fn parse_args() -> Option<Opts> {
     let mut args = std::env::args().skip(1);
-    let mut o = Opts { q: 4, eps: 0.25, ..Opts::default() };
+    let mut o = Opts {
+        q: 4,
+        eps: 0.25,
+        ..Opts::default()
+    };
     o.command = args.next()?;
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -93,10 +97,7 @@ fn parse_graph(spec: &str) -> Result<Graph, String> {
         }
     }
     let num = |i: usize, default: usize| -> usize {
-        parts
-            .get(i)
-            .and_then(|t| t.parse().ok())
-            .unwrap_or(default)
+        parts.get(i).and_then(|t| t.parse().ok()).unwrap_or(default)
     };
     match parts[0] {
         "gnm" => {
@@ -151,8 +152,12 @@ fn report(label: &str, g: &Graph, out: &MwcOutcome, verbose: bool) {
 }
 
 fn main() -> ExitCode {
-    let Some(o) = parse_args() else { return usage() };
-    let Some(spec) = o.graph.as_deref() else { return usage() };
+    let Some(o) = parse_args() else {
+        return usage();
+    };
+    let Some(spec) = o.graph.as_deref() else {
+        return usage();
+    };
     let g = match parse_graph(spec) {
         Ok(g) => g,
         Err(e) => {
@@ -183,13 +188,23 @@ fn main() -> ExitCode {
             report("approx", &g, &out, o.verbose);
         }
         "girth" => report("girth", &g, &approx_girth(&g, &params), o.verbose),
-        "detect" => report(&format!("detect(q={})", o.q), &g, &shortest_cycle_within(&g, o.q), o.verbose),
+        "detect" => report(
+            &format!("detect(q={})", o.q),
+            &g,
+            &shortest_cycle_within(&g, o.q),
+            o.verbose,
+        ),
         "ksssp" => {
             if o.sources.is_empty() {
                 eprintln!("ksssp needs --sources a,b,c");
                 return ExitCode::from(2);
             }
-            let out = k_source_bfs(&g, &o.sources, congest_mwc::graph::seq::Direction::Forward, &params);
+            let out = k_source_bfs(
+                &g,
+                &o.sources,
+                congest_mwc::graph::seq::Direction::Forward,
+                &params,
+            );
             println!(
                 "k-source BFS from {:?}: {} rounds, {} words",
                 o.sources, out.ledger.rounds, out.ledger.words
@@ -203,7 +218,10 @@ fn main() -> ExitCode {
                     .filter(|&d| d != congest_mwc::congest::INF)
                     .max()
                     .unwrap_or(0);
-                println!("  source {s}: reaches {reach}/{} nodes, eccentricity {ecc}", g.n());
+                println!(
+                    "  source {s}: reaches {reach}/{} nodes, eccentricity {ecc}",
+                    g.n()
+                );
             }
             if o.verbose {
                 println!("\nledger:\n{}", out.ledger);

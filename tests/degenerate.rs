@@ -31,9 +31,15 @@ fn single_node_everything() {
     assert_eq!(two_approx_directed_mwc(&g, &Params::new()).weight, None);
     let g = Graph::undirected(1);
     assert_eq!(approx_girth(&g, &Params::new()).weight, None);
-    assert_eq!(approx_mwc_undirected_weighted(&g, &Params::new()).weight, None);
+    assert_eq!(
+        approx_mwc_undirected_weighted(&g, &Params::new()).weight,
+        None
+    );
     let g = Graph::directed(1);
-    assert_eq!(approx_mwc_directed_weighted(&g, &Params::new()).weight, None);
+    assert_eq!(
+        approx_mwc_directed_weighted(&g, &Params::new()).weight,
+        None
+    );
 }
 
 #[test]
@@ -41,8 +47,18 @@ fn single_edge_graphs() {
     // Undirected single edge: no cycle possible.
     let g = Graph::from_edges(2, Orientation::Undirected, [(0, 1, 3)]).unwrap();
     assert_eq!(exact_mwc(&g).weight, None);
-    assert_eq!(approx_girth(&Graph::from_edges(2, Orientation::Undirected, [(0, 1, 1)]).unwrap(), &Params::new()).weight, None);
-    assert_eq!(approx_mwc_undirected_weighted(&g, &Params::new()).weight, None);
+    assert_eq!(
+        approx_girth(
+            &Graph::from_edges(2, Orientation::Undirected, [(0, 1, 1)]).unwrap(),
+            &Params::new()
+        )
+        .weight,
+        None
+    );
+    assert_eq!(
+        approx_mwc_undirected_weighted(&g, &Params::new()).weight,
+        None
+    );
     let apsp = distributed_apsp(&g);
     assert_eq!(apsp.dist(0, 1), 3);
 
@@ -71,8 +87,12 @@ fn smallest_cycles() {
     assert!((7..=16).contains(&w));
 
     // Undirected triangle — the smallest undirected cycle.
-    let g = Graph::from_edges(3, Orientation::Undirected, [(0, 1, 1), (1, 2, 1), (2, 0, 1)])
-        .unwrap();
+    let g = Graph::from_edges(
+        3,
+        Orientation::Undirected,
+        [(0, 1, 1), (1, 2, 1), (2, 0, 1)],
+    )
+    .unwrap();
     assert_eq!(exact_mwc(&g).weight, Some(3));
     assert_eq!(approx_girth(&g, &Params::new()).weight, Some(3));
     assert_eq!(shortest_cycle_within(&g, 3).weight, Some(3));
@@ -121,7 +141,11 @@ fn self_loop_and_duplicate_rejection_surface_errors() {
 fn detection_q_equals_minimum_length() {
     let g = Graph::from_edges(2, Orientation::Directed, [(0, 1, 1), (1, 0, 1)]).unwrap();
     assert!(has_cycle_within(&g, 2));
-    let g = Graph::from_edges(3, Orientation::Undirected, [(0, 1, 1), (1, 2, 1), (2, 0, 1)])
-        .unwrap();
+    let g = Graph::from_edges(
+        3,
+        Orientation::Undirected,
+        [(0, 1, 1), (1, 2, 1), (2, 0, 1)],
+    )
+    .unwrap();
     assert!(has_cycle_within(&g, 3));
 }

@@ -21,7 +21,10 @@ fn check_exact_and_approx(
     let oracle = seq::mwc_exact(g).map(|m| m.weight);
     let exact = exact_mwc(g);
     exact.assert_valid(g);
-    assert_eq!(exact.weight, oracle, "distributed exact ≠ sequential oracle");
+    assert_eq!(
+        exact.weight, oracle,
+        "distributed exact ≠ sequential oracle"
+    );
 
     let params = Params::new().with_seed(seed);
     let out = approx(g, &params);
@@ -31,7 +34,10 @@ fn check_exact_and_approx(
         (Some(w), Some(opt)) => {
             assert!(w >= opt, "approximation underestimated: {w} < {opt}");
             let bound = (factor * opt as f64).ceil() as Weight + slack;
-            assert!(w <= bound, "approximation too loose: {w} > {bound} (opt {opt})");
+            assert!(
+                w <= bound,
+                "approximation too loose: {w} > {bound} (opt {opt})"
+            );
         }
         (got, want) => panic!("cyclicity mismatch: approx {got:?}, oracle {want:?}"),
     }
@@ -48,7 +54,13 @@ fn directed_unweighted_pipeline() {
 #[test]
 fn girth_pipeline() {
     for seed in 0..4 {
-        let g = connected_gnm(80, 130, Orientation::Undirected, WeightRange::unit(), 40 + seed);
+        let g = connected_gnm(
+            80,
+            130,
+            Orientation::Undirected,
+            WeightRange::unit(),
+            40 + seed,
+        );
         check_exact_and_approx(&g, approx_girth, 2.0, 0, seed);
     }
 }
@@ -56,8 +68,13 @@ fn girth_pipeline() {
 #[test]
 fn undirected_weighted_pipeline() {
     for seed in 0..3 {
-        let g =
-            connected_gnm(48, 90, Orientation::Undirected, WeightRange::uniform(1, 12), 80 + seed);
+        let g = connected_gnm(
+            48,
+            90,
+            Orientation::Undirected,
+            WeightRange::uniform(1, 12),
+            80 + seed,
+        );
         check_exact_and_approx(&g, approx_mwc_undirected_weighted, 2.25, 2, seed);
     }
 }
@@ -65,8 +82,13 @@ fn undirected_weighted_pipeline() {
 #[test]
 fn directed_weighted_pipeline() {
     for seed in 0..3 {
-        let g =
-            connected_gnm(40, 100, Orientation::Directed, WeightRange::uniform(1, 12), 120 + seed);
+        let g = connected_gnm(
+            40,
+            100,
+            Orientation::Directed,
+            WeightRange::uniform(1, 12),
+            120 + seed,
+        );
         check_exact_and_approx(&g, approx_mwc_directed_weighted, 2.25, 2, seed);
     }
 }
@@ -83,10 +105,25 @@ fn structured_topologies() {
     assert_eq!(out.weight, Some(72));
 
     // Planted light cycle in heavy surroundings, all four algorithms.
-    let (gd, _) = planted_cycle(50, 90, 3, 1, Orientation::Directed, WeightRange::uniform(9, 18), 5);
+    let (gd, _) = planted_cycle(
+        50,
+        90,
+        3,
+        1,
+        Orientation::Directed,
+        WeightRange::uniform(9, 18),
+        5,
+    );
     check_exact_and_approx(&gd, approx_mwc_directed_weighted, 2.25, 2, 3);
-    let (gu, _) =
-        planted_cycle(50, 80, 4, 1, Orientation::Undirected, WeightRange::uniform(9, 18), 6);
+    let (gu, _) = planted_cycle(
+        50,
+        80,
+        4,
+        1,
+        Orientation::Undirected,
+        WeightRange::uniform(9, 18),
+        6,
+    );
     check_exact_and_approx(&gu, approx_mwc_undirected_weighted, 2.25, 2, 4);
 }
 
@@ -109,7 +146,10 @@ fn acyclic_and_forest_agreement() {
         g.add_edge(i / 2, i, 3).unwrap();
     }
     assert_eq!(exact_mwc(&g).weight, None);
-    assert_eq!(approx_mwc_undirected_weighted(&g, &Params::new()).weight, None);
+    assert_eq!(
+        approx_mwc_undirected_weighted(&g, &Params::new()).weight,
+        None
+    );
 }
 
 #[test]
@@ -119,7 +159,15 @@ fn every_node_knows_the_answer_convention() {
     // convention: every node knows the weight).
     let g = connected_gnm(50, 100, Orientation::Undirected, WeightRange::unit(), 9);
     let out = approx_girth(&g, &Params::new());
-    assert!(out.ledger.phases.iter().any(|p| p.label.contains("convergecast")));
+    assert!(out
+        .ledger
+        .phases
+        .iter()
+        .any(|p| p.label.contains("convergecast")));
     let out = exact_mwc(&g);
-    assert!(out.ledger.phases.iter().any(|p| p.label.contains("convergecast")));
+    assert!(out
+        .ledger
+        .phases
+        .iter()
+        .any(|p| p.label.contains("convergecast")));
 }

@@ -50,7 +50,11 @@ fn exact_decides_both_gadgets() {
 
 #[test]
 fn alpha_families_decided_by_matching_algorithms() {
-    let p = SarmaParams { gamma: 6, ell: 6, alpha: 2.0 };
+    let p = SarmaParams {
+        gamma: 6,
+        ell: 6,
+        alpha: 2.0,
+    };
     for seed in 0..3 {
         for intersecting in [true, false] {
             let inst = if intersecting {

@@ -5,18 +5,21 @@
 //! w.h.p.) are the backbone: every reported weight is certified by a real
 //! simple cycle (so it is ≥ the true MWC), and the exact algorithms agree
 //! with the sequential oracles exactly.
+//!
+//! Runs on `mwc_rng::proptest_lite`; new failures persist their case
+//! seed under `proplite-regressions/`.
 
 use congest_mwc::core::{
     approx_girth, approx_mwc_undirected_weighted, exact_mwc, two_approx_directed_mwc, Params,
 };
 use congest_mwc::graph::generators::{connected_gnm, WeightRange};
 use congest_mwc::graph::{seq, Orientation};
-use proptest::prelude::*;
+use congest_mwc::rng::proptest_lite::Config;
+use congest_mwc::rng::{prop_assert, prop_assert_eq, prop_tests};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+prop_tests! {
+    config = Config::with_cases(24);
 
-    #[test]
     fn exact_matches_oracle_directed(seed in 0u64..10_000, n in 8usize..40, extra in 0usize..80) {
         let g = connected_gnm(n, extra, Orientation::Directed, WeightRange::uniform(1, 9), seed);
         let out = exact_mwc(&g);
@@ -24,7 +27,6 @@ proptest! {
         prop_assert_eq!(out.weight, seq::mwc_exact(&g).map(|m| m.weight));
     }
 
-    #[test]
     fn exact_matches_oracle_undirected(seed in 0u64..10_000, n in 8usize..40, extra in 0usize..60) {
         let g = connected_gnm(n, extra, Orientation::Undirected, WeightRange::uniform(1, 9), seed);
         let out = exact_mwc(&g);
@@ -32,7 +34,6 @@ proptest! {
         prop_assert_eq!(out.weight, seq::mwc_exact(&g).map(|m| m.weight));
     }
 
-    #[test]
     fn approximations_never_underestimate(seed in 0u64..10_000, n in 10usize..36, extra in 10usize..70) {
         let params = Params::new().with_seed(seed);
 
@@ -56,7 +57,6 @@ proptest! {
         prop_assert_eq!(out.weight.is_some(), opt.is_some());
     }
 
-    #[test]
     fn weighted_approx_never_underestimates(seed in 0u64..10_000, n in 10usize..28, extra in 10usize..50) {
         let params = Params::new().with_seed(seed);
         let g = connected_gnm(n, extra, Orientation::Undirected, WeightRange::uniform(1, 20), seed);
@@ -69,7 +69,6 @@ proptest! {
         prop_assert_eq!(out.weight.is_some(), opt.is_some());
     }
 
-    #[test]
     fn determinism_in_seed(seed in 0u64..1_000) {
         let g = connected_gnm(30, 60, Orientation::Undirected, WeightRange::unit(), 5);
         let params = Params::new().with_seed(seed);
@@ -81,12 +80,11 @@ proptest! {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+prop_tests! {
+    config = Config::with_cases(16);
 
     /// The (2 − 1/g) girth bound across arbitrary small graphs and seeds
     /// (the w.h.p. guarantee, which at these sizes holds with margin).
-    #[test]
     fn girth_factor_holds_probabilistically(seed in 0u64..10_000, n in 12usize..40, extra in 6usize..60) {
         let g = connected_gnm(n, extra, Orientation::Undirected, WeightRange::unit(), seed);
         let Some(girth) = seq::girth_exact(&g).map(|m| m.weight) else { return Ok(()) };
@@ -101,7 +99,6 @@ proptest! {
 
     /// q-bounded detection agrees with the oracle's q-truncated girth on
     /// both orientations.
-    #[test]
     fn bounded_detection_matches_oracle(seed in 0u64..10_000, n in 6usize..26, extra in 0usize..40, q in 3u64..8) {
         use congest_mwc::core::shortest_cycle_within;
         for orientation in [Orientation::Directed, Orientation::Undirected] {

@@ -32,7 +32,13 @@ fn girth_approximation_beats_exact_baseline() {
 fn girth_rounds_scale_sublinearly() {
     let params = Params::lean().with_seed(5);
     let rounds = |n: usize| {
-        let g = connected_gnm(n, 2 * n, Orientation::Undirected, WeightRange::unit(), n as u64);
+        let g = connected_gnm(
+            n,
+            2 * n,
+            Orientation::Undirected,
+            WeightRange::unit(),
+            n as u64,
+        );
         approx_girth(&g, &params).ledger.rounds
     };
     let (r512, r2048) = (rounds(512), rounds(2048));
@@ -47,7 +53,13 @@ fn girth_rounds_scale_sublinearly() {
 #[test]
 fn exact_girth_is_linear() {
     let rounds = |n: usize| {
-        let g = connected_gnm(n, 2 * n, Orientation::Undirected, WeightRange::unit(), n as u64);
+        let g = connected_gnm(
+            n,
+            2 * n,
+            Orientation::Undirected,
+            WeightRange::unit(),
+            n as u64,
+        );
         exact_mwc(&g).ledger.rounds
     };
     let (r256, r1024) = (rounds(256), rounds(1024));
@@ -66,8 +78,12 @@ fn ksssp_scales_with_sqrt_nk() {
     let g = connected_gnm(n, 3 * n, Orientation::Directed, WeightRange::unit(), 3);
     let params = Params::lean().with_seed(8);
     let srcs = |k: usize| (0..k).map(|i| i * n / k).collect::<Vec<NodeId>>();
-    let r64 = k_source_bfs(&g, &srcs(64), Direction::Forward, &params).ledger.rounds;
-    let r256 = k_source_bfs(&g, &srcs(256), Direction::Forward, &params).ledger.rounds;
+    let r64 = k_source_bfs(&g, &srcs(64), Direction::Forward, &params)
+        .ledger
+        .rounds;
+    let r256 = k_source_bfs(&g, &srcs(256), Direction::Forward, &params)
+        .ledger
+        .rounds;
     assert!(
         r256 <= r64 * 3,
         "k-source BFS should scale ~√k in the large-k regime: {r64} → {r256}"

@@ -13,10 +13,19 @@ fn stretched_bfs_equals_weighted_shortest_paths() {
     // The cornerstone of §4's stretched graphs: a BFS whose edge
     // traversal takes w(e) rounds computes weighted distances exactly.
     for seed in 0..4 {
-        let g = connected_gnm(50, 120, Orientation::Directed, WeightRange::uniform(1, 15), seed);
+        let g = connected_gnm(
+            50,
+            120,
+            Orientation::Directed,
+            WeightRange::uniform(1, 15),
+            seed,
+        );
         let lat: Vec<Weight> = g.edges().iter().map(|e| e.weight).collect();
-        let spec =
-            MultiBfsSpec { max_dist: INF, direction: Direction::Forward, latency: Some(&lat) };
+        let spec = MultiBfsSpec {
+            max_dist: INF,
+            direction: Direction::Forward,
+            latency: Some(&lat),
+        };
         let mut ledger = Ledger::new();
         let mat = multi_source_bfs(&g, &[0, 25], &spec, "stretched", &mut ledger);
         for (row, &s) in [0usize, 25].iter().enumerate() {
@@ -32,7 +41,10 @@ fn stretched_bfs_equals_weighted_shortest_paths() {
             .filter(|&d| d != SEQ_INF)
             .max()
             .unwrap();
-        assert!(ledger.rounds >= max_d, "waves cannot beat the weighted radius");
+        assert!(
+            ledger.rounds >= max_d,
+            "waves cannot beat the weighted radius"
+        );
     }
 }
 
@@ -55,7 +67,11 @@ fn stretched_budget_prunes_by_weight_not_hops() {
     )
     .unwrap();
     let lat: Vec<Weight> = g.edges().iter().map(|e| e.weight).collect();
-    let spec = MultiBfsSpec { max_dist: 10, direction: Direction::Forward, latency: Some(&lat) };
+    let spec = MultiBfsSpec {
+        max_dist: 10,
+        direction: Direction::Forward,
+        latency: Some(&lat),
+    };
     let mut ledger = Ledger::new();
     let mat = multi_source_bfs(&g, &[0], &spec, "budget", &mut ledger);
     assert_eq!(mat.get_row(0, 6), 5);
@@ -77,7 +93,10 @@ fn scaling_stack_handles_huge_weights() {
     let opt = exact_mwc(&g).weight.unwrap();
     assert_eq!(opt, 2_500);
     let rep = out.weight.unwrap();
-    assert!(rep >= opt && rep as f64 <= 2.25 * opt as f64 + 2.0, "rep {rep} opt {opt}");
+    assert!(
+        rep >= opt && rep as f64 <= 2.25 * opt as f64 + 2.0,
+        "rep {rep} opt {opt}"
+    );
 }
 
 #[test]
@@ -85,7 +104,13 @@ fn weight_heterogeneity_is_handled() {
     // Mixed tiny/huge weights stress the per-scale coverage: every cycle
     // weight class must fall into some scale's window.
     for seed in 0..3 {
-        let g = connected_gnm(36, 80, Orientation::Undirected, WeightRange::uniform(1, 200), seed);
+        let g = connected_gnm(
+            36,
+            80,
+            Orientation::Undirected,
+            WeightRange::uniform(1, 200),
+            seed,
+        );
         let params = Params::new().with_seed(seed + 5);
         let out = approx_mwc_undirected_weighted(&g, &params);
         out.assert_valid(&g);
@@ -106,7 +131,13 @@ fn stretched_rounds_grow_with_weight_scale_for_exact_but_not_approx() {
     // Doubling all weights doubles the exact baseline's stretched-wave
     // rounds (it runs at weight speed) but leaves the scaled
     // approximation's rounds essentially unchanged (scaling normalizes).
-    let base = connected_gnm(48, 100, Orientation::Undirected, WeightRange::uniform(1, 8), 9);
+    let base = connected_gnm(
+        48,
+        100,
+        Orientation::Undirected,
+        WeightRange::uniform(1, 8),
+        9,
+    );
     let heavy = base.map_weights(|w| w * 16);
     let params = Params::lean().with_seed(1);
 
@@ -120,7 +151,9 @@ fn stretched_rounds_grow_with_weight_scale_for_exact_but_not_approx() {
     );
 
     let approx_base = approx_mwc_undirected_weighted(&base, &params).ledger.rounds;
-    let approx_heavy = approx_mwc_undirected_weighted(&heavy, &params).ledger.rounds;
+    let approx_heavy = approx_mwc_undirected_weighted(&heavy, &params)
+        .ledger
+        .rounds;
     assert!(
         approx_heavy <= 3 * approx_base,
         "scaling should absorb the weight scale: {approx_base} → {approx_heavy}"
