@@ -18,7 +18,7 @@
 //!
 //! Usage: `ablation [n]` (default 512).
 
-use mwc_bench::Table;
+use mwc_bench::{report, Table};
 use mwc_core::{approx_girth_parts, exact_mwc, two_approx_directed_mwc, Params};
 use mwc_graph::generators::{connected_gnm, ring_with_chords, WeightRange};
 use mwc_graph::Orientation;
@@ -37,10 +37,7 @@ fn overflow_count(ledger: &mwc_congest::Ledger) -> String {
 }
 
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(512);
+    let n: usize = report::arg(1, 512);
     let g = connected_gnm(n, 3 * n, Orientation::Directed, WeightRange::unit(), 2024);
     let opt = exact_mwc(&g).weight.expect("cycle exists");
 

@@ -9,7 +9,7 @@
 //!
 //! Usage: `approx_quality [n]` (default 96) `[seeds]` (default 10).
 
-use mwc_bench::Table;
+use mwc_bench::{report, Table};
 use mwc_core::{
     approx_girth, approx_mwc_directed_weighted, approx_mwc_undirected_weighted, exact_mwc,
     two_approx_directed_mwc, Params,
@@ -86,14 +86,8 @@ fn families(
 }
 
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(96);
-    let seeds: u64 = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(10);
+    let n: usize = report::arg(1, 96);
+    let seeds: u64 = report::arg(2, 10);
 
     let mut audits = [
         Audit::new("2-approx directed (Thm 1.2.C, bound 2)"),

@@ -10,17 +10,14 @@
 //!
 //! Usage: `detection_rounds [max_q_gadget]` (default 48).
 
-use mwc_bench::{fit_exponent, Table};
+use mwc_bench::{fit_exponent, report, Table};
 use mwc_core::shortest_cycle_within;
 use mwc_graph::generators::{ring_with_chords, WeightRange};
 use mwc_graph::Orientation;
 use mwc_lowerbounds::{directed_gadget, Disjointness};
 
 fn main() {
-    let max_q: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(48);
+    let max_q: usize = report::arg(1, 48);
 
     let mut t = Table::new(
         "directed 4-cycle detection on the Thm 1.2.A gadget (hard family)",

@@ -3,10 +3,14 @@
 //! which phase dominates at benchable sizes (the paper's polylog factors
 //! hide very different constants per phase).
 //!
+//! The largest sweep point additionally runs inside a trace session; its
+//! span flamegraph (the *nested* view the flat phase table can't show)
+//! prints at the end.
+//!
 //! Usage: `phase_breakdown [algo] [max_n]` with algo one of
 //! `directed|girth|uweighted|dweighted` (default `directed`, 512).
 
-use mwc_bench::Table;
+use mwc_bench::{report, Table};
 use mwc_congest::Ledger;
 use mwc_core::{
     approx_girth, approx_mwc_directed_weighted, approx_mwc_undirected_weighted,
@@ -14,6 +18,7 @@ use mwc_core::{
 };
 use mwc_graph::generators::{connected_gnm, WeightRange};
 use mwc_graph::Orientation;
+use mwc_trace::TraceSession;
 use std::collections::BTreeMap;
 
 fn aggregate(ledger: &Ledger) -> BTreeMap<String, u64> {
@@ -27,17 +32,17 @@ fn aggregate(ledger: &Ledger) -> BTreeMap<String, u64> {
 }
 
 fn main() {
-    let algo = std::env::args().nth(1).unwrap_or_else(|| "directed".into());
-    let max_n: usize = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(512);
+    let algo = report::arg_str(1, "directed");
+    let max_n: usize = report::arg(2, 512);
     let params = Params::lean().with_seed(42);
 
     let mut all_labels: Vec<String> = Vec::new();
     let mut rows: Vec<(usize, BTreeMap<String, u64>, u64)> = Vec::new();
+    let mut trace = None;
     let mut n = 128;
     while n <= max_n {
+        // Trace the largest point: spans nest where phase labels are flat.
+        let session = (n * 2 > max_n).then(TraceSession::memory);
         let ledger = match algo.as_str() {
             "directed" => {
                 let g = connected_gnm(
@@ -81,6 +86,9 @@ fn main() {
             }
             other => panic!("unknown algorithm {other}"),
         };
+        if let Some(session) = session {
+            trace = Some((n, session.finish()));
+        }
         let agg = aggregate(&ledger);
         for k in agg.keys() {
             if !all_labels.contains(k) {
@@ -105,4 +113,9 @@ fn main() {
         t.row(cells);
     }
     t.print();
+    t.save_tsv(&format!("phase_breakdown_{algo}"));
+    if let Some((n, data)) = trace {
+        println!("\nspan flamegraph at n = {n}:");
+        print!("{}", data.flamegraph());
+    }
 }

@@ -10,16 +10,13 @@
 //!
 //! Usage: `table1_directed [max_n]` (default 1024; sweep doubles from 128).
 
-use mwc_bench::{fit_exponent, ratio, Table};
+use mwc_bench::{fit_exponent, ratio, report, Table};
 use mwc_core::{approx_mwc_directed_weighted, exact_mwc, two_approx_directed_mwc, Params};
 use mwc_graph::generators::{connected_gnm, WeightRange};
 use mwc_graph::Orientation;
 
 fn main() {
-    let max_n: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1024);
+    let max_n: usize = report::arg(1, 1024);
     let params = Params::lean().with_seed(42);
 
     // ---- unweighted: exact vs 2-approx (Theorem 1.2.C) ----

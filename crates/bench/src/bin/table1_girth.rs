@@ -9,16 +9,13 @@
 //! Usage: `table1_girth [max_n]` (default 4096; sweep doubles from 128).
 
 use mwc_bench::plot::loglog_chart;
-use mwc_bench::{fit_exponent, ratio, Table};
+use mwc_bench::{fit_exponent, ratio, report, Table};
 use mwc_core::{approx_girth, exact_mwc, Params};
 use mwc_graph::generators::{connected_gnm, WeightRange};
 use mwc_graph::Orientation;
 
 fn main() {
-    let max_n: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4096);
+    let max_n: usize = report::arg(1, 4096);
     let params = Params::lean().with_seed(4242);
 
     let mut t = Table::new(

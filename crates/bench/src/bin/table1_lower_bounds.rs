@@ -11,7 +11,7 @@
 //!
 //! Usage: `table1_lower_bounds [max_q]` (default 48; q doubles from 6).
 
-use mwc_bench::{fit_exponent, Table};
+use mwc_bench::{fit_exponent, report, Table};
 use mwc_core::{approx_girth, exact_mwc, Params};
 use mwc_graph::Orientation;
 use mwc_lowerbounds::{
@@ -24,10 +24,7 @@ fn word_bits(n: usize, w: u64) -> u64 {
 }
 
 fn main() {
-    let max_q: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(48);
+    let max_q: usize = report::arg(1, 48);
 
     // ---- directed (2−ε) gadget: Ω(n / log n) ----
     let mut t = Table::new(

@@ -7,16 +7,13 @@
 //!
 //! Usage: `table1_undirected_weighted [max_n]` (default 512).
 
-use mwc_bench::{fit_exponent, ratio, Table};
+use mwc_bench::{fit_exponent, ratio, report, Table};
 use mwc_core::{approx_mwc_undirected_weighted, exact_mwc, Params};
 use mwc_graph::generators::{connected_gnm, WeightRange};
 use mwc_graph::Orientation;
 
 fn main() {
-    let max_n: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(512);
+    let max_n: usize = report::arg(1, 512);
     let w_max = 8;
 
     for eps in [0.5, 0.25] {

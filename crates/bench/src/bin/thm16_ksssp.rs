@@ -11,7 +11,7 @@
 //!
 //! Usage: `thm16_ksssp [max_n]` (default 2048).
 
-use mwc_bench::{fit_exponent, Table};
+use mwc_bench::{fit_exponent, report, Table};
 use mwc_core::{k_source_approx_sssp, k_source_bfs, Params};
 use mwc_graph::generators::{connected_gnm, WeightRange};
 use mwc_graph::seq::Direction;
@@ -22,10 +22,7 @@ fn sources(n: usize, k: usize) -> Vec<NodeId> {
 }
 
 fn main() {
-    let max_n: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2048);
+    let max_n: usize = report::arg(1, 2048);
     let params = Params::lean().with_seed(1616);
 
     // ---- sweep n with k = n^{1/3} (exact BFS, eq. 1) ----

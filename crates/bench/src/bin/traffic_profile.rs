@@ -13,21 +13,17 @@
 //! Usage: `traffic_profile [n_side]` (default 24, i.e. a 24×24 grid).
 
 use mwc_bench::plot::{downsample_max, sparkline_scaled};
-use mwc_bench::Table;
-use mwc_congest::Network;
+use mwc_bench::{report, Table};
+use mwc_congest::{Ledger, Network};
 use mwc_graph::generators::{grid, WeightRange};
 use mwc_graph::{NodeId, Orientation};
 use mwc_rng::StdRng;
 use std::collections::HashSet;
 
 /// Floods one radius-`h`-limited token per source with per-source start
-/// delays; returns the traffic timeline. Message = (token, hops left).
-fn flood_with_delays(
-    g: &mwc_graph::Graph,
-    sources: &[NodeId],
-    delays: &[u64],
-    h: u32,
-) -> Vec<(u64, u64)> {
+/// delays; returns the ledger carrying the congestion timeline and
+/// per-link totals. Message = (token, hops left).
+fn flood_with_delays(g: &mwc_graph::Graph, sources: &[NodeId], delays: &[u64], h: u32) -> Ledger {
     let n = g.n();
     let mut net: Network<(u32, u32)> = Network::new(g);
     net.enable_history();
@@ -59,14 +55,13 @@ fn flood_with_delays(
             }
         }
     }
-    net.stats().words_per_round.clone()
+    let mut ledger = Ledger::new();
+    ledger.absorb("delayed flood", &net);
+    ledger
 }
 
 fn main() {
-    let side: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(24);
+    let side: usize = report::arg(1, 24);
     let g = grid(side, side, Orientation::Undirected, WeightRange::unit(), 0);
     let n = g.n();
     let h = 6u32; // restricted-BFS-style radius
@@ -83,6 +78,7 @@ fn main() {
             "peak words/round",
             "mean words/round",
             "peak/mean",
+            "hottest link",
         ],
     );
     let rho_values = [
@@ -94,21 +90,28 @@ fn main() {
     for (label, rho) in rho_values {
         let mut rng = StdRng::seed_from_u64(7);
         let delays: Vec<u64> = sources.iter().map(|_| rng.random_range(1..=rho)).collect();
-        let hist = flood_with_delays(&g, &sources, &delays, h);
+        let ledger = flood_with_delays(&g, &sources, &delays, h);
+        let hist = ledger.words_per_round();
         let makespan = hist.last().map(|&(r, _)| r).unwrap_or(0);
         let peak = hist.iter().map(|&(_, w)| w).max().unwrap_or(0);
         let total: u64 = hist.iter().map(|&(_, w)| w).sum();
         let mean = total as f64 / hist.len().max(1) as f64;
+        let hot = ledger
+            .hot_links(1)
+            .first()
+            .map(|((u, v), w)| format!("{u}→{v}: {w}"))
+            .unwrap_or_default();
         t.row(vec![
             label.into(),
             makespan.to_string(),
             peak.to_string(),
             format!("{mean:.0}"),
             format!("{:.2}", peak as f64 / mean),
+            hot,
         ]);
         // Dense timeline (fill quiet rounds) for the sparkline.
         let mut dense = vec![0u64; makespan as usize + 1];
-        for &(r, w) in &hist {
+        for &(r, w) in hist {
             dense[r as usize] = w;
         }
         timelines.push((label.to_string(), dense));

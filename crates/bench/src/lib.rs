@@ -15,10 +15,10 @@
 #![warn(missing_docs)]
 
 pub mod plot;
+pub mod report;
 pub mod stopwatch;
 
 use std::fmt::Write as _;
-use std::path::Path;
 
 /// A simple column-aligned table that can also persist itself as TSV.
 #[derive(Clone, Debug)]
@@ -87,17 +87,13 @@ impl Table {
     ///
     /// Panics on I/O errors — these binaries are experiment drivers.
     pub fn save_tsv(&self, name: &str) {
-        let dir = Path::new("results");
-        std::fs::create_dir_all(dir).expect("create results dir");
         let mut tsv = self.headers.join("\t");
         tsv.push('\n');
         for row in &self.rows {
             tsv.push_str(&row.join("\t"));
             tsv.push('\n');
         }
-        let path = dir.join(format!("{name}.tsv"));
-        std::fs::write(&path, tsv).expect("write tsv");
-        eprintln!("[saved {}]", path.display());
+        report::save_artifact(&format!("{name}.tsv"), &tsv);
     }
 }
 

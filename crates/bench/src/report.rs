@@ -1,0 +1,78 @@
+//! Shared artifact and CLI plumbing for the experiment binaries.
+//!
+//! Every `src/bin/*` driver used to hand-roll the same three things:
+//! positional-argument parsing, `results/` directory creation, and JSON
+//! serialization. This module owns all of them so artifacts are written by
+//! exactly one code path — and all JSON goes through
+//! [`mwc_trace::json::Json`], the workspace's single deterministic
+//! escaper/formatter (byte-identical output across same-seed runs is a CI
+//! guarantee for `trace_manifest.json`).
+
+pub use mwc_trace::json::Json;
+
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+
+/// The `idx`-th positional CLI argument parsed as `T`, or `default` when
+/// absent or unparsable. `idx` is 1-based (0 is the binary name).
+pub fn arg<T: FromStr>(idx: usize, default: T) -> T {
+    std::env::args()
+        .nth(idx)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The `idx`-th positional CLI argument as a string, or `default`.
+pub fn arg_str(idx: usize, default: &str) -> String {
+    std::env::args().nth(idx).unwrap_or_else(|| default.into())
+}
+
+/// Writes `contents` to `results/<relpath>`, creating directories as
+/// needed, and logs the destination to stderr.
+///
+/// # Panics
+///
+/// Panics on I/O errors — these binaries are experiment drivers and a
+/// missing artifact must not pass silently.
+pub fn save_artifact(relpath: &str, contents: &str) -> PathBuf {
+    write_under(Path::new("results"), relpath, contents)
+}
+
+fn write_under(root: &Path, relpath: &str, contents: &str) -> PathBuf {
+    let path = root.join(relpath);
+    let dir = path.parent().expect("artifact path has a parent");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    std::fs::write(&path, contents).expect("write artifact");
+    eprintln!("[saved {}]", path.display());
+    path
+}
+
+/// Pretty-renders `value` and writes it to `results/<relpath>`.
+///
+/// # Panics
+///
+/// Panics on I/O errors, like [`save_artifact`].
+pub fn save_json(relpath: &str, value: &Json) -> PathBuf {
+    save_artifact(relpath, &value.render_pretty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_falls_back_to_default() {
+        // Test binaries receive no positional args at high indices.
+        assert_eq!(arg::<usize>(91, 17), 17);
+        assert_eq!(arg_str(91, "fallback"), "fallback");
+    }
+
+    #[test]
+    fn write_under_creates_nested_dirs() {
+        let dir = std::env::temp_dir().join("mwc-bench-report-test");
+        let value = Json::obj([("ok", Json::Bool(true))]);
+        let path = write_under(&dir, "sub/probe.json", &value.render_pretty());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\n  \"ok\": true\n}\n");
+    }
+}

@@ -25,6 +25,7 @@
 //! suite.finish();
 //! ```
 
+use crate::report::{self, Json};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -138,45 +139,40 @@ impl Suite {
 
     /// Writes `results/bench/<suite>.json` and consumes the suite.
     pub fn finish(self) {
-        let path = std::path::Path::new("results").join("bench");
-        if let Err(e) = std::fs::create_dir_all(&path) {
-            eprintln!("stopwatch: cannot create {}: {e}", path.display());
-            return;
-        }
-        let file = path.join(format!("{}.json", self.name));
-        match std::fs::write(&file, self.to_json()) {
-            Ok(()) => println!("\nstopwatch: wrote {}", file.display()),
-            Err(e) => eprintln!("stopwatch: cannot write {}: {e}", file.display()),
-        }
+        report::save_artifact(&format!("bench/{}.json", self.name), &self.to_json());
     }
 
     /// The suite's results as a JSON document.
     pub fn to_json(&self) -> String {
-        fn esc(s: &str) -> String {
-            s.replace('\\', "\\\\").replace('"', "\\\"")
-        }
-        let mut out = String::from("{\n");
-        out.push_str(&format!("  \"suite\": \"{}\",\n", esc(&self.name)));
-        out.push_str(&format!(
-            "  \"config\": {{\"warmup\": {}, \"samples\": {}}},\n",
-            self.warmup, self.samples
-        ));
-        out.push_str("  \"benchmarks\": [\n");
-        for (i, m) in self.results.iter().enumerate() {
-            out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
-                 \"iters_per_sample\": {}, \"samples\": {}}}{}\n",
-                esc(&m.name),
-                m.median_ns,
-                m.min_ns,
-                m.max_ns,
-                m.iters_per_sample,
-                m.samples,
-                if i + 1 < self.results.len() { "," } else { "" }
-            ));
-        }
-        out.push_str("  ]\n}\n");
-        out
+        Json::obj([
+            ("suite", Json::str(&self.name)),
+            (
+                "config",
+                Json::obj([
+                    ("warmup", Json::U64(u64::from(self.warmup))),
+                    ("samples", Json::U64(u64::from(self.samples))),
+                ]),
+            ),
+            (
+                "benchmarks",
+                Json::Arr(
+                    self.results
+                        .iter()
+                        .map(|m| {
+                            Json::obj([
+                                ("name", Json::str(&m.name)),
+                                ("median_ns", Json::U64(m.median_ns)),
+                                ("min_ns", Json::U64(m.min_ns)),
+                                ("max_ns", Json::U64(m.max_ns)),
+                                ("iters_per_sample", Json::U64(m.iters_per_sample)),
+                                ("samples", Json::U64(u64::from(m.samples))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .render_pretty()
     }
 }
 

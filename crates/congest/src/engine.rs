@@ -46,6 +46,16 @@ pub struct RoundOutput<M> {
     pub wakeups: Vec<NodeId>,
 }
 
+/// Number of buckets in the per-round delivered-word histogram: bucket `i`
+/// counts rounds that transferred `w` words with `2^i ≤ w < 2^(i+1)`
+/// (bucket 0 is `w = 1`; the last bucket absorbs everything above).
+pub const HIST_BUCKETS: usize = 16;
+
+/// The histogram bucket for a round that transferred `words` words (≥ 1).
+pub fn hist_bucket(words: u64) -> usize {
+    (63 - u64::leading_zeros(words.max(1)) as usize).min(HIST_BUCKETS - 1)
+}
+
 /// Aggregate traffic statistics of a [`Network`].
 #[derive(Clone, Debug, Default)]
 pub struct NetStats {
@@ -60,6 +70,19 @@ pub struct NetStats {
     /// words transferred that round)` for every non-quiet round — the
     /// congestion timeline used by the scheduling ablations.
     pub words_per_round: Vec<(u64, u64)>,
+    /// Rounds in which at least one word was transferred (quiet rounds
+    /// skipped by [`Network::step_fast`] still count toward `round()` but
+    /// not here).
+    pub active_rounds: u64,
+    /// The largest number of words any single round transferred — the peak
+    /// of the congestion timeline, tracked even without history.
+    pub max_words_in_round: u64,
+    /// High-water mark of any single link's send-queue depth (messages
+    /// queued behind one FIFO link, the engine's backpressure signal).
+    pub queue_high_water: u64,
+    /// Histogram of per-round delivered words over power-of-two buckets
+    /// (see [`hist_bucket`]); always on — one increment per active round.
+    pub round_histogram: [u64; HIST_BUCKETS],
 }
 
 struct InFlight<M> {
@@ -169,10 +192,8 @@ impl<M> Network<M> {
             transit_seq: 0,
             wakeups: BinaryHeap::new(),
             stats: NetStats {
-                words: 0,
-                messages: 0,
                 per_link_words: vec![0; m],
-                words_per_round: Vec::new(),
+                ..NetStats::default()
             },
             history: false,
         }
@@ -204,6 +225,13 @@ impl<M> Network<M> {
     /// [`NetStats::per_link_words`].
     pub fn link_ends(&self) -> &[(NodeId, NodeId)] {
         &self.link_ends
+    }
+
+    /// The `k` most-loaded directed links as `((from, to), words)`,
+    /// heaviest first; ties break toward the lower link index so the
+    /// report is deterministic.
+    pub fn hot_links(&self, k: usize) -> Vec<((NodeId, NodeId), u64)> {
+        crate::profile::top_links(&self.link_ends, &self.stats.per_link_words, k)
     }
 
     /// Sum of words that crossed between the two sides of a node
@@ -269,6 +297,10 @@ impl<M> Network<M> {
             words_left: words.max(1),
             latency,
         });
+        let depth = self.queues[l].len() as u64;
+        if depth > self.stats.queue_high_water {
+            self.stats.queue_high_water = depth;
+        }
         if !self.active_flag[l] {
             self.active_flag[l] = true;
             self.active.push(l);
@@ -314,8 +346,15 @@ impl<M> Network<M> {
 
         // Transfer one word on every active link.
         let transferred = self.active.len() as u64;
-        if self.history && transferred > 0 {
-            self.stats.words_per_round.push((self.round, transferred));
+        if transferred > 0 {
+            self.stats.active_rounds += 1;
+            self.stats.round_histogram[hist_bucket(transferred)] += 1;
+            if transferred > self.stats.max_words_in_round {
+                self.stats.max_words_in_round = transferred;
+            }
+            if self.history {
+                self.stats.words_per_round.push((self.round, transferred));
+            }
         }
         let mut still_active = Vec::with_capacity(self.active.len());
         let active = std::mem::take(&mut self.active);

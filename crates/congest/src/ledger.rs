@@ -8,6 +8,7 @@
 //! for the benchmark tables.
 
 use crate::engine::Network;
+use crate::profile::CongestionProfile;
 use mwc_graph::NodeId;
 use std::fmt;
 
@@ -20,6 +21,23 @@ pub struct Phase {
     pub rounds: u64,
     /// Words it moved.
     pub words: u64,
+    /// How the phase's traffic was shaped (peak load, backpressure, hot
+    /// links); empty-default for synthetic phases that never ran a network.
+    pub profile: CongestionProfile,
+}
+
+impl Phase {
+    /// A phase with the given totals and an empty congestion profile —
+    /// for synthetic entries (e.g. accounting markers) not backed by a
+    /// simulated network.
+    pub fn synthetic(label: impl Into<String>, rounds: u64, words: u64) -> Phase {
+        Phase {
+            label: label.into(),
+            rounds,
+            words,
+            profile: CongestionProfile::default(),
+        }
+    }
 }
 
 /// Accumulated cost of a distributed computation.
@@ -54,6 +72,11 @@ pub struct Ledger {
     pub phases: Vec<Phase>,
     link_ends: Vec<(NodeId, NodeId)>,
     per_link_words: Vec<u64>,
+    /// Concatenated congestion timeline: `(global round, words)` across all
+    /// absorbed phases, with each phase's rounds offset so the timeline is
+    /// monotone. Only populated for phases whose network had
+    /// [`Network::enable_history`](crate::Network::enable_history) on.
+    words_per_round: Vec<(u64, u64)>,
 }
 
 impl Ledger {
@@ -70,14 +93,19 @@ impl Ledger {
     /// absorbed phases (the per-link tables would not line up).
     pub fn absorb<M>(&mut self, label: &str, net: &Network<M>) {
         let stats = net.stats();
+        let offset = self.rounds;
         self.rounds += net.round();
         self.words += stats.words;
         self.messages += stats.messages;
+        mwc_trace::add_cost(net.round(), stats.words, stats.messages);
         self.phases.push(Phase {
             label: label.to_owned(),
             rounds: net.round(),
             words: stats.words,
+            profile: CongestionProfile::capture(net),
         });
+        self.words_per_round
+            .extend(stats.words_per_round.iter().map(|&(r, w)| (offset + r, w)));
         if self.link_ends.is_empty() {
             self.link_ends = net.link_ends().to_vec();
             self.per_link_words = stats.per_link_words.clone();
@@ -93,12 +121,17 @@ impl Ledger {
         }
     }
 
-    /// Merges another ledger (e.g. a subroutine's) into this one.
+    /// Merges another ledger (e.g. a subroutine's) into this one. The
+    /// other's phases are treated as running after this ledger's (their
+    /// congestion timeline shifts by this ledger's rounds).
     pub fn merge(&mut self, other: &Ledger) {
+        let offset = self.rounds;
         self.rounds += other.rounds;
         self.words += other.words;
         self.messages += other.messages;
         self.phases.extend(other.phases.iter().cloned());
+        self.words_per_round
+            .extend(other.words_per_round.iter().map(|&(r, w)| (offset + r, w)));
         if self.link_ends.is_empty() {
             self.link_ends = other.link_ends.clone();
             self.per_link_words = other.per_link_words.clone();
@@ -108,6 +141,19 @@ impl Ledger {
                 *acc += w;
             }
         }
+    }
+
+    /// The concatenated `(global round, words)` congestion timeline across
+    /// all absorbed phases whose network had history enabled. Empty when no
+    /// phase recorded history.
+    pub fn words_per_round(&self) -> &[(u64, u64)] {
+        &self.words_per_round
+    }
+
+    /// The `k` most-loaded directed links across all absorbed phases, as
+    /// `((from, to), words)` heaviest first (deterministic tie-break).
+    pub fn hot_links(&self, k: usize) -> Vec<((NodeId, NodeId), u64)> {
+        crate::profile::top_links(&self.link_ends, &self.per_link_words, k)
     }
 
     /// Total words that crossed the cut of a node partition (`side[v]` is
@@ -195,6 +241,45 @@ mod tests {
         let text = format!("{ledger}");
         assert!(text.contains("total: 1 rounds"));
         assert!(text.contains("hello phase"));
+    }
+
+    #[test]
+    fn history_concatenates_with_round_offsets() {
+        let g = edge();
+        let mut ledger = Ledger::new();
+        for _ in 0..2 {
+            let mut net: Network<u8> = Network::new(&g);
+            net.enable_history();
+            net.send(0, 1, 7, 1).unwrap();
+            net.send(1, 0, 8, 1).unwrap();
+            net.step(); // both link directions busy: 2 words
+            net.send(0, 1, 9, 1).unwrap();
+            net.step(); // 1 word
+            ledger.absorb("phase", &net);
+        }
+        // Each phase ran 2 rounds; the second phase's history must shift
+        // by the first's 2 rounds.
+        assert_eq!(ledger.words_per_round(), &[(1, 2), (2, 1), (3, 2), (4, 1)]);
+
+        let mut other = Ledger::new();
+        let mut net: Network<u8> = Network::new(&g);
+        net.enable_history();
+        net.send(0, 1, 9, 1).unwrap();
+        net.step();
+        other.absorb("sub", &net);
+        ledger.merge(&other);
+        assert_eq!(ledger.words_per_round().last(), Some(&(5, 1)));
+    }
+
+    #[test]
+    fn history_empty_without_enable() {
+        let g = edge();
+        let mut ledger = Ledger::new();
+        let mut net: Network<u8> = Network::new(&g);
+        net.send(0, 1, 1, 1).unwrap();
+        net.step();
+        ledger.absorb("quiet", &net);
+        assert!(ledger.words_per_round().is_empty());
     }
 
     #[test]

@@ -41,15 +41,18 @@
 #![allow(clippy::needless_range_loop, clippy::type_complexity)]
 #![warn(missing_docs)]
 
+pub mod bounds;
 mod distmat;
 mod engine;
 mod ledger;
 mod multibfs;
+mod profile;
 pub mod program;
 mod tree;
 
 pub use distmat::{DistMatrix, INF};
-pub use engine::{Delivery, NetStats, Network, RoundOutput, SendError};
+pub use engine::{hist_bucket, Delivery, NetStats, Network, RoundOutput, SendError, HIST_BUCKETS};
 pub use ledger::{Ledger, Phase};
 pub use multibfs::{multi_source_bfs, source_detection, Detection, DetectionLists, MultiBfsSpec};
+pub use profile::{top_links, CongestionProfile, PROFILE_HOT_LINKS};
 pub use tree::{broadcast, convergecast, convergecast_min, BfsTree};

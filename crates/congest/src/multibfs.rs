@@ -78,6 +78,7 @@ pub fn multi_source_bfs(
     if let Some(l) = spec.latency {
         assert!(l.len() >= g.m(), "latency table must cover all edges");
     }
+    let _span = mwc_trace::span_owned(|| format!("multibfs/{label}"));
     let n = g.n();
     let mut mat = DistMatrix::new(n, sources.to_vec());
     let mut net: Network<Announce> = Network::new(g);
@@ -169,6 +170,19 @@ pub fn multi_source_bfs(
         }
     }
     ledger.absorb(label, &net);
+    mwc_trace::check_bound(
+        "congest/multibfs",
+        mwc_trace::BoundInputs::n(n)
+            .h(crate::bounds::effective_hops(
+                n,
+                spec.max_dist,
+                spec.latency,
+                g.m(),
+            ))
+            .k(sources.len() as u64),
+        net.round(),
+        crate::bounds::multibfs,
+    );
     mat
 }
 
@@ -239,6 +253,7 @@ pub fn source_detection(
     if let Some(l) = latency {
         assert!(l.len() >= g.m(), "latency table must cover all edges");
     }
+    let _span = mwc_trace::span_owned(|| format!("detect/{label}"));
     let n = g.n();
     let mut net: Network<(u32, Weight)> = Network::new(g);
 
@@ -348,6 +363,14 @@ pub fn source_detection(
         }
     }
     ledger.absorb(label, &net);
+    mwc_trace::check_bound(
+        "congest/source_detection",
+        mwc_trace::BoundInputs::n(n)
+            .h(crate::bounds::effective_hops(n, h, latency, g.m()))
+            .k(sigma.min(srcs.len()) as u64),
+        net.round(),
+        crate::bounds::source_detection,
+    );
 
     let lists: DetectionLists = (0..n)
         .map(|v| {

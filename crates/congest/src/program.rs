@@ -91,6 +91,7 @@ where
     P: NodeProgram,
     F: FnMut(NodeId) -> P,
 {
+    let _span = mwc_trace::span("program/run");
     let n = g.n();
     let mut net: Network<P::Msg> = Network::new(g);
     let ctxs: Vec<NodeCtx> = (0..n)
@@ -139,6 +140,12 @@ where
         }
     }
     ledger.absorb("node programs", &net);
+    mwc_trace::check_bound(
+        "congest/node_programs",
+        mwc_trace::BoundInputs::n(n).h(max_rounds),
+        net.round(),
+        crate::bounds::node_programs,
+    );
     programs
 }
 

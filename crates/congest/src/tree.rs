@@ -37,6 +37,7 @@ impl BfsTree {
     /// Panics if the communication topology is disconnected (a CONGEST
     /// network is connected by assumption).
     pub fn build(g: &Graph, root: NodeId, ledger: &mut Ledger) -> BfsTree {
+        let _span = mwc_trace::span("tree/build");
         let n = g.n();
         let mut net: Network<u64> = Network::new(g);
         let mut parent: Vec<Option<NodeId>> = vec![None; n];
@@ -72,6 +73,12 @@ impl BfsTree {
             }
         }
         let height = depth.iter().copied().max().unwrap_or(0);
+        mwc_trace::check_bound(
+            "congest/bfs_tree",
+            mwc_trace::BoundInputs::n(n).diameter(height as u64),
+            net.round(),
+            crate::bounds::bfs_tree,
+        );
         BfsTree {
             root,
             parent,
@@ -95,6 +102,7 @@ pub fn broadcast<T: Clone>(
     words_per_item: u64,
     ledger: &mut Ledger,
 ) -> Vec<(NodeId, T)> {
+    let _span = mwc_trace::span("tree/broadcast");
     let n = g.n();
     // Upcast: every node forwards items toward the root.
     let mut net: Network<(NodeId, T)> = Network::new(g);
@@ -119,6 +127,7 @@ pub fn broadcast<T: Clone>(
         }
     }
     ledger.absorb("broadcast: upcast", &net);
+    let up_rounds = net.round();
 
     // Downcast: the root streams the full list down every tree edge.
     let mut net: Network<(NodeId, T)> = Network::new(g);
@@ -141,6 +150,14 @@ pub fn broadcast<T: Clone>(
     }
     ledger.absorb("broadcast: downcast", &net);
     debug_assert!((0..n).all(|v| v == tree.root || received[v] == collected.len()));
+    mwc_trace::check_bound(
+        "congest/broadcast",
+        mwc_trace::BoundInputs::n(n)
+            .diameter(tree.height as u64)
+            .k((collected.len() as u64).saturating_mul(words_per_item.max(1))),
+        up_rounds + net.round(),
+        crate::bounds::broadcast,
+    );
     collected
 }
 
@@ -158,6 +175,7 @@ where
     T: Copy,
     F: Fn(T, T) -> T,
 {
+    let _span = mwc_trace::span("tree/convergecast");
     let n = g.n();
     assert_eq!(values.len(), n, "one value per node");
     let mut pending: Vec<usize> = (0..n).map(|v| tree.children[v].len()).collect();
@@ -185,6 +203,7 @@ where
         }
     }
     ledger.absorb("convergecast: up", &net);
+    let up_rounds = net.round();
     let result = acc[tree.root];
 
     // Flood the result down so every node knows it (the paper requires
@@ -202,6 +221,12 @@ where
         }
     }
     ledger.absorb("convergecast: down", &net);
+    mwc_trace::check_bound(
+        "congest/convergecast",
+        mwc_trace::BoundInputs::n(n).diameter(tree.height as u64),
+        up_rounds + net.round(),
+        crate::bounds::convergecast,
+    );
     result
 }
 

@@ -78,6 +78,7 @@ impl ApspResult {
 /// # }
 /// ```
 pub fn distributed_apsp(g: &Graph) -> ApspResult {
+    let _span = mwc_trace::span("apsp/all-source");
     let mut ledger = Ledger::new();
     let sources: Vec<NodeId> = (0..g.n()).collect();
     let lat: Option<Vec<Weight>> = if g.is_unit_weight() {
@@ -91,6 +92,20 @@ pub fn distributed_apsp(g: &Graph) -> ApspResult {
         latency: lat.as_deref(),
     };
     let mat = multi_source_bfs(g, &sources, &spec, "all-source APSP", &mut ledger);
+    mwc_trace::check_bound(
+        "core/apsp",
+        mwc_trace::BoundInputs::n(g.n())
+            .diameter(mwc_congest::bounds::diameter_upper_bound(g))
+            .h(mwc_congest::bounds::effective_hops(
+                g.n(),
+                INF,
+                lat.as_deref(),
+                g.m(),
+            ))
+            .k(g.n() as u64),
+        ledger.rounds,
+        crate::bounds::apsp,
+    );
     ApspResult { mat, ledger }
 }
 

@@ -1,0 +1,216 @@
+//! Registered round bounds for the core algorithm entry points.
+//!
+//! Companion to [`mwc_congest::bounds`]: each public algorithm in this
+//! crate audits its total ledger rounds against the concrete envelope
+//! registered here (via [`mwc_trace::check_bound`]). Sample-set sizes are
+//! *recomputed* with the same seeded sampler the algorithms use — a
+//! zero-round local computation — so every bound is a deterministic
+//! function of the instance and the [`Params`]. Constants are calibrated
+//! against the simulator and deliberately generous (the full table lives
+//! in `docs/observability.md`): the audits are regression tripwires for
+//! asymptotic blowups, not tight performance budgets.
+
+use crate::params::Params;
+use crate::scaling::{scale_budget, scale_run_count, EpsQ};
+use crate::util::sample_vertices;
+use mwc_graph::Graph;
+use mwc_trace::BoundInputs;
+
+/// All-source pipelined BFS (the APSP substrate, \[28\]): the multibfs
+/// envelope `O(h + k)` with `h` the effective hop budget and `k = n`.
+pub(crate) fn apsp(i: &BoundInputs) -> f64 {
+    4.0 * (i.h + i.k) as f64 + 16.0
+}
+
+/// Exact MWC (Table 1 baselines): APSP + neighbor column exchange +
+/// tree build + convergecast.
+pub(crate) fn exact(i: &BoundInputs) -> f64 {
+    apsp(i) + 3.0 * i.k as f64 + 6.0 * i.diameter as f64 + 64.0
+}
+
+/// Theorem 1.3.B girth approximation: sampled multibfs + column
+/// exchange + σ-source-detection + list exchange + tree/convergecast.
+/// `h` carries σ, `k` the recomputed sample-set size.
+pub(crate) fn girth(i: &BoundInputs) -> f64 {
+    let n = i.n as f64;
+    let (d, sigma, k) = (i.diameter as f64, i.h as f64, i.k as f64);
+    4.0 * (n + k) + 2.0 * k + 5.0 * (n + sigma) + 2.0 * sigma + 4.0 * d + 96.0
+}
+
+/// §1.3 corollary upper bound: all-source `(q−1)`-hop BFS + detected-entry
+/// exchange + convergecast. `h` carries `q`, `k = n`.
+pub(crate) fn detection(i: &BoundInputs) -> f64 {
+    let n = i.n as f64;
+    let hops = (i.h as f64).min(n);
+    4.0 * (hops + i.k as f64) + 2.0 * i.k as f64 + 4.0 * i.diameter as f64 + 80.0
+}
+
+/// `k` sequential single-source BFS runs (Theorem 1.6.A's repetition
+/// strategy): `k · O(D)`, each run bounded by the full multibfs envelope.
+pub(crate) fn ksssp_repeated(i: &BoundInputs) -> f64 {
+    i.k as f64 * (4.0 * i.n as f64 + 16.0) + 16.0
+}
+
+/// Fundamental cycle basis: one BFS-tree build + a one-word neighbor
+/// exchange.
+pub(crate) fn cycle_basis(i: &BoundInputs) -> f64 {
+    4.0 * i.diameter as f64 + 32.0
+}
+
+/// Size of Algorithm 1's skeleton sample set `S`, recomputed with the
+/// pipeline's sampler (zero rounds; deterministic for a fixed seed).
+pub(crate) fn skeleton_samples(n: usize, h_hops: u64, params: &Params) -> u64 {
+    let p = params.sample_prob(n, (h_hops / 2).max(1));
+    sample_vertices(n, p, params.seed, crate::pipeline::SALT_SAMPLES).len() as u64
+}
+
+/// Shared skeleton-composition envelope: up to three segment sweeps
+/// (from `S`, from `U`, and the directed reverse run), each `runs`
+/// scaled passes of depth `h`, plus the `ns²` skeleton broadcast and the
+/// `k·ns` source broadcast over a height-`d` tree.
+fn skeleton(h: f64, k: f64, ns: f64, d: f64, runs: f64) -> f64 {
+    3.0 * runs * (4.0 * (h + k.max(ns)) + 16.0)
+        + 4.0 * (ns * ns + k * ns + 3.0 * d)
+        + 2.0 * (d + 1.0)
+        + 128.0
+}
+
+/// Theorem 1.6.A: exact `k`-source BFS, direct regime or the skeleton
+/// pipeline depending on `h = ⌈√(nk)⌉` exactly as [`crate::k_source_bfs`]
+/// chooses.
+pub(crate) fn ksssp_bfs(n: usize, k: u64, d: u64, params: &Params) -> f64 {
+    let h = crate::ksssp::pick_h(n, k.max(1) as usize);
+    if h as usize + 1 >= n {
+        return 4.0 * (n as u64 + k) as f64 + 32.0;
+    }
+    let ns = skeleton_samples(n, h, params);
+    skeleton(h as f64, k as f64, ns as f64, d as f64, 1.0)
+}
+
+/// Theorem 1.6.B: `(1+ε)` `k`-source SSSP — the Theorem 1.6.A skeleton
+/// with every segment sweep multiplied by the scale count of
+/// [`crate::scaling::scaled_hop_sssp`].
+pub(crate) fn ksssp_approx(g: &Graph, k: u64, d: u64, params: &Params) -> f64 {
+    let n = g.n();
+    let h = crate::ksssp::pick_h(n, k.max(1) as usize);
+    let eps = EpsQ::from_f64(params.epsilon);
+    if h as usize + 1 >= n {
+        let hd = (n as u64).saturating_sub(1).max(1);
+        let runs = scale_run_count(g, hd, eps) as f64;
+        let b = scale_budget(hd, eps) as f64;
+        return runs * (4.0 * (b + k as f64) + 16.0) + 32.0;
+    }
+    let runs = scale_run_count(g, h, eps) as f64;
+    let b = scale_budget(h, eps) as f64;
+    let ns = skeleton_samples(n, h, params) as f64;
+    skeleton(b, k as f64, ns, d as f64, runs)
+}
+
+/// Sample-set size of Algorithms 2+3 (salt `SALT_MWC_SAMPLES`).
+pub(crate) fn directed_samples(n: usize, h: u64, params: &Params) -> u64 {
+    let p = params.sample_prob(n, h);
+    sample_vertices(n, p, params.seed, crate::directed::SALT_MWC_SAMPLES).len() as u64
+}
+
+/// Sample-set size of the girth algorithm (salt `SALT_GIRTH_SAMPLES`).
+pub(crate) fn girth_samples(n: usize, params: &Params) -> u64 {
+    let sigma = ((n as f64).sqrt().ceil() as u64).max(1);
+    let p = params.sample_prob(n, sigma);
+    sample_vertices(n, p, params.seed, crate::girth::SALT_GIRTH_SAMPLES).len() as u64
+}
+
+/// Sample-set size of the weighted §5 framework (salt
+/// `SALT_WEIGHTED_SAMPLES`).
+pub(crate) fn weighted_samples(n: usize, h: u64, params: &Params) -> u64 {
+    let p = params.sample_prob(n, h);
+    sample_vertices(n, p, params.seed, crate::weighted::SALT_WEIGHTED_SAMPLES).len() as u64
+}
+
+/// Algorithm 3's restricted-BFS stage: `ρ` staggered start phases plus
+/// the distance budget, the R-set neighbor exchange, and the `|Z| ≤ n`
+/// overflow sweep.
+fn alg3(n: f64, budget: f64, rho: f64, ns: f64) -> f64 {
+    2.0 * (rho + budget) + 4.0 * (budget + n) + 8.0 * n + 4.0 * ns + 64.0
+}
+
+/// Theorem 1.2.C (Algorithms 2+3, unweighted mode): two `k`-source BFS
+/// table builds from the samples, the `ns²` sample-distance broadcast,
+/// Algorithm 3, and the final convergecast.
+pub(crate) fn directed_2approx(g: &Graph, d: u64, params: &Params) -> f64 {
+    let n = g.n();
+    let h = ((n as f64).powf(params.directed_h_exponent).ceil() as u64).max(1);
+    let rho = ((n as f64).powf(params.rho_exponent) * params.delay_factor.max(0.0))
+        .ceil()
+        .max(1.0);
+    let ns = directed_samples(n, h, params).max(1);
+    let df = d as f64;
+    2.0 * ksssp_bfs(n, ns, d, params)
+        + 2.0 * (df + 1.0)
+        + 4.0 * ((ns * ns) as f64 + df)
+        + alg3(n as f64, h as f64, rho, ns as f64)
+        + 4.0 * df
+        + 96.0
+}
+
+/// One stretched hop-limited girth run (Corollary 4.1) under budget
+/// `h*`: stretched travel is at most `h*` rounds since every stretched
+/// latency is ≥ 1.
+fn girth_scale(h_star: f64, s: f64, sigma: f64) -> f64 {
+    4.0 * (h_star + s) + 2.0 * s + 5.0 * (h_star + sigma) + 2.0 * sigma + 64.0
+}
+
+/// Theorem 1.4.C (§5.1): long cycles via Theorem 1.6.B from the
+/// `SALT_WEIGHTED_SAMPLES` set + the estimate exchange, then `scales`
+/// stretched girth runs under budget `h_star`, then the finish
+/// tree/convergecast.
+pub(crate) fn weighted_undirected(
+    g: &Graph,
+    d: u64,
+    scales: u64,
+    h_star: u64,
+    params: &Params,
+) -> f64 {
+    let n = g.n();
+    let h = ((n as f64).powf(2.0 / 3.0).ceil() as u64).max(1);
+    let s_w = weighted_samples(n, h, params).max(1);
+    let sigma = ((n as f64).sqrt().ceil()).max(1.0);
+    let s_g = girth_samples(n, params) as f64;
+    ksssp_approx(g, s_w, d, params)
+        + 2.0 * s_w as f64
+        + scales as f64 * girth_scale(h_star as f64, s_g, sigma)
+        + 4.0 * d as f64
+        + 128.0
+}
+
+/// One stretched hop-limited directed run (§5.2 subroutine) under budget
+/// `h*`: two budget-limited stretched BFS table builds, the `ns²`
+/// broadcast, and Algorithm 3.
+fn directed_scale(n: f64, h_star: f64, rho: f64, ns: f64, d: f64) -> f64 {
+    2.0 * (4.0 * (h_star + ns) + 16.0)
+        + 2.0 * (d + 1.0)
+        + 4.0 * (ns * ns + d)
+        + alg3(n, h_star, rho, ns)
+}
+
+/// Theorem 1.2.D (§5.2): forward + reverse Theorem 1.6.B from the
+/// samples, then `scales` stretched directed runs under budget `h_star`,
+/// then the finish tree/convergecast.
+pub(crate) fn weighted_directed(
+    g: &Graph,
+    d: u64,
+    scales: u64,
+    h_star: u64,
+    params: &Params,
+) -> f64 {
+    let n = g.n();
+    let h = ((n as f64).powf(0.6).ceil() as u64).max(1);
+    let s_w = weighted_samples(n, h, params).max(1);
+    let rho = ((n as f64).powf(params.rho_exponent) * params.delay_factor.max(0.0))
+        .ceil()
+        .max(1.0);
+    let ns_d = directed_samples(n, h, params) as f64;
+    2.0 * ksssp_approx(g, s_w, d, params)
+        + scales as f64 * directed_scale(n as f64, h_star as f64, rho, ns_d, d as f64)
+        + 4.0 * d as f64
+        + 128.0
+}

@@ -108,6 +108,7 @@ impl CycleBasis {
 /// # }
 /// ```
 pub fn fundamental_cycle_basis(g: &Graph) -> CycleBasis {
+    let _span = mwc_trace::span("basis/fundamental");
     assert!(
         !g.is_directed(),
         "cycle bases are defined for undirected graphs"
@@ -157,6 +158,12 @@ pub fn fundamental_cycle_basis(g: &Graph) -> CycleBasis {
         cycles.push(CycleWitness::new(cyc));
         chords.push(eid);
     }
+    mwc_trace::check_bound(
+        "core/fundamental_cycle_basis",
+        mwc_trace::BoundInputs::n(g.n()).diameter(mwc_congest::bounds::diameter_upper_bound(g)),
+        ledger.rounds,
+        crate::bounds::cycle_basis,
+    );
     CycleBasis {
         cycles,
         chords,

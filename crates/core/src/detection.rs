@@ -52,6 +52,7 @@ use mwc_graph::{CycleWitness, Graph, NodeId, Weight};
 /// # }
 /// ```
 pub fn shortest_cycle_within(g: &Graph, q: u64) -> MwcOutcome {
+    let _span = mwc_trace::span("detect/cycle-within");
     let min_len = if g.is_directed() { 2 } else { 3 };
     assert!(q >= min_len, "q must allow a simple cycle (≥ {min_len})");
     let n = g.n();
@@ -168,6 +169,15 @@ pub fn shortest_cycle_within(g: &Graph, q: u64) -> MwcOutcome {
 
     let tree = BfsTree::build(g, 0, &mut ledger);
     let _ = convergecast_min(g, &tree, local_best, &mut ledger);
+    mwc_trace::check_bound(
+        "core/shortest_cycle_within",
+        mwc_trace::BoundInputs::n(n)
+            .diameter(mwc_congest::bounds::diameter_upper_bound(g))
+            .h(q)
+            .k(n as u64),
+        ledger.rounds,
+        crate::bounds::detection,
+    );
     best.into_outcome(ledger)
 }
 

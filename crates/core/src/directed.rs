@@ -36,7 +36,7 @@ use mwc_rng::StdRng;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-const SALT_MWC_SAMPLES: u64 = 0xB2;
+pub(crate) const SALT_MWC_SAMPLES: u64 = 0xB2;
 
 /// How the algorithm measures length.
 #[derive(Clone, Copy)]
@@ -95,6 +95,7 @@ use crate::outcome::Partial;
 /// # }
 /// ```
 pub fn two_approx_directed_mwc(g: &Graph, params: &Params) -> MwcOutcome {
+    let _span = mwc_trace::span("directed/2approx");
     assert!(g.is_directed(), "Algorithm 2 requires a directed graph");
     assert!(
         g.is_unit_weight(),
@@ -107,6 +108,17 @@ pub fn two_approx_directed_mwc(g: &Graph, params: &Params) -> MwcOutcome {
     let tree = BfsTree::build(g, 0, &mut ledger);
     let local = vec![out.best.weight().unwrap_or(INF); g.n()];
     let _ = convergecast_min(g, &tree, local, &mut ledger);
+    let n = g.n();
+    let h = ((n as f64).powf(params.directed_h_exponent).ceil() as u64).max(1);
+    mwc_trace::check_bound(
+        "core/two_approx_directed_mwc",
+        mwc_trace::BoundInputs::n(n)
+            .diameter(mwc_congest::bounds::diameter_upper_bound(g))
+            .h(h)
+            .k(crate::bounds::directed_samples(n, h, params)),
+        ledger.rounds,
+        |i| crate::bounds::directed_2approx(g, i.diameter, params),
+    );
     out.best.into_outcome(ledger)
 }
 
@@ -384,6 +396,7 @@ fn short_cycles_restricted_bfs(
     best: &mut BestCycle,
     ledger: &mut Ledger,
 ) {
+    let _span = mwc_trace::span("directed/alg3");
     let n = g.n();
     let ns = samples.len();
     let cap = params.phase_cap(n);
@@ -623,11 +636,11 @@ fn short_cycles_restricted_bfs(
     // Line 24: h-hop BFS from the phase-overflow set Z. Record |Z| in the
     // ledger (zero-cost info line) for the scheduling ablation.
     let z: Vec<NodeId> = (0..n).filter(|&v| overflow[v]).collect();
-    ledger.phases.push(mwc_congest::Phase {
-        label: format!("Alg3: |Z| = {} phase-overflow vertices", z.len()),
-        rounds: 0,
-        words: 0,
-    });
+    ledger.phases.push(mwc_congest::Phase::synthetic(
+        format!("Alg3: |Z| = {} phase-overflow vertices", z.len()),
+        0,
+        0,
+    ));
     if !z.is_empty() {
         let latency_vec: Option<&[Weight]> = match mode {
             Mode::Unweighted => None,

@@ -53,6 +53,7 @@ use mwc_graph::{CycleWitness, Graph, Weight};
 /// # }
 /// ```
 pub fn exact_mwc(g: &Graph) -> MwcOutcome {
+    let _span = mwc_trace::span("exact/mwc");
     let n = g.n();
     let mut ledger = Ledger::new();
     if n == 0 {
@@ -122,6 +123,26 @@ pub fn exact_mwc(g: &Graph) -> MwcOutcome {
         "convergecast ≠ tracked best"
     );
 
+    let lat: Option<Vec<Weight>> = if g.is_unit_weight() {
+        None
+    } else {
+        Some(g.edges().iter().map(|e| e.weight).collect())
+    };
+    mwc_trace::check_bound(
+        "core/exact_mwc",
+        mwc_trace::BoundInputs::n(n)
+            .diameter(mwc_congest::bounds::diameter_upper_bound(g))
+            .h(mwc_congest::bounds::effective_hops(
+                n,
+                INF,
+                lat.as_deref(),
+                g.m(),
+            ))
+            .k(n as u64),
+        ledger.rounds,
+        crate::bounds::exact,
+    );
+
     let mut out = best.into_outcome(ledger);
     // The candidate value at the argmin equals the witness cycle's weight
     // (LCA trimming cannot make it lighter than the MWC); recompute
@@ -142,6 +163,7 @@ pub fn exact_mwc(g: &Graph) -> MwcOutcome {
 ///
 /// Panics if the graph is directed or weighted.
 pub fn exact_girth(g: &Graph) -> MwcOutcome {
+    let _span = mwc_trace::span("exact/girth");
     assert!(!g.is_directed(), "girth is defined for undirected graphs");
     assert!(g.is_unit_weight(), "girth is defined for unweighted graphs");
     exact_mwc(g)

@@ -31,14 +31,15 @@ use crate::outcome::{BestCycle, MwcOutcome, Partial};
 use crate::params::Params;
 use crate::util::{extract_cycle_from_walk, sample_vertices};
 use mwc_congest::{
-    convergecast_min, multi_source_bfs, source_detection, BfsTree, Detection, MultiBfsSpec, INF,
+    convergecast_min, multi_source_bfs, source_detection, BfsTree, Detection, Ledger, MultiBfsSpec,
+    INF,
 };
 use mwc_graph::seq::Direction;
 use mwc_graph::{CycleWitness, Graph, NodeId, Weight};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-const SALT_GIRTH_SAMPLES: u64 = 0xC1;
+pub(crate) const SALT_GIRTH_SAMPLES: u64 = 0xC1;
 
 /// `(2 − 1/g)`-approximation of the girth of an undirected unweighted
 /// graph in `Õ(√n + D)` rounds (Theorem 1.3.B).
@@ -65,6 +66,7 @@ const SALT_GIRTH_SAMPLES: u64 = 0xC1;
 /// assert_eq!(out.witness.unwrap().validate(&g), Ok(40));
 /// ```
 pub fn approx_girth(g: &Graph, params: &Params) -> MwcOutcome {
+    let _span = mwc_trace::span("girth/approx");
     assert!(!g.is_directed(), "girth requires an undirected graph");
     assert!(
         g.is_unit_weight(),
@@ -75,7 +77,23 @@ pub fn approx_girth(g: &Graph, params: &Params) -> MwcOutcome {
     let tree = BfsTree::build(g, 0, &mut ledger);
     let local = vec![parts.best.weight().unwrap_or(INF); g.n()];
     let _ = convergecast_min(g, &tree, local, &mut ledger);
+    audit_girth("core/approx_girth", g, params, &ledger);
     parts.best.into_outcome(ledger)
+}
+
+/// Audits a finished girth-entry run against the Theorem 1.3.B envelope.
+fn audit_girth(algorithm: &str, g: &Graph, params: &Params, ledger: &Ledger) {
+    let n = g.n();
+    let sigma = ((n as f64).sqrt().ceil() as u64).max(1);
+    mwc_trace::check_bound(
+        algorithm,
+        mwc_trace::BoundInputs::n(n)
+            .diameter(mwc_congest::bounds::diameter_upper_bound(g))
+            .h(sigma)
+            .k(crate::bounds::girth_samples(n, params)),
+        ledger.rounds,
+        crate::bounds::girth,
+    );
 }
 
 /// Hop-limited `(2 − 1/g)`-approximation on a *stretched* undirected graph
@@ -108,6 +126,7 @@ pub fn approx_girth_parts(
     sampled_part: bool,
     neighborhood_part: bool,
 ) -> MwcOutcome {
+    let _span = mwc_trace::span("girth/approx-parts");
     assert!(
         sampled_part || neighborhood_part,
         "enable at least one candidate generator"
@@ -119,6 +138,7 @@ pub fn approx_girth_parts(
     let tree = BfsTree::build(g, 0, &mut ledger);
     let local = vec![parts.best.weight().unwrap_or(INF); g.n()];
     let _ = convergecast_min(g, &tree, local, &mut ledger);
+    audit_girth("core/approx_girth", g, params, &ledger);
     parts.best.into_outcome(ledger)
 }
 
@@ -146,6 +166,7 @@ fn girth_core_parts(
 
     // Part 1: BFS from Õ(√n) sampled sources.
     if sampled_part {
+        let _part = mwc_trace::span("girth/sampled-part");
         let p = params.sample_prob(n, sigma as u64);
         let samples = sample_vertices(n, p, params.seed, SALT_GIRTH_SAMPLES);
         let spec = MultiBfsSpec {
@@ -190,6 +211,7 @@ fn girth_core_parts(
         return parts;
     }
     // Part 2: σ-nearest-neighborhood detection from all vertices.
+    let _part = mwc_trace::span("girth/neighborhood-part");
     let all: Vec<NodeId> = (0..n).collect();
     let det = source_detection(
         g,

@@ -117,7 +117,7 @@ impl KSourceDistances {
 }
 
 /// `h = ⌈√(nk)⌉`, the paper's parameter choice.
-fn pick_h(n: usize, k: usize) -> u64 {
+pub(crate) fn pick_h(n: usize, k: usize) -> u64 {
     ((n as f64 * k as f64).sqrt().ceil() as u64).max(1)
 }
 
@@ -163,6 +163,7 @@ pub fn k_source_bfs(
         out.flipped = true;
         return out;
     }
+    let _span = mwc_trace::span("ksssp/bfs");
     let n = g.n();
     let k = sources.len();
     let h = pick_h(n, k);
@@ -216,6 +217,15 @@ pub fn k_source_bfs(
             );
         }
     }
+    mwc_trace::check_bound(
+        "core/k_source_bfs",
+        mwc_trace::BoundInputs::n(n)
+            .diameter(mwc_congest::bounds::diameter_upper_bound(g))
+            .h(h)
+            .k(k as u64),
+        ledger.rounds,
+        |i| crate::bounds::ksssp_bfs(n, k as u64, i.diameter, params),
+    );
     KSourceDistances {
         sources: sources.to_vec(),
         flipped: false,
@@ -249,6 +259,7 @@ pub fn k_source_approx_sssp(
         out.flipped = true;
         return out;
     }
+    let _span = mwc_trace::span("ksssp/approx");
     let n = g.n();
     let k = sources.len();
     let h = pick_h(n, k);
@@ -289,6 +300,16 @@ pub fn k_source_approx_sssp(
             );
         }
     }
+    mwc_trace::check_bound(
+        "core/k_source_approx_sssp",
+        mwc_trace::BoundInputs::n(n)
+            .diameter(mwc_congest::bounds::diameter_upper_bound(g))
+            .h(h)
+            .k(k as u64)
+            .eps(eps.value()),
+        ledger.rounds,
+        |i| crate::bounds::ksssp_approx(g, k as u64, i.diameter, params),
+    );
     KSourceApproxSssp {
         sources: sources.to_vec(),
         flipped: false,

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod apsp;
+mod bounds;
 pub mod cycle_basis;
 pub mod detection;
 pub mod directed;

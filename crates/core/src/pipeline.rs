@@ -12,7 +12,7 @@ use crate::util::sample_vertices;
 use mwc_congest::{broadcast, BfsTree, Ledger, INF};
 use mwc_graph::{Graph, NodeId, Weight};
 
-const SALT_SAMPLES: u64 = 0xA1;
+pub(crate) const SALT_SAMPLES: u64 = 0xA1;
 
 /// An `h`-bounded multi-source distance table with path reconstruction.
 pub(crate) trait Segments {
@@ -173,7 +173,10 @@ pub(crate) fn skeleton_pipeline<S: Segments>(
     let ns = samples.len();
 
     // Line 2: h-hop segments from the samples.
-    let seg_s = runner(g, &samples, "h-hop segments from S", ledger);
+    let seg_s = {
+        let _s = mwc_trace::span("ksssp/segments-from-S");
+        runner(g, &samples, "h-hop segments from S", ledger)
+    };
 
     // Lines 4–5: broadcast skeleton edges.
     let tree = BfsTree::build(g, 0, ledger);
@@ -189,17 +192,26 @@ pub(crate) fn skeleton_pipeline<S: Segments>(
             }
         }
     }
-    let skel_edges: Vec<(u32, u32, Weight)> = broadcast(g, &tree, skel_items, 1, ledger)
-        .into_iter()
-        .map(|(_, e)| e)
-        .collect();
+    let skel_edges: Vec<(u32, u32, Weight)> = {
+        let _s = mwc_trace::span("ksssp/skeleton-broadcast");
+        broadcast(g, &tree, skel_items, 1, ledger)
+            .into_iter()
+            .map(|(_, e)| e)
+            .collect()
+    };
 
     // Line 6: local skeleton APSP.
-    let (skel_dist, skel_pred) = skeleton_apsp(ns, &skel_edges);
+    let (skel_dist, skel_pred) = {
+        let _s = mwc_trace::span("ksssp/skeleton-apsp");
+        skeleton_apsp(ns, &skel_edges)
+    };
 
     // Line 7: h-hop segments from the sources, broadcast source→sample
     // distances.
-    let seg_u = runner(g, sources, "h-hop segments from U", ledger);
+    let seg_u = {
+        let _s = mwc_trace::span("ksssp/segments-from-U");
+        runner(g, sources, "h-hop segments from U", ledger)
+    };
     let mut us_items: Vec<(NodeId, (u32, u32, Weight))> = Vec::new();
     for row in 0..k {
         for (si, &s) in samples.iter().enumerate() {
@@ -209,10 +221,13 @@ pub(crate) fn skeleton_pipeline<S: Segments>(
             }
         }
     }
-    let us_edges: Vec<(u32, u32, Weight)> = broadcast(g, &tree, us_items, 1, ledger)
-        .into_iter()
-        .map(|(_, e)| e)
-        .collect();
+    let us_edges: Vec<(u32, u32, Weight)> = {
+        let _s = mwc_trace::span("ksssp/source-broadcast");
+        broadcast(g, &tree, us_items, 1, ledger)
+            .into_iter()
+            .map(|(_, e)| e)
+            .collect()
+    };
 
     // Line 8 (local everywhere): source→sample distances via entry samples.
     let mut d_us = vec![INF; k * ns];

@@ -98,6 +98,26 @@ pub(crate) fn scale_budget(h: u64, eps: EpsQ) -> Weight {
     (32 * h as u128).div_ceil(eps.num as u128) as Weight + h
 }
 
+/// Number of stretched runs [`scaled_hop_sssp`] performs for this
+/// instance (the exact run plus one per scale) — recomputed locally for
+/// bound auditing, mirroring the loop below.
+pub(crate) fn scale_run_count(g: &Graph, h_hops: u64, eps: EpsQ) -> u64 {
+    let h = h_hops.max(1);
+    let budget = scale_budget(h, eps);
+    let max_dist = h.saturating_mul(g.max_weight().max(1));
+    let mut i = 0u32;
+    while (1u128 << i) <= budget as u128 {
+        i += 1;
+    }
+    let mut i = i.saturating_sub(1);
+    let mut runs = 1u64;
+    while (1u128 << i) <= 2 * max_dist as u128 {
+        runs += 1;
+        i += 1;
+    }
+    runs
+}
+
 /// Computes `(1+ε_q)`-approximate `h`-hop bounded distances from
 /// `sources` (forward orientation) by stretched BFS over `O(log(hW))`
 /// scales, each bounded by [`scale_budget`]. Round cost is charged per

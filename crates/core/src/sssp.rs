@@ -60,6 +60,7 @@ impl SsspResult {
 /// # }
 /// ```
 pub fn sssp_bfs(g: &Graph, src: NodeId, direction: Direction) -> SsspResult {
+    let _span = mwc_trace::span("sssp/bfs");
     let mut ledger = Ledger::new();
     let spec = MultiBfsSpec {
         max_dist: INF,
@@ -67,6 +68,15 @@ pub fn sssp_bfs(g: &Graph, src: NodeId, direction: Direction) -> SsspResult {
         latency: None,
     };
     let mat = multi_source_bfs(g, &[src], &spec, "single-source BFS", &mut ledger);
+    mwc_trace::check_bound(
+        "core/sssp_bfs",
+        mwc_trace::BoundInputs::n(g.n())
+            .diameter(mwc_congest::bounds::diameter_upper_bound(g))
+            .h(mwc_congest::bounds::effective_hops(g.n(), INF, None, g.m()))
+            .k(1),
+        ledger.rounds,
+        crate::bounds::apsp,
+    );
     SsspResult { mat, ledger }
 }
 
@@ -76,6 +86,7 @@ pub fn sssp_bfs(g: &Graph, src: NodeId, direction: Direction) -> SsspResult {
 /// behind the paper's `k·SSSP` term (its sharper `SSSP` bound \[9\] is a
 /// documented substitution, DESIGN.md §2).
 pub fn sssp_exact_weighted(g: &Graph, src: NodeId, direction: Direction) -> SsspResult {
+    let _span = mwc_trace::span("sssp/exact-weighted");
     let mut ledger = Ledger::new();
     let lat: Vec<Weight> = g.edges().iter().map(|e| e.weight).collect();
     let spec = MultiBfsSpec {
@@ -84,6 +95,20 @@ pub fn sssp_exact_weighted(g: &Graph, src: NodeId, direction: Direction) -> Sssp
         latency: Some(&lat),
     };
     let mat = multi_source_bfs(g, &[src], &spec, "stretched exact SSSP", &mut ledger);
+    mwc_trace::check_bound(
+        "core/sssp_exact_weighted",
+        mwc_trace::BoundInputs::n(g.n())
+            .diameter(mwc_congest::bounds::diameter_upper_bound(g))
+            .h(mwc_congest::bounds::effective_hops(
+                g.n(),
+                INF,
+                Some(&lat),
+                g.m(),
+            ))
+            .k(1),
+        ledger.rounds,
+        crate::bounds::apsp,
+    );
     SsspResult { mat, ledger }
 }
 
@@ -100,6 +125,7 @@ pub fn sssp_approx(
     direction: Direction,
     params: &Params,
 ) -> crate::KSourceApproxSssp {
+    let _span = mwc_trace::span("sssp/approx");
     crate::k_source_approx_sssp(g, &[src], direction, params)
 }
 
@@ -111,6 +137,7 @@ pub fn k_source_bfs_repeated(
     sources: &[NodeId],
     direction: Direction,
 ) -> (DistMatrix, Ledger) {
+    let _span = mwc_trace::span("ksssp/repeated");
     let mut ledger = Ledger::new();
     let mut combined = DistMatrix::new(g.n(), sources.to_vec());
     for (row, &s) in sources.iter().enumerate() {
@@ -127,6 +154,14 @@ pub fn k_source_bfs_repeated(
             }
         }
     }
+    mwc_trace::check_bound(
+        "core/k_source_bfs_repeated",
+        mwc_trace::BoundInputs::n(g.n())
+            .diameter(mwc_congest::bounds::diameter_upper_bound(g))
+            .k(sources.len() as u64),
+        ledger.rounds,
+        crate::bounds::ksssp_repeated,
+    );
     (combined, ledger)
 }
 
@@ -152,6 +187,7 @@ pub fn k_source_bfs_auto(
     direction: Direction,
     params: &Params,
 ) -> (KSourceDistances, KSourceStrategy) {
+    let _span = mwc_trace::span("ksssp/auto");
     let n = g.n().max(2) as f64;
     let k = sources.len().max(1) as f64;
     // Estimate D via a BFS-tree from node 0 (height ≤ D ≤ 2·height).

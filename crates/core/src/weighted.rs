@@ -36,7 +36,7 @@ use mwc_graph::seq::Direction;
 use mwc_graph::{CycleWitness, Graph, NodeId, Weight};
 use std::sync::Arc;
 
-const SALT_WEIGHTED_SAMPLES: u64 = 0xD1;
+pub(crate) const SALT_WEIGHTED_SAMPLES: u64 = 0xD1;
 
 /// The scaled per-edge stretch tables `Gⁱ` of §5.1: `⌈2h·w/(ε_q·2ⁱ)⌉` for
 /// `i = 1 … ⌈log₂(hW)⌉`, paired with the shared budget `h*`.
@@ -91,6 +91,7 @@ fn scaled_latencies(g: &Graph, h: u64, eps: EpsQ) -> (Vec<Vec<Weight>>, Weight) 
 /// # }
 /// ```
 pub fn approx_mwc_undirected_weighted(g: &Graph, params: &Params) -> MwcOutcome {
+    let _span = mwc_trace::span("weighted/undirected");
     assert!(
         !g.is_directed(),
         "use approx_mwc_directed_weighted for directed graphs"
@@ -100,22 +101,36 @@ pub fn approx_mwc_undirected_weighted(g: &Graph, params: &Params) -> MwcOutcome 
         "scaling-based approximation requires weights ≥ 1"
     );
     let n = g.n();
+    let h = ((n as f64).powf(2.0 / 3.0).ceil() as u64).max(1);
     let mut parts = Partial::default();
+    let (mut scales, mut h_star_audit) = (0u64, 0u64);
     if n >= 3 {
-        let h = ((n as f64).powf(2.0 / 3.0).ceil() as u64).max(1);
         let eps = EpsQ::from_f64(params.epsilon);
 
         long_cycles_undirected(g, params, h, &mut parts);
 
         // Short cycles: hop-limited stretched girth per scale.
         let (tables, h_star) = scaled_latencies(g, h, eps);
-        for lat in &tables {
+        (scales, h_star_audit) = (tables.len() as u64, h_star);
+        for (si, lat) in tables.iter().enumerate() {
+            let _scale = mwc_trace::span_owned(|| format!("weighted/scale-{si}"));
             let sub = hop_limited_girth(g, params, lat, h_star);
             parts.ledger.merge(&sub.ledger);
             merge_best(&mut parts.best, sub.best);
         }
     }
-    finish(g, parts)
+    let out = finish(g, parts);
+    mwc_trace::check_bound(
+        "core/approx_mwc_undirected_weighted",
+        mwc_trace::BoundInputs::n(n)
+            .diameter(mwc_congest::bounds::diameter_upper_bound(g))
+            .h(h)
+            .k(crate::bounds::weighted_samples(n, h, params))
+            .eps(params.epsilon),
+        out.ledger.rounds,
+        |i| crate::bounds::weighted_undirected(g, i.diameter, scales, h_star_audit, params),
+    );
+    out
 }
 
 /// `(2+ε)`-approximation of MWC in a directed weighted graph in
@@ -142,6 +157,7 @@ pub fn approx_mwc_undirected_weighted(g: &Graph, params: &Params) -> MwcOutcome 
 /// # }
 /// ```
 pub fn approx_mwc_directed_weighted(g: &Graph, params: &Params) -> MwcOutcome {
+    let _span = mwc_trace::span("weighted/directed");
     assert!(
         g.is_directed(),
         "use approx_mwc_undirected_weighted for undirected graphs"
@@ -151,21 +167,35 @@ pub fn approx_mwc_directed_weighted(g: &Graph, params: &Params) -> MwcOutcome {
         "scaling-based approximation requires weights ≥ 1"
     );
     let n = g.n();
+    let h = ((n as f64).powf(0.6).ceil() as u64).max(1);
     let mut parts = Partial::default();
+    let (mut scales, mut h_star_audit) = (0u64, 0u64);
     if n >= 1 {
-        let h = ((n as f64).powf(0.6).ceil() as u64).max(1);
         let eps = EpsQ::from_f64(params.epsilon);
 
         long_cycles_directed(g, params, h, &mut parts);
 
         let (tables, h_star) = scaled_latencies(g, h, eps);
-        for lat in &tables {
+        (scales, h_star_audit) = (tables.len() as u64, h_star);
+        for (si, lat) in tables.iter().enumerate() {
+            let _scale = mwc_trace::span_owned(|| format!("weighted/scale-{si}"));
             let sub = hop_limited_directed_mwc(g, params, lat, h_star, h);
             parts.ledger.merge(&sub.ledger);
             merge_best(&mut parts.best, sub.best);
         }
     }
-    finish(g, parts)
+    let out = finish(g, parts);
+    mwc_trace::check_bound(
+        "core/approx_mwc_directed_weighted",
+        mwc_trace::BoundInputs::n(n)
+            .diameter(mwc_congest::bounds::diameter_upper_bound(g))
+            .h(h)
+            .k(crate::bounds::weighted_samples(n, h, params))
+            .eps(params.epsilon),
+        out.ledger.rounds,
+        |i| crate::bounds::weighted_directed(g, i.diameter, scales, h_star_audit, params),
+    );
+    out
 }
 
 fn merge_best(into: &mut BestCycle, from: BestCycle) {

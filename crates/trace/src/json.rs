@@ -1,0 +1,206 @@
+//! A minimal, deterministic JSON value type and writer.
+//!
+//! The repo is hermetic (no serde); every artifact writer in the workspace
+//! shares this module so JSON output is produced by exactly one escaper and
+//! one number formatter. Rendering is fully deterministic: object keys keep
+//! insertion order, floats use Rust's shortest round-trip formatting, and no
+//! wall-clock data is ever injected — byte-identical output across runs is
+//! a tested guarantee (see the `trace_report` CI check).
+
+use std::fmt::Write as _;
+
+/// A JSON value. Objects preserve insertion order (no hashing), which keeps
+/// rendering deterministic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (the common case for round/word counts).
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float; non-finite values render as `null`.
+    F64(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object as ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn obj<I, K>(pairs: I) -> Json
+    where
+        I: IntoIterator<Item = (K, Json)>,
+        K: Into<String>,
+    {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Renders on one line with no whitespace (JSONL-friendly).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Renders with 2-space indentation for human-readable artifacts.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::F64(v) => write_f64(*v, out),
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    indent(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(pairs) if !pairs.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    indent(out, depth + 1);
+                    write_escaped(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(out, depth + 1);
+                    if i + 1 < pairs.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                indent(out, depth);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_f64(v: f64, out: &mut String) {
+    if !v.is_finite() {
+        out.push_str("null");
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        // Integral floats render with a ".0" so the type survives a
+        // round-trip through stricter parsers.
+        let _ = write!(out, "{v:.1}");
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+/// Writes `s` as a JSON string literal (quoted, escaped) into `out`.
+pub fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_compact() {
+        let v = Json::obj([
+            ("a", Json::U64(3)),
+            ("b", Json::Arr(vec![Json::Bool(true), Json::Null])),
+            ("s", Json::str("x\"y\n")),
+        ]);
+        assert_eq!(v.render(), r#"{"a":3,"b":[true,null],"s":"x\"y\n"}"#);
+    }
+
+    #[test]
+    fn floats_are_deterministic() {
+        assert_eq!(Json::F64(1.0).render(), "1.0");
+        assert_eq!(Json::F64(0.5).render(), "0.5");
+        assert_eq!(Json::F64(f64::NAN).render(), "null");
+        assert_eq!(Json::F64(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn pretty_rendering_is_stable() {
+        let v = Json::obj([("k", Json::Arr(vec![Json::U64(1), Json::U64(2)]))]);
+        assert_eq!(v.render_pretty(), "{\n  \"k\": [\n    1,\n    2\n  ]\n}\n");
+        assert_eq!(Json::Obj(vec![]).render_pretty(), "{}\n");
+    }
+
+    #[test]
+    fn control_chars_escape() {
+        assert_eq!(Json::str("\u{1}").render(), "\"\\u0001\"");
+    }
+}

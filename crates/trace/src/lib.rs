@@ -1,0 +1,571 @@
+//! `mwc-trace`: hermetic observability for the CONGEST MWC reproduction.
+//!
+//! The paper's entire contribution is round-complexity bounds, yet a flat
+//! per-phase total cannot show *where inside* an algorithm rounds go or
+//! whether a measured run actually respects the bound the paper proves.
+//! This crate provides the three missing pieces, with zero external
+//! dependencies:
+//!
+//! 1. **Span tracing** ([`span`], [`span_owned`], [`SpanGuard`]): RAII
+//!    nested spans forming a tree per algorithm run. [`Ledger`
+//!    absorption](https://docs.rs) in `mwc-congest` attributes each phase's
+//!    round/word/message deltas to the innermost open span, so the span
+//!    tree is a flamegraph of simulated rounds rather than wall-clock time.
+//! 2. **Event sink**: when tracing is active, every span close and bound
+//!    audit is emitted as one JSONL line. The sink is selected from the
+//!    `MWC_TRACE` environment variable (a file path) or installed
+//!    programmatically as an in-memory session ([`TraceSession::memory`]).
+//!    When no sink is active every operation is a cheap early-return that
+//!    allocates nothing and records nothing.
+//! 3. **Bound auditing** ([`audit`]): algorithm entry points declare their
+//!    theoretical round bound as a closure of `(n, D, h, k, ε)`; the
+//!    auditor records the measured-vs-bound ratio and fails a debug
+//!    assertion when a run exceeds its bound by more than the
+//!    `MWC_TRACE_BOUND_FACTOR` slack factor (default 1).
+//!
+//! Determinism is a hard requirement: no wall-clock timestamps ever enter
+//! the event stream — ordering is by a per-session sequence counter and all
+//! quantities are simulated-round accounting, so same-seed runs produce
+//! byte-identical traces (checked in CI).
+//!
+//! All state is thread-local: parallel test threads trace independently.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod json;
+
+use json::Json;
+use std::cell::RefCell;
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::PathBuf;
+
+pub use audit::{check_bound, AuditRecord, BoundInputs};
+
+/// One closed span: a node of the trace tree.
+///
+/// Cost fields are **self** costs (absorbed while this span was innermost);
+/// use [`SpanNode::total_rounds`] etc. for inclusive subtree totals.
+#[derive(Clone, Debug, Default)]
+pub struct SpanNode {
+    /// Order in which the span was *opened* (session-wide, 0-based).
+    pub seq: u64,
+    /// Span label, e.g. `"ksssp/skeleton-apsp"`.
+    pub label: String,
+    /// Simulated rounds attributed directly to this span.
+    pub rounds: u64,
+    /// Words moved while this span was innermost.
+    pub words: u64,
+    /// Messages delivered while this span was innermost.
+    pub messages: u64,
+    /// Bound audits recorded while this span was innermost.
+    pub audits: Vec<AuditRecord>,
+    /// Child spans in open order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Rounds of this span plus all descendants.
+    pub fn total_rounds(&self) -> u64 {
+        self.rounds
+            + self
+                .children
+                .iter()
+                .map(SpanNode::total_rounds)
+                .sum::<u64>()
+    }
+
+    /// Words of this span plus all descendants.
+    pub fn total_words(&self) -> u64 {
+        self.words + self.children.iter().map(SpanNode::total_words).sum::<u64>()
+    }
+
+    /// Messages of this span plus all descendants.
+    pub fn total_messages(&self) -> u64 {
+        self.messages
+            + self
+                .children
+                .iter()
+                .map(SpanNode::total_messages)
+                .sum::<u64>()
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("label", Json::str(&self.label)),
+            ("seq", Json::U64(self.seq)),
+            ("rounds", Json::U64(self.rounds)),
+            ("words", Json::U64(self.words)),
+            ("messages", Json::U64(self.messages)),
+            ("total_rounds", Json::U64(self.total_rounds())),
+            ("total_words", Json::U64(self.total_words())),
+            (
+                "audits",
+                Json::Arr(self.audits.iter().map(AuditRecord::to_json).collect()),
+            ),
+            (
+                "children",
+                Json::Arr(self.children.iter().map(SpanNode::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// The result of a finished [`TraceSession`]: the forest of root spans plus
+/// any audits recorded outside every span.
+#[derive(Clone, Debug, Default)]
+pub struct TraceData {
+    /// Root spans in open order.
+    pub roots: Vec<SpanNode>,
+    /// Audits recorded while no span was open.
+    pub orphan_audits: Vec<AuditRecord>,
+    /// The JSONL event lines, in emission order (what a file sink would
+    /// have written). Useful for schema/golden tests.
+    pub events: Vec<String>,
+}
+
+impl TraceData {
+    /// Every audit in the session, in recording order (span-attached ones
+    /// in span *close* order, as emitted).
+    pub fn all_audits(&self) -> Vec<&AuditRecord> {
+        fn walk<'a>(node: &'a SpanNode, out: &mut Vec<(u64, &'a AuditRecord)>) {
+            for a in &node.audits {
+                out.push((node.seq, a));
+            }
+            for c in &node.children {
+                walk(c, out);
+            }
+        }
+        let mut tagged = Vec::new();
+        for r in &self.roots {
+            walk(r, &mut tagged);
+        }
+        tagged.sort_by_key(|(seq, _)| *seq);
+        let mut out: Vec<&AuditRecord> = tagged.into_iter().map(|(_, a)| a).collect();
+        out.extend(self.orphan_audits.iter());
+        out
+    }
+
+    /// Renders the span forest as an indented text flamegraph of simulated
+    /// rounds. Deterministic; used by the `trace_report` binary.
+    pub fn flamegraph(&self) -> String {
+        fn walk(node: &SpanNode, depth: usize, grand_total: u64, out: &mut String) {
+            let total = node.total_rounds();
+            let pct = if grand_total > 0 {
+                100.0 * total as f64 / grand_total as f64
+            } else {
+                0.0
+            };
+            let indent = "  ".repeat(depth);
+            out.push_str(&format!(
+                "{indent}{label:<width$} {total:>9} rounds {words:>12} words {pct:>5.1}%\n",
+                label = node.label,
+                width = 44usize.saturating_sub(2 * depth),
+                words = node.total_words(),
+            ));
+            for a in &node.audits {
+                out.push_str(&format!(
+                    "{indent}  · bound[{}]: measured {} ≤ {:.0} (ratio {:.3})\n",
+                    a.algorithm, a.measured_rounds, a.bound_rounds, a.ratio
+                ));
+            }
+            for c in &node.children {
+                walk(c, depth + 1, grand_total, out);
+            }
+        }
+        let grand_total: u64 = self.roots.iter().map(SpanNode::total_rounds).sum();
+        let mut out = String::new();
+        for r in &self.roots {
+            walk(r, 0, grand_total, &mut out);
+        }
+        out
+    }
+
+    /// The machine-readable manifest for `results/trace_manifest.json`.
+    pub fn to_manifest(&self) -> Json {
+        Json::obj([
+            ("schema", Json::str("mwc-trace-manifest/v1")),
+            (
+                "total_rounds",
+                Json::U64(self.roots.iter().map(SpanNode::total_rounds).sum()),
+            ),
+            (
+                "total_words",
+                Json::U64(self.roots.iter().map(SpanNode::total_words).sum()),
+            ),
+            (
+                "spans",
+                Json::Arr(self.roots.iter().map(SpanNode::to_json).collect()),
+            ),
+            (
+                "orphan_audits",
+                Json::Arr(
+                    self.orphan_audits
+                        .iter()
+                        .map(AuditRecord::to_json)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+enum Sink {
+    Memory,
+    File(BufWriter<File>),
+}
+
+struct Collector {
+    sink: Sink,
+    stack: Vec<SpanNode>,
+    data: TraceData,
+    next_seq: u64,
+}
+
+impl Collector {
+    fn new(sink: Sink) -> Self {
+        Collector {
+            sink,
+            stack: Vec::new(),
+            data: TraceData::default(),
+            next_seq: 0,
+        }
+    }
+
+    fn emit(&mut self, line: String) {
+        match &mut self.sink {
+            Sink::Memory => self.data.events.push(line),
+            Sink::File(w) => {
+                let _ = writeln!(w, "{line}");
+            }
+        }
+    }
+
+    fn open(&mut self, label: String) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.stack.push(SpanNode {
+            seq,
+            label,
+            ..SpanNode::default()
+        });
+    }
+
+    fn close(&mut self) {
+        // A guard can outlive its session (the session finished first and
+        // the guard now closes against whatever tracer was restored); in
+        // that case there is nothing to close here.
+        let Some(node) = self.stack.pop() else {
+            return;
+        };
+        let parent_seq = self.stack.last().map(|p| p.seq);
+        let line = Json::obj([
+            ("ev", Json::str("span")),
+            ("seq", Json::U64(node.seq)),
+            ("parent", parent_seq.map_or(Json::Null, Json::U64)),
+            ("label", Json::str(&node.label)),
+            ("rounds", Json::U64(node.rounds)),
+            ("words", Json::U64(node.words)),
+            ("messages", Json::U64(node.messages)),
+            ("total_rounds", Json::U64(node.total_rounds())),
+        ])
+        .render();
+        self.emit(line);
+        match self.stack.last_mut() {
+            Some(parent) => parent.children.push(node),
+            None => {
+                self.data.roots.push(node);
+                if let Sink::File(w) = &mut self.sink {
+                    let _ = w.flush();
+                }
+            }
+        }
+    }
+
+    fn add_cost(&mut self, rounds: u64, words: u64, messages: u64) {
+        if let Some(top) = self.stack.last_mut() {
+            top.rounds += rounds;
+            top.words += words;
+            top.messages += messages;
+        }
+    }
+
+    fn add_audit(&mut self, record: AuditRecord) {
+        let line = record.to_event_json().render();
+        self.emit(line);
+        match self.stack.last_mut() {
+            Some(top) => top.audits.push(record),
+            None => self.data.orphan_audits.push(record),
+        }
+    }
+}
+
+enum Tracer {
+    /// Not yet initialized on this thread; first use consults `MWC_TRACE`.
+    Uninit,
+    Disabled,
+    Active(Box<Collector>),
+}
+
+thread_local! {
+    static TRACER: RefCell<Tracer> = const { RefCell::new(Tracer::Uninit) };
+}
+
+fn init_from_env() -> Tracer {
+    match std::env::var_os("MWC_TRACE") {
+        Some(path) if !path.is_empty() => {
+            let path = PathBuf::from(path);
+            match File::create(&path) {
+                Ok(f) => Tracer::Active(Box::new(Collector::new(Sink::File(BufWriter::new(f))))),
+                Err(e) => {
+                    eprintln!("mwc-trace: cannot open MWC_TRACE={}: {e}", path.display());
+                    Tracer::Disabled
+                }
+            }
+        }
+        _ => Tracer::Disabled,
+    }
+}
+
+/// Runs `f` with the thread's collector if tracing is active; initializes
+/// from the environment on first use.
+fn with_collector<R>(f: impl FnOnce(&mut Collector) -> R) -> Option<R> {
+    TRACER.with(|t| {
+        let mut t = t.borrow_mut();
+        if matches!(*t, Tracer::Uninit) {
+            *t = init_from_env();
+        }
+        match &mut *t {
+            Tracer::Active(c) => Some(f(c)),
+            _ => None,
+        }
+    })
+}
+
+/// `true` if a sink is active on this thread (after lazy env init).
+pub fn enabled() -> bool {
+    with_collector(|_| ()).is_some()
+}
+
+/// RAII guard for an open span; closing happens on drop, strictly LIFO.
+///
+/// When tracing is disabled the guard is inert (nothing allocated, drop is
+/// a no-op).
+#[must_use = "a span closes when its guard drops; binding to _ closes it immediately"]
+pub struct SpanGuard {
+    armed: bool,
+}
+
+impl SpanGuard {
+    /// A guard that does nothing on drop.
+    pub fn inert() -> SpanGuard {
+        SpanGuard { armed: false }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            with_collector(|c| c.close());
+        }
+    }
+}
+
+/// Opens a span with a static label. Returns an inert guard when tracing is
+/// disabled.
+pub fn span(label: &'static str) -> SpanGuard {
+    let armed = with_collector(|c| c.open(label.to_owned())).is_some();
+    SpanGuard { armed }
+}
+
+/// Opens a span whose label is built only if tracing is active — use for
+/// dynamic labels so the disabled path stays allocation-free.
+pub fn span_owned(label: impl FnOnce() -> String) -> SpanGuard {
+    let armed = with_collector(|c| c.open(label())).is_some();
+    SpanGuard { armed }
+}
+
+/// Attributes simulated cost to the innermost open span. Called by
+/// `Ledger::absorb` in `mwc-congest`; a no-op when tracing is disabled or
+/// no span is open.
+pub fn add_cost(rounds: u64, words: u64, messages: u64) {
+    with_collector(|c| c.add_cost(rounds, words, messages));
+}
+
+pub(crate) fn record_audit(record: AuditRecord) {
+    with_collector(|c| c.add_audit(record));
+}
+
+/// A programmatic tracing session on the current thread.
+///
+/// Installs an in-memory sink (displacing whatever was active), collects
+/// spans and audits until [`TraceSession::finish`], then restores the
+/// previous tracer state. Used by `trace_report` and the tracing tests.
+pub struct TraceSession {
+    prev: Option<Tracer>,
+}
+
+impl TraceSession {
+    /// Starts collecting into memory on this thread.
+    pub fn memory() -> TraceSession {
+        let prev = TRACER.with(|t| {
+            std::mem::replace(
+                &mut *t.borrow_mut(),
+                Tracer::Active(Box::new(Collector::new(Sink::Memory))),
+            )
+        });
+        TraceSession { prev: Some(prev) }
+    }
+
+    /// Stops collecting and returns everything recorded.
+    ///
+    /// Spans still open at finish time are closed implicitly (their guards
+    /// become inert against the restored tracer — callers should finish
+    /// only after all guards dropped; any stragglers are folded into the
+    /// result so no data is lost).
+    pub fn finish(mut self) -> TraceData {
+        let prev = self.prev.take().unwrap_or(Tracer::Uninit);
+        let current = TRACER.with(|t| std::mem::replace(&mut *t.borrow_mut(), prev));
+        match current {
+            Tracer::Active(mut c) => {
+                while !c.stack.is_empty() {
+                    c.close();
+                }
+                c.data
+            }
+            _ => TraceData::default(),
+        }
+    }
+}
+
+impl Drop for TraceSession {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            TRACER.with(|t| *t.borrow_mut() = prev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        // No MWC_TRACE in the test environment: spans are inert and cost
+        // attribution goes nowhere.
+        let g = span("outer");
+        add_cost(10, 20, 3);
+        drop(g);
+        let session = TraceSession::memory();
+        let data = session.finish();
+        assert!(data.roots.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_accumulate() {
+        let session = TraceSession::memory();
+        {
+            let _outer = span("outer");
+            add_cost(5, 50, 1);
+            {
+                let _inner = span_owned(|| format!("inner/{}", 7));
+                add_cost(3, 30, 1);
+            }
+            add_cost(2, 20, 1);
+        }
+        let data = session.finish();
+        assert_eq!(data.roots.len(), 1);
+        let outer = &data.roots[0];
+        assert_eq!(outer.label, "outer");
+        assert_eq!(outer.rounds, 7); // self cost only
+        assert_eq!(outer.total_rounds(), 10);
+        assert_eq!(outer.children.len(), 1);
+        assert_eq!(outer.children[0].label, "inner/7");
+        assert_eq!(outer.children[0].rounds, 3);
+    }
+
+    #[test]
+    fn events_emit_in_close_order_with_parent_links() {
+        let session = TraceSession::memory();
+        {
+            let _a = span("a");
+            let _b = span("b");
+        }
+        let data = session.finish();
+        assert_eq!(data.events.len(), 2);
+        assert!(data.events[0].contains("\"label\":\"b\""));
+        assert!(data.events[0].contains("\"parent\":0"));
+        assert!(data.events[1].contains("\"label\":\"a\""));
+        assert!(data.events[1].contains("\"parent\":null"));
+    }
+
+    #[test]
+    fn golden_jsonl_event_schema() {
+        // The exact event bytes are a contract: external tooling parses
+        // the JSONL sink, and the CI determinism check diffs manifests
+        // byte-for-byte. Any schema change must update this golden test.
+        let session = TraceSession::memory();
+        {
+            let _s = span("alg");
+            add_cost(3, 12, 2);
+            check_bound(
+                "test/golden",
+                BoundInputs::n(8).diameter(4).h(2).k(1),
+                3,
+                |i| 2.0 * i.diameter as f64,
+            );
+        }
+        let data = session.finish();
+        assert_eq!(
+            data.events,
+            vec![
+                "{\"ev\":\"audit\",\"algorithm\":\"test/golden\",\"measured_rounds\":3,\
+                 \"bound_rounds\":8.0,\"ratio\":0.375,\"n\":8,\"diameter\":4,\"h\":2,\
+                 \"k\":1,\"eps\":0.0}",
+                "{\"ev\":\"span\",\"seq\":0,\"parent\":null,\"label\":\"alg\",\"rounds\":3,\
+                 \"words\":12,\"messages\":2,\"total_rounds\":3}",
+            ]
+        );
+    }
+
+    #[test]
+    fn session_restores_previous_state() {
+        let outer = TraceSession::memory();
+        {
+            let inner = TraceSession::memory();
+            {
+                let _s = span("inner-span");
+            }
+            let data = inner.finish();
+            assert_eq!(data.roots.len(), 1);
+        }
+        let _s = span("outer-span");
+        let data = outer.finish();
+        assert_eq!(data.roots.len(), 1);
+        assert_eq!(data.roots[0].label, "outer-span");
+    }
+
+    #[test]
+    fn flamegraph_and_manifest_are_deterministic() {
+        let run = || {
+            let session = TraceSession::memory();
+            {
+                let _o = span("algo");
+                add_cost(8, 80, 2);
+                let _i = span("algo/phase");
+                add_cost(2, 20, 1);
+            }
+            let data = session.finish();
+            (data.flamegraph(), data.to_manifest().render_pretty())
+        };
+        let (f1, m1) = run();
+        let (f2, m2) = run();
+        assert_eq!(f1, f2);
+        assert_eq!(m1, m2);
+        assert!(f1.contains("algo/phase"));
+        assert!(m1.contains("\"schema\": \"mwc-trace-manifest/v1\""));
+    }
+}
