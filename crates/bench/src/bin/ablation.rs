@@ -38,6 +38,8 @@ fn overflow_count(ledger: &mwc_congest::Ledger) -> String {
 
 fn main() {
     let n: usize = report::arg(1, 512);
+    let mut rec = report::RunRecorder::start("ablation");
+    rec.param("n", n);
     let g = connected_gnm(n, 3 * n, Orientation::Directed, WeightRange::unit(), 2024);
     let opt = exact_mwc(&g).weight.expect("cycle exists");
 
@@ -55,6 +57,7 @@ fn main() {
     for df in [1.0, 0.25, 0.05, 0.0] {
         let params = Params::lean().with_seed(1).with_delay_factor(df);
         let out = two_approx_directed_mwc(&g, &params);
+        rec.congestion(&format!("delay_factor={df:.2}"), &out.ledger);
         let rep = out.weight.expect("finds a cycle");
         t.row(vec![
             format!("{df:.2}"),
@@ -139,4 +142,5 @@ fn main() {
     }
     t.print();
     t.save_tsv("ablation_girth_parts");
+    rec.finish();
 }

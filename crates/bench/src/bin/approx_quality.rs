@@ -88,6 +88,9 @@ fn families(
 fn main() {
     let n: usize = report::arg(1, 96);
     let seeds: u64 = report::arg(2, 10);
+    let mut rec = report::RunRecorder::start("approx_quality");
+    rec.param("n", n);
+    rec.param("seeds", seeds);
 
     let mut audits = [
         Audit::new("2-approx directed (Thm 1.2.C, bound 2)"),
@@ -172,4 +175,5 @@ fn main() {
     t.print();
     t.save_tsv("approx_quality");
     println!("all approximation bounds held on every instance.");
+    rec.finish();
 }

@@ -18,6 +18,8 @@ use mwc_lowerbounds::{directed_gadget, Disjointness};
 
 fn main() {
     let max_q: usize = report::arg(1, 48);
+    let mut rec = report::RunRecorder::start("detection_rounds");
+    rec.param("max_q", max_q);
 
     let mut t = Table::new(
         "directed 4-cycle detection on the Thm 1.2.A gadget (hard family)",
@@ -29,6 +31,7 @@ fn main() {
         let inst = Disjointness::random_intersecting(q * q, 0.35, q as u64);
         let lb = directed_gadget(q, &inst);
         let out = shortest_cycle_within(&lb.graph, 4);
+        rec.congestion(&format!("q={q} gadget"), &out.ledger);
         assert_eq!(out.weight, Some(4));
         t.row(vec![
             q.to_string(),
@@ -81,4 +84,5 @@ fn main() {
     println!(
         "benign instances cost ~D + small, far below n — the gadget's congestion is the hardness."
     );
+    rec.finish();
 }

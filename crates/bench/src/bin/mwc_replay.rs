@@ -1,0 +1,81 @@
+//! **mwc-replay** — reader for message-level event logs captured with
+//! `MWC_TRACE_EVENTS=<path>` (see `mwc_congest::events`).
+//!
+//! Subcommands:
+//!
+//! - `mwc_replay summary <log.jsonl>` — per-phase table (global round
+//!   ranges, words, messages).
+//! - `mwc_replay window <log.jsonl> <lo> <hi> [vertex]` — replays the
+//!   global-round window `[lo, hi]` as per-vertex inbox/outbox views,
+//!   optionally restricted to one vertex.
+//! - `mwc_replay bisect <a.jsonl> <b.jsonl>` — locates the first
+//!   divergent (round, link) between two logs; exits `1` when the logs
+//!   diverge, `0` when identical.
+//!
+//! Exit codes: `0` success/identical, `1` divergence found (bisect), `2`
+//! usage or unreadable/unparsable log.
+
+use mwc_congest::{first_divergence, EventLog};
+
+fn load(path: &str) -> EventLog {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("mwc-replay: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    EventLog::parse(&text).unwrap_or_else(|e| {
+        eprintln!("mwc-replay: {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mwc_replay summary <log.jsonl>\n\
+         \x20      mwc_replay window <log.jsonl> <lo> <hi> [vertex]\n\
+         \x20      mwc_replay bisect <a.jsonl> <b.jsonl>"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("summary") => {
+            let [path] = &args[2..] else { usage() };
+            print!("{}", load(path).render_summary());
+        }
+        Some("window") => {
+            let (path, lo, hi, vertex) = match &args[2..] {
+                [p, lo, hi] => (p, lo, hi, None),
+                [p, lo, hi, v] => (p, lo, hi, Some(v)),
+                _ => usage(),
+            };
+            let parse = |s: &String| -> u64 {
+                s.parse().unwrap_or_else(|_| {
+                    eprintln!("mwc-replay: not a number: {s}");
+                    std::process::exit(2);
+                })
+            };
+            let vertex = vertex.map(|v| parse(v) as usize);
+            print!("{}", load(path).render_window(parse(lo), parse(hi), vertex));
+        }
+        Some("bisect") => {
+            let [a_path, b_path] = &args[2..] else {
+                usage()
+            };
+            let (a, b) = (load(a_path), load(b_path));
+            match first_divergence(&a, &b) {
+                None => println!("logs identical ({} message(s))", a.messages.len()),
+                Some(d) => {
+                    println!("first divergence: {}", d.detail);
+                    println!("-- replay of round {} in {a_path} --", d.round);
+                    print!("{}", a.render_window(d.round, d.round, None));
+                    println!("-- replay of round {} in {b_path} --", d.round);
+                    print!("{}", b.render_window(d.round, d.round, None));
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -35,6 +35,10 @@ fn main() {
     let algo = report::arg_str(1, "directed");
     let max_n: usize = report::arg(2, 512);
     let params = Params::lean().with_seed(42);
+    let mut rec = report::RunRecorder::start(&format!("phase_breakdown_{algo}"));
+    rec.param("algo", &algo);
+    rec.param("max_n", max_n);
+    rec.param("seed", 42);
 
     let mut all_labels: Vec<String> = Vec::new();
     let mut rows: Vec<(usize, BTreeMap<String, u64>, u64)> = Vec::new();
@@ -89,6 +93,7 @@ fn main() {
         if let Some(session) = session {
             trace = Some((n, session.finish()));
         }
+        rec.congestion(&format!("n={n}"), &ledger);
         let agg = aggregate(&ledger);
         for k in agg.keys() {
             if !all_labels.contains(k) {
@@ -118,4 +123,5 @@ fn main() {
         println!("\nspan flamegraph at n = {n}:");
         print!("{}", data.flamegraph());
     }
+    rec.finish();
 }

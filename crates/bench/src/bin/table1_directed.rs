@@ -18,6 +18,9 @@ use mwc_graph::Orientation;
 fn main() {
     let max_n: usize = report::arg(1, 1024);
     let params = Params::lean().with_seed(42);
+    let mut rec = report::RunRecorder::start("table1_directed");
+    rec.param("max_n", max_n);
+    rec.param("seed", 42);
 
     // ---- unweighted: exact vs 2-approx (Theorem 1.2.C) ----
     let mut t = Table::new(
@@ -49,6 +52,8 @@ fn main() {
         let d = g.undirected_diameter().expect("connected");
         let exact = exact_mwc(&g);
         let approx = two_approx_directed_mwc(&g, &params);
+        rec.congestion(&format!("n={n} exact"), &exact.ledger);
+        rec.congestion(&format!("n={n} 2-approx"), &approx.ledger);
         let opt = exact
             .weight
             .expect("random graphs of this density have cycles");
@@ -121,6 +126,8 @@ fn main() {
         );
         let exact = exact_mwc(&g);
         let approx = approx_mwc_directed_weighted(&g, &params);
+        rec.congestion(&format!("n={n} weighted exact"), &exact.ledger);
+        rec.congestion(&format!("n={n} (2+eps)-approx"), &approx.ledger);
         let opt = exact.weight.expect("cycle exists");
         let rep = approx.weight.expect("approximation must find a cycle");
         let bound = ((2.0 + params.epsilon) * opt as f64).ceil() as u64 + 2;
@@ -156,4 +163,5 @@ fn main() {
             fit_exponent(&ns, &norm)
         );
     }
+    rec.finish();
 }

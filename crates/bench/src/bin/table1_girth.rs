@@ -17,6 +17,9 @@ use mwc_graph::Orientation;
 fn main() {
     let max_n: usize = report::arg(1, 4096);
     let params = Params::lean().with_seed(4242);
+    let mut rec = report::RunRecorder::start("table1_girth");
+    rec.param("max_n", max_n);
+    rec.param("seed", 4242);
 
     let mut t = Table::new(
         "Table 1 / girth: exact O(n) vs (2 − 1/g)-approx Õ(√n + D)",
@@ -45,6 +48,8 @@ fn main() {
         let d = g.undirected_diameter().expect("connected");
         let exact = exact_mwc(&g);
         let approx = approx_girth(&g, &params);
+        rec.congestion(&format!("n={n} exact"), &exact.ledger);
+        rec.congestion(&format!("n={n} approx"), &approx.ledger);
         let girth = exact.weight.expect("cycle exists");
         let rep = approx.weight.expect("approximation must find a cycle");
         // `2g − 1` is the (2 − 1/g)·g bound written the paper's way.
@@ -87,4 +92,5 @@ fn main() {
         ];
         print!("{}", loglog_chart("rounds vs n", &series, 56, 12));
     }
+    rec.finish();
 }

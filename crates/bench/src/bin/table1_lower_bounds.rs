@@ -25,6 +25,8 @@ fn word_bits(n: usize, w: u64) -> u64 {
 
 fn main() {
     let max_q: usize = report::arg(1, 48);
+    let mut rec = report::RunRecorder::start("table1_lower_bounds");
+    rec.param("max_q", max_q);
 
     // ---- directed (2−ε) gadget: Ω(n / log n) ----
     let mut t = Table::new(
@@ -51,6 +53,7 @@ fn main() {
         let lbn = directed_gadget(q, &no);
         let oy = exact_mwc(&lby.graph);
         let on = exact_mwc(&lbn.graph);
+        rec.congestion(&format!("q={q} directed yes"), &oy.ledger);
         let decides = lby.decide(oy.weight) && !lbn.decide(on.weight);
         assert!(decides, "reduction unsound at q = {q}");
         let wb = word_bits(lby.graph.n(), 1);
@@ -176,4 +179,5 @@ fn main() {
     }
     t.print();
     t.save_tsv("table1_lb_alpha");
+    rec.finish();
 }

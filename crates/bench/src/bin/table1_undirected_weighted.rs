@@ -15,6 +15,9 @@ use mwc_graph::Orientation;
 fn main() {
     let max_n: usize = report::arg(1, 512);
     let w_max = 8;
+    let mut rec = report::RunRecorder::start("table1_undirected_weighted");
+    rec.param("max_n", max_n);
+    rec.param("seed", 99);
 
     for eps in [0.5, 0.25] {
         let params = Params::lean().with_seed(99).with_epsilon(eps);
@@ -46,6 +49,8 @@ fn main() {
             );
             let exact = exact_mwc(&g);
             let approx = approx_mwc_undirected_weighted(&g, &params);
+            rec.congestion(&format!("eps={eps} n={n} exact"), &exact.ledger);
+            rec.congestion(&format!("eps={eps} n={n} approx"), &approx.ledger);
             let opt = exact.weight.expect("cycle exists");
             let rep = approx.weight.expect("approximation must find a cycle");
             let bound = ((2.0 + eps) * opt as f64).ceil() as u64 + 2;
@@ -85,4 +90,5 @@ fn main() {
             );
         }
     }
+    rec.finish();
 }

@@ -24,6 +24,9 @@ fn sources(n: usize, k: usize) -> Vec<NodeId> {
 fn main() {
     let max_n: usize = report::arg(1, 2048);
     let params = Params::lean().with_seed(1616);
+    let mut rec = report::RunRecorder::start("thm16_ksssp");
+    rec.param("max_n", max_n);
+    rec.param("seed", 1616);
 
     // ---- sweep n with k = n^{1/3} (exact BFS, eq. 1) ----
     let mut t = Table::new(
@@ -42,6 +45,7 @@ fn main() {
             n as u64,
         );
         let out = k_source_bfs(&g, &sources(n, k), Direction::Forward, &params);
+        rec.congestion(&format!("n={n} k={k} bfs"), &out.ledger);
         let sqnk = ((n * k) as f64).sqrt();
         t.row(vec![
             n.to_string(),
@@ -123,6 +127,7 @@ fn main() {
             n as u64 + 1,
         );
         let out = k_source_approx_sssp(&g, &sources(n, k), Direction::Forward, &params);
+        rec.congestion(&format!("n={n} k={k} sssp"), &out.ledger);
         let sqnk = ((n * k) as f64).sqrt();
         t.row(vec![
             n.to_string(),
@@ -148,4 +153,5 @@ fn main() {
             fit_exponent(&ns, &norm)
         );
     }
+    rec.finish();
 }

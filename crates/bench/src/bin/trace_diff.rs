@@ -1,0 +1,163 @@
+//! **trace_diff** — the differential perf gate: compares fresh run records
+//! against committed baselines span-by-span and exits nonzero on
+//! regression.
+//!
+//! Pairs `<name>.json` files between the fresh and baseline directories,
+//! parses each pair as a [`RunRecord`], and diffs with per-metric
+//! tolerances ([`diff_records`]). Improvements never fail; structural
+//! drift (spans appearing/disappearing, baselines without fresh records
+//! or vice versa) fails loudly so the gate cannot rot silently.
+//!
+//! Artifacts (all under `results/`):
+//!
+//! - `trace_diff_report.txt` — the human report printed to stdout,
+//! - `trace_diff_report.json` — machine-readable per-pair entries,
+//! - `BENCH_trajectory.json` — per-record baseline vs fresh totals, the
+//!   commit-over-commit round-complexity trajectory.
+//!
+//! Exit codes: `0` no regressions, `1` at least one regression, `2`
+//! configuration error (unpaired or unparsable records — refresh the
+//! baselines, see `docs/observability.md`).
+//!
+//! Usage: `trace_diff [fresh_dir] [base_dir] [rel_tolerance]`
+//! (defaults `results/run_records`, `results/baselines`, `0`).
+
+use mwc_bench::report;
+use mwc_bench::report::Json;
+use mwc_trace::{diff_records, DiffConfig, RunDiff, RunRecord};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Reads every `<name>.json` under `dir` as `(name, text)`.
+fn load_dir(dir: &Path) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return out,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().is_some_and(|e| e == "json") {
+            let name = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or_default()
+                .to_owned();
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                out.insert(name, text);
+            }
+        }
+    }
+    out
+}
+
+fn incomparable(name: &str, why: String) -> RunDiff {
+    RunDiff {
+        name: name.to_owned(),
+        incomparable: Some(why),
+        entries: Vec::new(),
+    }
+}
+
+fn totals_json(r: &RunRecord) -> Json {
+    Json::obj([
+        ("rounds", Json::U64(r.rounds)),
+        ("words", Json::U64(r.words)),
+        ("messages", Json::U64(r.messages)),
+    ])
+}
+
+fn main() {
+    let fresh_dir = report::arg_str(1, &format!("results/{}", report::RUN_RECORD_DIR));
+    let base_dir = report::arg_str(2, "results/baselines");
+    let rel: f64 = report::arg(3, 0.0);
+    let cfg = if rel > 0.0 {
+        DiffConfig::uniform_rel(rel)
+    } else {
+        DiffConfig::default()
+    };
+
+    let fresh = load_dir(Path::new(&fresh_dir));
+    let base = load_dir(Path::new(&base_dir));
+    let names: Vec<&String> = base.keys().chain(fresh.keys()).collect();
+    let mut names: Vec<String> = names.into_iter().cloned().collect();
+    names.sort();
+    names.dedup();
+    if names.is_empty() {
+        eprintln!("trace_diff: no records in {fresh_dir} or {base_dir}");
+        std::process::exit(2);
+    }
+
+    let mut diffs: Vec<RunDiff> = Vec::new();
+    let mut trajectory: Vec<Json> = Vec::new();
+    for name in &names {
+        let diff = match (base.get(name), fresh.get(name)) {
+            (Some(_), None) => incomparable(
+                name,
+                format!("baseline exists but no fresh record in {fresh_dir} — did the bin run?"),
+            ),
+            (None, Some(_)) => incomparable(
+                name,
+                format!(
+                    "fresh record has no committed baseline in {base_dir} — \
+                     refresh baselines (docs/observability.md)"
+                ),
+            ),
+            (Some(b), Some(f)) => match (RunRecord::parse(b), RunRecord::parse(f)) {
+                (Ok(b), Ok(f)) => {
+                    trajectory.push(Json::obj([
+                        ("name", Json::str(name)),
+                        ("base", totals_json(&b)),
+                        ("fresh", totals_json(&f)),
+                    ]));
+                    diff_records(&b, &f, &cfg)
+                }
+                (Err(e), _) => incomparable(name, format!("baseline unparsable: {e}")),
+                (_, Err(e)) => incomparable(name, format!("fresh record unparsable: {e}")),
+            },
+            (None, None) => unreachable!("name came from one of the maps"),
+        };
+        diffs.push(diff);
+    }
+
+    let config_errors = diffs.iter().filter(|d| d.incomparable.is_some()).count();
+    let regressions: usize = diffs.iter().map(RunDiff::regression_count).sum();
+    let mut human = String::new();
+    for d in &diffs {
+        human.push_str(&d.render());
+        human.push('\n');
+    }
+    human.push_str(&format!(
+        "trace_diff: {} record pair(s), {regressions} regression(s), {config_errors} config error(s)\n",
+        names.len()
+    ));
+    print!("{human}");
+    report::save_artifact("trace_diff_report.txt", &human);
+    report::save_json(
+        "trace_diff_report.json",
+        &Json::obj([
+            ("schema", Json::str("mwc-trace-diff/v1")),
+            ("tolerance_rel", Json::F64(rel)),
+            ("regressions", Json::U64(regressions as u64)),
+            ("config_errors", Json::U64(config_errors as u64)),
+            (
+                "diffs",
+                Json::Arr(diffs.iter().map(RunDiff::to_json).collect()),
+            ),
+        ]),
+    );
+    report::save_json(
+        "BENCH_trajectory.json",
+        &Json::obj([
+            ("schema", Json::str("mwc-bench-trajectory/v1")),
+            ("records", Json::Arr(trajectory)),
+        ]),
+    );
+
+    if config_errors > 0 {
+        std::process::exit(2);
+    }
+    if regressions > 0 {
+        std::process::exit(1);
+    }
+}

@@ -23,7 +23,7 @@ use mwc_core::{
 use mwc_graph::generators::{connected_gnm, grid, ring_with_chords, WeightRange};
 use mwc_graph::seq::Direction;
 use mwc_graph::{NodeId, Orientation};
-use mwc_trace::TraceSession;
+use mwc_trace::{RunRecord, TraceSession};
 
 fn main() {
     let n: usize = report::arg(1, 96);
@@ -96,4 +96,10 @@ fn main() {
     t.print();
 
     report::save_json("trace_manifest.json", &data.to_manifest());
+
+    let record = RunRecord::from_trace("trace_report", [("n".to_owned(), n.to_string())], &data);
+    report::save_artifact(
+        &format!("{}/trace_report.json", report::RUN_RECORD_DIR),
+        &record.render(),
+    );
 }

@@ -62,6 +62,8 @@ fn flood_with_delays(g: &mwc_graph::Graph, sources: &[NodeId], delays: &[u64], h
 
 fn main() {
     let side: usize = report::arg(1, 24);
+    let mut rec = report::RunRecorder::start("traffic_profile");
+    rec.param("side", side);
     let g = grid(side, side, Orientation::Undirected, WeightRange::unit(), 0);
     let n = g.n();
     let h = 6u32; // restricted-BFS-style radius
@@ -91,6 +93,7 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(7);
         let delays: Vec<u64> = sources.iter().map(|_| rng.random_range(1..=rho)).collect();
         let ledger = flood_with_delays(&g, &sources, &delays, h);
+        rec.congestion(&format!("rho={label}"), &ledger);
         let hist = ledger.words_per_round();
         let makespan = hist.last().map(|&(r, _)| r).unwrap_or(0);
         let peak = hist.iter().map(|&(_, w)| w).max().unwrap_or(0);
@@ -136,4 +139,5 @@ fn main() {
         "\nrandom delays trade a longer makespan for a flat profile — the property\n\
          that lets Algorithm 3 cap per-phase messages at Θ(log n) and bound |Z|."
     );
+    rec.finish();
 }

@@ -10,8 +10,13 @@
 
 pub use mwc_trace::json::Json;
 
+use mwc_congest::Ledger;
+use mwc_trace::{RunRecord, TraceSession};
 use std::path::{Path, PathBuf};
 use std::str::FromStr;
+
+/// Directory (under `results/`) where fresh run records land.
+pub const RUN_RECORD_DIR: &str = "run_records";
 
 /// The `idx`-th positional CLI argument parsed as `T`, or `default` when
 /// absent or unparsable. `idx` is 1-based (0 is the binary name).
@@ -56,6 +61,78 @@ pub fn save_json(relpath: &str, value: &Json) -> PathBuf {
     save_artifact(relpath, &value.render_pretty())
 }
 
+/// Records one benchmark binary's run as a canonical
+/// [`RunRecord`](mwc_trace::RunRecord) under `results/run_records/`.
+///
+/// Wraps an in-memory [`TraceSession`] so every span the algorithms open
+/// during the run is captured, collects [`Ledger`] congestion summaries
+/// the driver registers along the way, and on [`RunRecorder::finish`]
+/// writes the schema-versioned, byte-deterministic JSON that `trace_diff`
+/// compares against the committed baseline of the same name.
+///
+/// ```no_run
+/// use mwc_bench::report::RunRecorder;
+/// let mut rec = RunRecorder::start("table1_girth");
+/// rec.param("max_n", 4096);
+/// // ... run the sweep, rec.congestion("n=128 exact", &ledger), ...
+/// rec.finish();
+/// ```
+pub struct RunRecorder {
+    name: String,
+    params: Vec<(String, String)>,
+    session: TraceSession,
+    congestion: Vec<mwc_trace::CongestionSummary>,
+}
+
+impl RunRecorder {
+    /// Starts recording: opens an in-memory trace session. `name` is by
+    /// convention the binary name — the baseline pairing key.
+    pub fn start(name: &str) -> RunRecorder {
+        RunRecorder {
+            name: name.to_owned(),
+            params: Vec::new(),
+            session: TraceSession::memory(),
+            congestion: Vec::new(),
+        }
+    }
+
+    /// Registers a run parameter (size, seed, ε…). Records are only
+    /// comparable when names and parameters match, so everything that
+    /// shapes the workload belongs here.
+    pub fn param(&mut self, key: &str, value: impl std::fmt::Display) {
+        self.params.push((key.to_owned(), value.to_string()));
+    }
+
+    /// Attaches a ledger's congestion summary under `label` (hot links,
+    /// peak round, queue high-water). Order is preserved and diffed.
+    pub fn congestion(&mut self, label: &str, ledger: &Ledger) {
+        self.congestion.push(ledger.congestion_summary(label));
+    }
+
+    /// Builds the [`RunRecord`] without writing it (used by tests and by
+    /// [`RunRecorder::finish`]).
+    pub fn into_record(self) -> RunRecord {
+        let data = self.session.finish();
+        let mut record = RunRecord::from_trace(&self.name, self.params, &data);
+        for c in self.congestion {
+            record.push_congestion(c);
+        }
+        record
+    }
+
+    /// Finishes the trace and writes
+    /// `results/run_records/<name>.json`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O errors, like [`save_artifact`].
+    pub fn finish(self) -> PathBuf {
+        let relpath = format!("{RUN_RECORD_DIR}/{}.json", self.name);
+        let record = self.into_record();
+        save_artifact(&relpath, &record.render())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,6 +142,35 @@ mod tests {
         // Test binaries receive no positional args at high indices.
         assert_eq!(arg::<usize>(91, 17), 17);
         assert_eq!(arg_str(91, "fallback"), "fallback");
+    }
+
+    #[test]
+    fn run_recorder_builds_deterministic_records() {
+        let build = || {
+            let mut rec = RunRecorder::start("probe");
+            rec.param("n", 3);
+            {
+                let _s = mwc_trace::span("phase");
+                mwc_trace::add_cost(4, 9, 2);
+            }
+            let g =
+                mwc_graph::Graph::from_edges(2, mwc_graph::Orientation::Undirected, [(0, 1, 1)])
+                    .unwrap();
+            let mut net: mwc_congest::Network<u8> = mwc_congest::Network::new(&g);
+            net.send(0, 1, 1, 1).unwrap();
+            net.step();
+            let mut ledger = Ledger::new();
+            ledger.absorb("hop", &net);
+            rec.congestion("hop", &ledger);
+            rec.into_record()
+        };
+        let (a, b) = (build(), build());
+        assert_eq!(a, b);
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.rounds, 4);
+        assert_eq!(a.spans[0].path, "phase");
+        assert_eq!(a.congestion[0].label, "hop");
+        assert_eq!(a.congestion[0].hot_links, vec![(0, 1, 1)]);
     }
 
     #[test]

@@ -77,6 +77,10 @@ pub struct NetStats {
     /// The largest number of words any single round transferred — the peak
     /// of the congestion timeline, tracked even without history.
     pub max_words_in_round: u64,
+    /// The round at which [`NetStats::max_words_in_round`] was *first*
+    /// reached (ties break toward the earliest round, so reports are
+    /// deterministic); 0 while no word has been transferred.
+    pub peak_round: u64,
     /// High-water mark of any single link's send-queue depth (messages
     /// queued behind one FIFO link, the engine's backpressure signal).
     pub queue_high_water: u64,
@@ -89,6 +93,8 @@ struct InFlight<M> {
     payload: M,
     from: NodeId,
     to: NodeId,
+    /// Total words of the message (for the event log).
+    words: u64,
     words_left: u64,
     latency: u64,
 }
@@ -131,11 +137,15 @@ pub struct Network<M> {
     /// Messages whose words all left their link, awaiting latency expiry:
     /// (arrival round, insertion sequence for FIFO stability).
     transit: BinaryHeap<Reverse<(u64, u64)>>,
-    transit_msgs: std::collections::HashMap<u64, Delivery<M>>,
+    /// `seq → (delivery, message words)`; words ride along for the event log.
+    transit_msgs: std::collections::HashMap<u64, (Delivery<M>, u64)>,
     transit_seq: u64,
     wakeups: BinaryHeap<Reverse<(u64, NodeId)>>,
     stats: NetStats,
     history: bool,
+    /// Sequence number in the message-event log, when logging is active
+    /// (see [`crate::events`]); `None` keeps the logging path cost-free.
+    events_net: Option<u64>,
 }
 
 /// Error returned by [`Network::send`] variants.
@@ -196,7 +206,14 @@ impl<M> Network<M> {
                 ..NetStats::default()
             },
             history: false,
+            events_net: crate::events::next_net_id(),
         }
+    }
+
+    /// The network's sequence number in the message-event log, if logging
+    /// was active when it was built.
+    pub fn events_net(&self) -> Option<u64> {
+        self.events_net
     }
 
     /// Records a `(round, words)` timeline entry for every non-quiet
@@ -294,6 +311,7 @@ impl<M> Network<M> {
             payload,
             from,
             to,
+            words: words.max(1),
             words_left: words.max(1),
             latency,
         });
@@ -351,6 +369,7 @@ impl<M> Network<M> {
             self.stats.round_histogram[hist_bucket(transferred)] += 1;
             if transferred > self.stats.max_words_in_round {
                 self.stats.max_words_in_round = transferred;
+                self.stats.peak_round = self.round;
             }
             if self.history {
                 self.stats.words_per_round.push((self.round, transferred));
@@ -366,6 +385,7 @@ impl<M> Network<M> {
             self.stats.per_link_words[l] += 1;
             if head.words_left == 0 {
                 let msg = q.pop_front().expect("head exists");
+                let words = msg.words;
                 let delivery = Delivery {
                     from: msg.from,
                     to: msg.to,
@@ -373,12 +393,15 @@ impl<M> Network<M> {
                 };
                 if msg.latency == 0 {
                     self.stats.messages += 1;
+                    if let Some(net) = self.events_net {
+                        crate::events::emit_msg(net, self.round, delivery.from, delivery.to, words);
+                    }
                     out.deliveries.push(delivery);
                 } else {
                     let seq = self.transit_seq;
                     self.transit_seq += 1;
                     self.transit.push(Reverse((self.round + msg.latency, seq)));
-                    self.transit_msgs.insert(seq, delivery);
+                    self.transit_msgs.insert(seq, (delivery, words));
                 }
             }
             if q.is_empty() {
@@ -395,11 +418,14 @@ impl<M> Network<M> {
                 break;
             }
             self.transit.pop();
-            let msg = self
+            let (msg, words) = self
                 .transit_msgs
                 .remove(&seq)
                 .expect("transit message exists");
             self.stats.messages += 1;
+            if let Some(net) = self.events_net {
+                crate::events::emit_msg(net, self.round, msg.from, msg.to, words);
+            }
             out.deliveries.push(msg);
         }
 
@@ -584,6 +610,40 @@ mod tests {
         }
         // Round 1: both links busy (2 words); round 2: only 0→1 (1 word).
         assert_eq!(net.stats().words_per_round, vec![(1, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn peak_round_is_the_earliest_max_round() {
+        let mut net: Network<u32> = Network::new(&path3());
+        // Round 1 moves 2 words (both links), round 2 moves 2 words again
+        // (tie), round 3 moves 1: the peak round must stay at 1.
+        net.send(0, 1, 1, 2).unwrap();
+        net.send(1, 2, 2, 2).unwrap();
+        net.step();
+        net.step();
+        net.send(0, 1, 3, 1).unwrap();
+        net.step();
+        assert_eq!(net.stats().max_words_in_round, 2);
+        assert_eq!(net.stats().peak_round, 1);
+    }
+
+    #[test]
+    fn events_log_deliveries_with_rounds_and_words() {
+        let cap = crate::events::EventCapture::memory();
+        let mut net: Network<u32> = Network::new(&path3());
+        net.send(0, 1, 7, 2).unwrap();
+        net.send_latency(1, 2, 8, 1, 3).unwrap();
+        while !net.is_idle() {
+            net.step();
+        }
+        let lines = cap.finish();
+        assert_eq!(
+            lines,
+            vec![
+                r#"{"ev":"msg","net":0,"round":2,"from":0,"to":1,"words":2}"#,
+                r#"{"ev":"msg","net":0,"round":4,"from":1,"to":2,"words":1}"#,
+            ]
+        );
     }
 
     #[test]

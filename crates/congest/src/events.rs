@@ -1,0 +1,238 @@
+//! Opt-in message-level event log: every delivered message as one JSONL
+//! line, plus a phase line per [`Ledger::absorb`](crate::Ledger::absorb)
+//! binding a network's events to its phase label and global round offset.
+//!
+//! Span traces aggregate; this log does not — it is the ground truth a
+//! determinism failure can be *located* in. The `mwc-replay` reader
+//! reconstructs any round window, prints per-vertex inbox/outbox views,
+//! and bisects two logs to the first divergent `(round, link)` (see
+//! [`crate::replay`]).
+//!
+//! Schema (one JSON object per line, pinned by the round-trip tests):
+//!
+//! ```text
+//! {"ev":"msg","net":0,"round":3,"from":1,"to":2,"words":2}
+//! {"ev":"phase","net":0,"label":"h-hop BFS","offset":0,"rounds":7,"words":31,"messages":12}
+//! ```
+//!
+//! `net` is a per-capture network sequence number (0-based creation
+//! order), `round` is network-local; `offset` on the phase line is the
+//! ledger's global round offset when the network was absorbed, so global
+//! time is `offset + round`.
+//!
+//! Sinks mirror `mwc-trace`: off by default (every emission is a cheap
+//! early-return), `MWC_TRACE_EVENTS=<path>` streams to a file, and
+//! [`EventCapture::memory`] collects in-memory on the current thread
+//! (displacing the file sink, restoring on finish). All state is
+//! thread-local, so parallel tests capture independently. When a capture
+//! starts, the network sequence counter resets to zero — two same-seed
+//! captures of the same workload produce byte-identical logs.
+
+use mwc_graph::NodeId;
+use mwc_trace::json::Json;
+use std::cell::RefCell;
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::PathBuf;
+
+enum Sink {
+    Memory(Vec<String>),
+    File(BufWriter<File>),
+}
+
+enum Logger {
+    /// Not yet initialized on this thread; first use consults
+    /// `MWC_TRACE_EVENTS`.
+    Uninit,
+    Disabled,
+    Active {
+        sink: Sink,
+        next_net: u64,
+    },
+}
+
+thread_local! {
+    static LOGGER: RefCell<Logger> = const { RefCell::new(Logger::Uninit) };
+}
+
+fn init_from_env() -> Logger {
+    match std::env::var_os("MWC_TRACE_EVENTS") {
+        Some(path) if !path.is_empty() => {
+            let path = PathBuf::from(path);
+            match File::create(&path) {
+                Ok(f) => Logger::Active {
+                    sink: Sink::File(BufWriter::new(f)),
+                    next_net: 0,
+                },
+                Err(e) => {
+                    eprintln!(
+                        "mwc-congest: cannot open MWC_TRACE_EVENTS={}: {e}",
+                        path.display()
+                    );
+                    Logger::Disabled
+                }
+            }
+        }
+        _ => Logger::Disabled,
+    }
+}
+
+fn with_active<R>(f: impl FnOnce(&mut Sink, &mut u64) -> R) -> Option<R> {
+    LOGGER.with(|l| {
+        let mut l = l.borrow_mut();
+        if matches!(*l, Logger::Uninit) {
+            *l = init_from_env();
+        }
+        match &mut *l {
+            Logger::Active { sink, next_net } => Some(f(sink, next_net)),
+            _ => None,
+        }
+    })
+}
+
+/// `true` if a message-event sink is active on this thread (after lazy
+/// env init). The engine checks this once per round before formatting.
+pub fn enabled() -> bool {
+    with_active(|_, _| ()).is_some()
+}
+
+/// Allocates the next network sequence number, or `None` when logging is
+/// off (unlogged networks need no identity).
+pub(crate) fn next_net_id() -> Option<u64> {
+    with_active(|_, next| {
+        let id = *next;
+        *next += 1;
+        id
+    })
+}
+
+fn emit(line: String) {
+    with_active(|sink, _| match sink {
+        Sink::Memory(lines) => lines.push(line),
+        Sink::File(w) => {
+            let _ = writeln!(w, "{line}");
+        }
+    });
+}
+
+/// Logs one delivered message (called by the engine per delivery).
+pub(crate) fn emit_msg(net: u64, round: u64, from: NodeId, to: NodeId, words: u64) {
+    emit(
+        Json::obj([
+            ("ev", Json::str("msg")),
+            ("net", Json::U64(net)),
+            ("round", Json::U64(round)),
+            ("from", Json::U64(from as u64)),
+            ("to", Json::U64(to as u64)),
+            ("words", Json::U64(words)),
+        ])
+        .render(),
+    );
+}
+
+/// Logs a phase boundary (called by [`Ledger::absorb`](crate::Ledger)).
+pub(crate) fn emit_phase(
+    net: u64,
+    label: &str,
+    offset: u64,
+    rounds: u64,
+    words: u64,
+    messages: u64,
+) {
+    emit(
+        Json::obj([
+            ("ev", Json::str("phase")),
+            ("net", Json::U64(net)),
+            ("label", Json::str(label)),
+            ("offset", Json::U64(offset)),
+            ("rounds", Json::U64(rounds)),
+            ("words", Json::U64(words)),
+            ("messages", Json::U64(messages)),
+        ])
+        .render(),
+    );
+    // Phase boundaries are natural flush points for the file sink.
+    with_active(|sink, _| {
+        if let Sink::File(w) = sink {
+            let _ = w.flush();
+        }
+    });
+}
+
+/// A programmatic in-memory event capture on the current thread.
+///
+/// Installs a memory sink (displacing whatever was active) and resets the
+/// network sequence counter; [`EventCapture::finish`] returns the JSONL
+/// lines and restores the previous logger state.
+pub struct EventCapture {
+    prev: Option<Logger>,
+}
+
+impl EventCapture {
+    /// Starts capturing into memory on this thread.
+    pub fn memory() -> EventCapture {
+        let prev = LOGGER.with(|l| {
+            std::mem::replace(
+                &mut *l.borrow_mut(),
+                Logger::Active {
+                    sink: Sink::Memory(Vec::new()),
+                    next_net: 0,
+                },
+            )
+        });
+        EventCapture { prev: Some(prev) }
+    }
+
+    /// Stops capturing and returns the event lines in emission order.
+    pub fn finish(mut self) -> Vec<String> {
+        let prev = self.prev.take().unwrap_or(Logger::Uninit);
+        let current = LOGGER.with(|l| std::mem::replace(&mut *l.borrow_mut(), prev));
+        match current {
+            Logger::Active {
+                sink: Sink::Memory(lines),
+                ..
+            } => lines,
+            _ => Vec::new(),
+        }
+    }
+}
+
+impl Drop for EventCapture {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            LOGGER.with(|l| *l.borrow_mut() = prev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_logger_is_inert() {
+        // No MWC_TRACE_EVENTS in the test environment.
+        assert_eq!(next_net_id(), None);
+        emit_msg(0, 1, 0, 1, 1);
+        let cap = EventCapture::memory();
+        assert!(cap.finish().is_empty());
+    }
+
+    #[test]
+    fn capture_resets_net_ids_and_restores() {
+        let cap = EventCapture::memory();
+        assert_eq!(next_net_id(), Some(0));
+        assert_eq!(next_net_id(), Some(1));
+        emit_msg(0, 1, 2, 3, 4);
+        let lines = cap.finish();
+        assert_eq!(
+            lines,
+            vec![r#"{"ev":"msg","net":0,"round":1,"from":2,"to":3,"words":4}"#]
+        );
+        // A fresh capture starts over at net 0.
+        let cap = EventCapture::memory();
+        assert_eq!(next_net_id(), Some(0));
+        drop(cap);
+        assert_eq!(next_net_id(), None);
+    }
+}

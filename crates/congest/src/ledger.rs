@@ -98,6 +98,9 @@ impl Ledger {
         self.words += stats.words;
         self.messages += stats.messages;
         mwc_trace::add_cost(net.round(), stats.words, stats.messages);
+        if let Some(id) = net.events_net() {
+            crate::events::emit_phase(id, label, offset, net.round(), stats.words, stats.messages);
+        }
         self.phases.push(Phase {
             label: label.to_owned(),
             rounds: net.round(),
@@ -151,9 +154,47 @@ impl Ledger {
     }
 
     /// The `k` most-loaded directed links across all absorbed phases, as
-    /// `((from, to), words)` heaviest first (deterministic tie-break).
+    /// `((from, to), words)` heaviest first. The order is a total order —
+    /// load descending, then `(from, to)` ascending — so manifests and
+    /// diffs can never flake on ties (see [`crate::top_links`]).
     pub fn hot_links(&self, k: usize) -> Vec<((NodeId, NodeId), u64)> {
         crate::profile::top_links(&self.link_ends, &self.per_link_words, k)
+    }
+
+    /// Aggregates the ledger into the [`CongestionSummary`] a
+    /// [`RunRecord`](mwc_trace::RunRecord) carries: totals, the global
+    /// peak round (phase offsets applied, earliest peak wins ties), queue
+    /// high-water, and the top [`crate::PROFILE_HOT_LINKS`] hot links.
+    pub fn congestion_summary(&self, label: &str) -> mwc_trace::CongestionSummary {
+        let mut active_rounds = 0;
+        let mut max_words_in_round = 0;
+        let mut peak_round = 0;
+        let mut queue_high_water = 0;
+        let mut offset = 0;
+        for p in &self.phases {
+            active_rounds += p.profile.active_rounds;
+            if p.profile.max_words_in_round > max_words_in_round {
+                max_words_in_round = p.profile.max_words_in_round;
+                peak_round = offset + p.profile.peak_round;
+            }
+            queue_high_water = queue_high_water.max(p.profile.queue_high_water);
+            offset += p.rounds;
+        }
+        mwc_trace::CongestionSummary {
+            label: label.to_owned(),
+            rounds: self.rounds,
+            words: self.words,
+            messages: self.messages,
+            active_rounds,
+            max_words_in_round,
+            peak_round,
+            queue_high_water,
+            hot_links: self
+                .hot_links(crate::PROFILE_HOT_LINKS)
+                .into_iter()
+                .map(|((f, t), w)| (f as u64, t as u64, w))
+                .collect(),
+        }
     }
 
     /// Total words that crossed the cut of a node partition (`side[v]` is
@@ -280,6 +321,62 @@ mod tests {
         net.step();
         ledger.absorb("quiet", &net);
         assert!(ledger.words_per_round().is_empty());
+    }
+
+    #[test]
+    fn congestion_summary_offsets_peak_round_and_breaks_ties_early() {
+        let g = Graph::from_edges(3, Orientation::Undirected, [(0, 1, 1), (1, 2, 1)]).unwrap();
+        let mut ledger = Ledger::new();
+        // Phase 1: 1 round, 1 word — peak 1 at local round 1.
+        let mut net: Network<u8> = Network::new(&g);
+        net.send(0, 1, 1, 1).unwrap();
+        net.step();
+        ledger.absorb("light", &net);
+        // Phase 2: local round 1 moves 2 words — new global peak at 1+1=2.
+        let mut net: Network<u8> = Network::new(&g);
+        net.send(0, 1, 1, 1).unwrap();
+        net.send(1, 2, 2, 1).unwrap();
+        net.step();
+        ledger.absorb("heavy", &net);
+        // Phase 3: ties the peak (2 words) — must NOT displace it.
+        let mut net: Network<u8> = Network::new(&g);
+        net.send(0, 1, 1, 1).unwrap();
+        net.send(1, 2, 2, 1).unwrap();
+        net.step();
+        ledger.absorb("tie", &net);
+        let s = ledger.congestion_summary("all");
+        assert_eq!(s.rounds, 3);
+        assert_eq!(s.words, 5);
+        assert_eq!(s.max_words_in_round, 2);
+        assert_eq!(s.peak_round, 2);
+        assert_eq!(s.active_rounds, 3);
+        assert_eq!(s.hot_links[0], (0, 1, 3));
+    }
+
+    #[test]
+    fn absorb_emits_phase_event() {
+        let cap = crate::events::EventCapture::memory();
+        let g = edge();
+        let mut ledger = Ledger::new();
+        let mut net: Network<u8> = Network::new(&g);
+        net.send(0, 1, 1, 1).unwrap();
+        net.step();
+        ledger.absorb("p1", &net);
+        let mut net: Network<u8> = Network::new(&g);
+        net.send(1, 0, 2, 2).unwrap();
+        net.step();
+        net.step();
+        ledger.absorb("p2", &net);
+        let lines = cap.finish();
+        assert_eq!(
+            lines,
+            vec![
+                r#"{"ev":"msg","net":0,"round":1,"from":0,"to":1,"words":1}"#,
+                r#"{"ev":"phase","net":0,"label":"p1","offset":0,"rounds":1,"words":1,"messages":1}"#,
+                r#"{"ev":"msg","net":1,"round":2,"from":1,"to":0,"words":2}"#,
+                r#"{"ev":"phase","net":1,"label":"p2","offset":1,"rounds":2,"words":2,"messages":1}"#,
+            ]
+        );
     }
 
     #[test]

@@ -44,15 +44,19 @@
 pub mod bounds;
 mod distmat;
 mod engine;
+pub mod events;
 mod ledger;
 mod multibfs;
 mod profile;
 pub mod program;
+pub mod replay;
 mod tree;
 
 pub use distmat::{DistMatrix, INF};
 pub use engine::{hist_bucket, Delivery, NetStats, Network, RoundOutput, SendError, HIST_BUCKETS};
+pub use events::EventCapture;
 pub use ledger::{Ledger, Phase};
 pub use multibfs::{multi_source_bfs, source_detection, Detection, DetectionLists, MultiBfsSpec};
 pub use profile::{top_links, CongestionProfile, PROFILE_HOT_LINKS};
+pub use replay::{first_divergence, Divergence, EventLog, MsgEvent, PhaseEvent};
 pub use tree::{broadcast, convergecast, convergecast_min, BfsTree};

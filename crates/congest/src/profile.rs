@@ -23,6 +23,9 @@ pub struct CongestionProfile {
     pub active_rounds: u64,
     /// Peak words transferred in any single round.
     pub max_words_in_round: u64,
+    /// The phase-local round at which the peak was first reached
+    /// (earliest-round tie-break — deterministic); 0 for quiet phases.
+    pub peak_round: u64,
     /// High-water mark of any link's send queue.
     pub queue_high_water: u64,
     /// The most-loaded links as `((from, to), words)`, heaviest first
@@ -41,6 +44,7 @@ impl CongestionProfile {
             messages: stats.messages,
             active_rounds: stats.active_rounds,
             max_words_in_round: stats.max_words_in_round,
+            peak_round: stats.peak_round,
             queue_high_water: stats.queue_high_water,
             hot_links: net.hot_links(PROFILE_HOT_LINKS),
             round_histogram: stats.round_histogram,
@@ -57,25 +61,25 @@ impl CongestionProfile {
     }
 }
 
-/// The `k` heaviest `(link, words)` pairs from a per-link load table,
-/// heaviest first, ties toward the lower link index (deterministic).
+/// The `k` heaviest `(link, words)` pairs from a per-link load table.
+///
+/// The order is a *total* order — load descending, then `(from, to)`
+/// ascending — never map or insertion order, so every hot-link report
+/// (engine, ledger, run records, diffs) is deterministic even on ties.
 pub fn top_links(
     link_ends: &[(NodeId, NodeId)],
     per_link_words: &[u64],
     k: usize,
 ) -> Vec<((NodeId, NodeId), u64)> {
-    let mut loaded: Vec<(usize, u64)> = per_link_words
+    let mut loaded: Vec<((NodeId, NodeId), u64)> = link_ends
         .iter()
         .copied()
-        .enumerate()
+        .zip(per_link_words.iter().copied())
         .filter(|&(_, w)| w > 0)
         .collect();
     loaded.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    loaded.truncate(k);
     loaded
-        .into_iter()
-        .take(k)
-        .map(|(l, w)| (link_ends[l], w))
-        .collect()
 }
 
 #[cfg(test)]
@@ -112,5 +116,16 @@ mod tests {
         let top = top_links(&ends, &words, 2);
         assert_eq!(top, vec![((0, 1), 5), ((1, 0), 5)]);
         assert!(top_links(&ends, &[0, 0, 0], 2).is_empty());
+    }
+
+    #[test]
+    fn top_links_ties_break_by_link_id_even_when_table_is_shuffled() {
+        // The tie-break is on the (from, to) pair itself, not on the
+        // position in the link table: a reordered table must produce the
+        // identical report.
+        let ends = [(2, 0), (0, 1), (1, 0)];
+        let words = [5, 5, 5];
+        let top = top_links(&ends, &words, 3);
+        assert_eq!(top, vec![((0, 1), 5), ((1, 0), 5), ((2, 0), 5)]);
     }
 }

@@ -1,0 +1,625 @@
+//! Differential comparison of two [`RunRecord`]s — the perf-regression
+//! gate's core.
+//!
+//! [`diff_records`] compares a fresh record against a committed baseline
+//! span-by-span, congestion-summary-by-summary, and audit-by-audit, under
+//! per-metric tolerances ([`DiffConfig`]). The result is both
+//! machine-readable ([`RunDiff::to_json`]) and human-readable
+//! ([`RunDiff::render`] names the culprit span and metric); `trace_diff`
+//! exits nonzero iff [`RunDiff::has_regression`].
+//!
+//! Semantics:
+//!
+//! - Two records are **incomparable** when their names, schemas, or
+//!   parameters differ — that is a configuration error, not a perf
+//!   verdict, and gets its own exit code.
+//! - A *regression* is a metric exceeding baseline by more than the
+//!   tolerance, a span/summary/audit that disappeared, or a new one that
+//!   appeared (structure drift silently invalidates the comparison, so it
+//!   fails loudly).
+//! - *Improvements* (metric below baseline) are reported but never fail
+//!   the gate; refresh the baseline to lock them in.
+
+use crate::json::Json;
+use crate::record::RunRecord;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Tolerance for one metric family: a fresh value `f` against baseline
+/// `b` regresses when `f > b + max(abs, b·rel)`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Tolerance {
+    /// Allowed relative increase (0.05 = +5%).
+    pub rel: f64,
+    /// Allowed absolute increase.
+    pub abs: f64,
+}
+
+impl Tolerance {
+    /// A tolerance allowing a relative increase only.
+    pub fn rel(rel: f64) -> Tolerance {
+        Tolerance { rel, abs: 0.0 }
+    }
+
+    fn allows(&self, base: f64, fresh: f64) -> bool {
+        fresh <= base + self.abs.max(base.abs() * self.rel)
+    }
+}
+
+/// Per-metric tolerances. The default is **zero tolerance everywhere**:
+/// same-seed runs are byte-deterministic, so any delta is a real change.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DiffConfig {
+    /// Tolerance on round counts (totals, spans, congestion summaries).
+    pub rounds: Tolerance,
+    /// Tolerance on word counts.
+    pub words: Tolerance,
+    /// Tolerance on message counts.
+    pub messages: Tolerance,
+    /// Tolerance on audit `max_ratio` margins.
+    pub ratio: Tolerance,
+}
+
+impl DiffConfig {
+    /// A uniform relative tolerance across all metric families.
+    pub fn uniform_rel(rel: f64) -> DiffConfig {
+        DiffConfig {
+            rounds: Tolerance::rel(rel),
+            words: Tolerance::rel(rel),
+            messages: Tolerance::rel(rel),
+            ratio: Tolerance::rel(rel),
+        }
+    }
+}
+
+/// What happened to one compared metric or structural key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiffStatus {
+    /// Fresh exceeds baseline beyond tolerance.
+    Regressed,
+    /// Fresh is below baseline (within no tolerance — strictly better).
+    Improved,
+    /// Fresh changed within tolerance (only emitted when tolerance > 0).
+    WithinTolerance,
+    /// Key present in the baseline but missing from the fresh record.
+    Removed,
+    /// Key present in the fresh record but not the baseline.
+    Added,
+}
+
+impl DiffStatus {
+    fn as_str(self) -> &'static str {
+        match self {
+            DiffStatus::Regressed => "REGRESSED",
+            DiffStatus::Improved => "improved",
+            DiffStatus::WithinTolerance => "within-tolerance",
+            DiffStatus::Removed => "REMOVED",
+            DiffStatus::Added => "ADDED",
+        }
+    }
+
+    /// Whether this status fails the gate.
+    pub fn is_regression(self) -> bool {
+        matches!(
+            self,
+            DiffStatus::Regressed | DiffStatus::Removed | DiffStatus::Added
+        )
+    }
+}
+
+/// One changed metric (or structural drift) between baseline and fresh.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiffEntry {
+    /// Which record section: `"total"`, `"span"`, `"congestion"`, `"audit"`.
+    pub section: &'static str,
+    /// The key inside the section (span path, summary label, algorithm);
+    /// empty for totals.
+    pub key: String,
+    /// The metric name, e.g. `"rounds"`.
+    pub metric: &'static str,
+    /// Baseline value (0 for [`DiffStatus::Added`]).
+    pub base: f64,
+    /// Fresh value (0 for [`DiffStatus::Removed`]).
+    pub fresh: f64,
+    /// Verdict for this entry.
+    pub status: DiffStatus,
+}
+
+impl DiffEntry {
+    fn render(&self) -> String {
+        let delta = self.fresh - self.base;
+        let pct = if self.base != 0.0 {
+            format!(", {:+.2}%", 100.0 * delta / self.base)
+        } else {
+            String::new()
+        };
+        let key = if self.key.is_empty() {
+            String::new()
+        } else {
+            format!(" {}", self.key)
+        };
+        format!(
+            "{:<16} {}{} {}: {} -> {} ({:+}{})",
+            self.status.as_str(),
+            self.section,
+            key,
+            self.metric,
+            trim_num(self.base),
+            trim_num(self.fresh),
+            delta,
+            pct
+        )
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("section", Json::str(self.section)),
+            ("key", Json::str(&self.key)),
+            ("metric", Json::str(self.metric)),
+            ("base", Json::F64(self.base)),
+            ("fresh", Json::F64(self.fresh)),
+            ("status", Json::str(self.status.as_str())),
+        ])
+    }
+}
+
+fn trim_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// The outcome of diffing one record pair.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunDiff {
+    /// The records' shared name.
+    pub name: String,
+    /// Why the records cannot be compared at all (name/param mismatch);
+    /// when set, `entries` is empty and the gate must treat the pair as a
+    /// configuration error, not a pass.
+    pub incomparable: Option<String>,
+    /// Every changed metric and structural drift, in record order.
+    pub entries: Vec<DiffEntry>,
+}
+
+impl RunDiff {
+    /// `true` iff any entry fails the gate (or the pair is incomparable).
+    pub fn has_regression(&self) -> bool {
+        self.incomparable.is_some() || self.entries.iter().any(|e| e.status.is_regression())
+    }
+
+    /// Number of gate-failing entries.
+    pub fn regression_count(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.status.is_regression())
+            .count()
+    }
+
+    /// Human-readable report; names the culprit span/metric per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== trace_diff: {} ==", self.name);
+        if let Some(why) = &self.incomparable {
+            let _ = writeln!(out, "INCOMPARABLE     {why}");
+            return out;
+        }
+        if self.entries.is_empty() {
+            let _ = writeln!(out, "no deltas (records identical under tolerances)");
+            return out;
+        }
+        for e in &self.entries {
+            let _ = writeln!(out, "{}", e.render());
+        }
+        let _ = writeln!(
+            out,
+            "{} regression(s), {} entr(y/ies) total",
+            self.regression_count(),
+            self.entries.len()
+        );
+        out
+    }
+
+    /// Machine-readable report.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::str(&self.name)),
+            (
+                "incomparable",
+                self.incomparable.as_deref().map_or(Json::Null, Json::str),
+            ),
+            ("regressions", Json::U64(self.regression_count() as u64)),
+            (
+                "entries",
+                Json::Arr(self.entries.iter().map(DiffEntry::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+struct Differ<'c> {
+    cfg: &'c DiffConfig,
+    entries: Vec<DiffEntry>,
+}
+
+impl Differ<'_> {
+    fn metric(
+        &mut self,
+        section: &'static str,
+        key: &str,
+        metric: &'static str,
+        tol: Tolerance,
+        base: f64,
+        fresh: f64,
+    ) {
+        if base == fresh {
+            return;
+        }
+        let status = if !tol.allows(base, fresh) {
+            DiffStatus::Regressed
+        } else if fresh < base {
+            DiffStatus::Improved
+        } else {
+            DiffStatus::WithinTolerance
+        };
+        self.entries.push(DiffEntry {
+            section,
+            key: key.to_owned(),
+            metric,
+            base,
+            fresh,
+            status,
+        });
+    }
+
+    fn structural(&mut self, section: &'static str, key: &str, status: DiffStatus, value: f64) {
+        let (base, fresh) = match status {
+            DiffStatus::Removed => (value, 0.0),
+            _ => (0.0, value),
+        };
+        self.entries.push(DiffEntry {
+            section,
+            key: key.to_owned(),
+            metric: "rounds",
+            base,
+            fresh,
+            status,
+        });
+    }
+
+    fn cost_triple(
+        &mut self,
+        section: &'static str,
+        key: &str,
+        base: (u64, u64, u64),
+        fresh: (u64, u64, u64),
+    ) {
+        self.metric(
+            section,
+            key,
+            "rounds",
+            self.cfg.rounds,
+            base.0 as f64,
+            fresh.0 as f64,
+        );
+        self.metric(
+            section,
+            key,
+            "words",
+            self.cfg.words,
+            base.1 as f64,
+            fresh.1 as f64,
+        );
+        self.metric(
+            section,
+            key,
+            "messages",
+            self.cfg.messages,
+            base.2 as f64,
+            fresh.2 as f64,
+        );
+    }
+}
+
+/// Compares `fresh` against `base`. See the module docs for semantics.
+pub fn diff_records(base: &RunRecord, fresh: &RunRecord, cfg: &DiffConfig) -> RunDiff {
+    if base.name != fresh.name {
+        return RunDiff {
+            name: format!("{} vs {}", base.name, fresh.name),
+            incomparable: Some(format!(
+                "record names differ: baseline {:?}, fresh {:?}",
+                base.name, fresh.name
+            )),
+            entries: Vec::new(),
+        };
+    }
+    if base.params != fresh.params {
+        return RunDiff {
+            name: base.name.clone(),
+            incomparable: Some(format!(
+                "params differ: baseline {:?}, fresh {:?} — regenerate the baseline \
+                 with the gate's parameters",
+                base.params, fresh.params
+            )),
+            entries: Vec::new(),
+        };
+    }
+
+    let mut d = Differ {
+        cfg,
+        entries: Vec::new(),
+    };
+
+    d.cost_triple(
+        "total",
+        "",
+        (base.rounds, base.words, base.messages),
+        (fresh.rounds, fresh.words, fresh.messages),
+    );
+
+    // Spans: keyed by path (both sides sorted by construction).
+    let base_spans: BTreeMap<&str, _> = base.spans.iter().map(|s| (s.path.as_str(), s)).collect();
+    let fresh_spans: BTreeMap<&str, _> = fresh.spans.iter().map(|s| (s.path.as_str(), s)).collect();
+    for (path, b) in &base_spans {
+        match fresh_spans.get(path) {
+            Some(f) => {
+                d.cost_triple(
+                    "span",
+                    path,
+                    (b.rounds, b.words, b.messages),
+                    (f.rounds, f.words, f.messages),
+                );
+                d.metric(
+                    "span",
+                    path,
+                    "count",
+                    Tolerance::default(),
+                    b.count as f64,
+                    f.count as f64,
+                );
+            }
+            None => d.structural("span", path, DiffStatus::Removed, b.rounds as f64),
+        }
+    }
+    for (path, f) in &fresh_spans {
+        if !base_spans.contains_key(path) {
+            d.structural("span", path, DiffStatus::Added, f.rounds as f64);
+        }
+    }
+
+    // Congestion summaries: keyed by label.
+    let base_cong: BTreeMap<&str, _> = base
+        .congestion
+        .iter()
+        .map(|c| (c.label.as_str(), c))
+        .collect();
+    let fresh_cong: BTreeMap<&str, _> = fresh
+        .congestion
+        .iter()
+        .map(|c| (c.label.as_str(), c))
+        .collect();
+    for (label, b) in &base_cong {
+        match fresh_cong.get(label) {
+            Some(f) => {
+                d.cost_triple(
+                    "congestion",
+                    label,
+                    (b.rounds, b.words, b.messages),
+                    (f.rounds, f.words, f.messages),
+                );
+                d.metric(
+                    "congestion",
+                    label,
+                    "max_words_in_round",
+                    cfg.words,
+                    b.max_words_in_round as f64,
+                    f.max_words_in_round as f64,
+                );
+                d.metric(
+                    "congestion",
+                    label,
+                    "queue_high_water",
+                    cfg.words,
+                    b.queue_high_water as f64,
+                    f.queue_high_water as f64,
+                );
+            }
+            None => d.structural("congestion", label, DiffStatus::Removed, b.rounds as f64),
+        }
+    }
+    for (label, f) in &fresh_cong {
+        if !base_cong.contains_key(label) {
+            d.structural("congestion", label, DiffStatus::Added, f.rounds as f64);
+        }
+    }
+
+    // Audit margins: keyed by algorithm.
+    let base_aud: BTreeMap<&str, _> = base
+        .audit_margins
+        .iter()
+        .map(|a| (a.algorithm.as_str(), a))
+        .collect();
+    let fresh_aud: BTreeMap<&str, _> = fresh
+        .audit_margins
+        .iter()
+        .map(|a| (a.algorithm.as_str(), a))
+        .collect();
+    for (alg, b) in &base_aud {
+        match fresh_aud.get(alg) {
+            Some(f) => {
+                d.metric(
+                    "audit",
+                    alg,
+                    "max_ratio",
+                    cfg.ratio,
+                    b.max_ratio,
+                    f.max_ratio,
+                );
+                d.metric(
+                    "audit",
+                    alg,
+                    "count",
+                    Tolerance::default(),
+                    b.count as f64,
+                    f.count as f64,
+                );
+                d.metric(
+                    "audit",
+                    alg,
+                    "total_measured",
+                    cfg.rounds,
+                    b.total_measured as f64,
+                    f.total_measured as f64,
+                );
+            }
+            None => d.structural("audit", alg, DiffStatus::Removed, b.total_measured as f64),
+        }
+    }
+    for (alg, f) in &fresh_aud {
+        if !base_aud.contains_key(alg) {
+            d.structural("audit", alg, DiffStatus::Added, f.total_measured as f64);
+        }
+    }
+
+    RunDiff {
+        name: base.name.clone(),
+        incomparable: None,
+        entries: d.entries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{CongestionSummary, SpanMetrics};
+
+    fn record() -> RunRecord {
+        RunRecord {
+            name: "t".into(),
+            params: vec![("n".into(), "64".into())],
+            rounds: 100,
+            words: 1000,
+            messages: 50,
+            spans: vec![
+                SpanMetrics {
+                    path: "a".into(),
+                    count: 1,
+                    rounds: 60,
+                    words: 600,
+                    messages: 30,
+                },
+                SpanMetrics {
+                    path: "a > b".into(),
+                    count: 2,
+                    rounds: 40,
+                    words: 400,
+                    messages: 20,
+                },
+            ],
+            congestion: vec![CongestionSummary {
+                label: "main".into(),
+                rounds: 100,
+                words: 1000,
+                messages: 50,
+                active_rounds: 80,
+                max_words_in_round: 12,
+                peak_round: 7,
+                queue_high_water: 3,
+                hot_links: vec![(0, 1, 99)],
+            }],
+            audit_margins: vec![crate::record::AuditMargin {
+                algorithm: "core/x".into(),
+                count: 2,
+                max_ratio: 0.5,
+                max_measured: 60,
+                total_measured: 100,
+            }],
+        }
+    }
+
+    #[test]
+    fn identical_records_have_no_deltas() {
+        let d = diff_records(&record(), &record(), &DiffConfig::default());
+        assert!(!d.has_regression());
+        assert!(d.entries.is_empty());
+        assert!(d.render().contains("no deltas"));
+    }
+
+    #[test]
+    fn one_extra_round_regresses_with_culprit_span() {
+        let mut fresh = record();
+        fresh.spans[1].rounds += 1;
+        fresh.rounds += 1;
+        let d = diff_records(&record(), &fresh, &DiffConfig::default());
+        assert!(d.has_regression());
+        assert_eq!(d.regression_count(), 2); // total + span
+        let report = d.render();
+        assert!(report.contains("REGRESSED"), "{report}");
+        assert!(report.contains("a > b"), "culprit span named: {report}");
+        assert!(report.contains("40 -> 41"), "{report}");
+    }
+
+    #[test]
+    fn tolerance_downgrades_small_drift() {
+        let mut fresh = record();
+        fresh.rounds = 102; // +2%
+        let d = diff_records(&record(), &fresh, &DiffConfig::uniform_rel(0.05));
+        assert!(!d.has_regression());
+        assert_eq!(d.entries[0].status, DiffStatus::WithinTolerance);
+        let d = diff_records(&record(), &fresh, &DiffConfig::uniform_rel(0.01));
+        assert!(d.has_regression());
+    }
+
+    #[test]
+    fn improvements_do_not_fail_the_gate() {
+        let mut fresh = record();
+        fresh.rounds = 90;
+        fresh.spans[0].rounds = 50;
+        let d = diff_records(&record(), &fresh, &DiffConfig::default());
+        assert!(!d.has_regression());
+        assert!(d.entries.iter().all(|e| e.status == DiffStatus::Improved));
+    }
+
+    #[test]
+    fn structure_drift_fails_loudly() {
+        let mut fresh = record();
+        fresh.spans.pop();
+        let d = diff_records(&record(), &fresh, &DiffConfig::default());
+        assert!(d.has_regression());
+        assert!(d.render().contains("REMOVED"), "{}", d.render());
+
+        let mut fresh = record();
+        fresh.spans.push(SpanMetrics {
+            path: "z".into(),
+            count: 1,
+            rounds: 1,
+            words: 1,
+            messages: 1,
+        });
+        let d = diff_records(&record(), &fresh, &DiffConfig::default());
+        assert!(d.has_regression());
+        assert!(d.render().contains("ADDED"), "{}", d.render());
+    }
+
+    #[test]
+    fn param_mismatch_is_incomparable_not_a_pass() {
+        let mut fresh = record();
+        fresh.params[0].1 = "128".into();
+        let d = diff_records(&record(), &fresh, &DiffConfig::default());
+        assert!(d.has_regression());
+        assert!(d.incomparable.is_some());
+        assert!(d.render().contains("INCOMPARABLE"));
+    }
+
+    #[test]
+    fn audit_margin_drift_is_flagged() {
+        let mut fresh = record();
+        fresh.audit_margins[0].max_ratio = 0.9;
+        let d = diff_records(&record(), &fresh, &DiffConfig::default());
+        assert!(d.has_regression());
+        assert!(d.render().contains("core/x"));
+        assert!(d.to_json().render().contains("max_ratio"));
+    }
+}

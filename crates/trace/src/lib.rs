@@ -34,7 +34,9 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod diff;
 pub mod json;
+pub mod record;
 
 use json::Json;
 use std::cell::RefCell;
@@ -43,6 +45,10 @@ use std::io::{BufWriter, Write as _};
 use std::path::PathBuf;
 
 pub use audit::{check_bound, AuditRecord, BoundInputs};
+pub use diff::{diff_records, DiffConfig, DiffEntry, DiffStatus, RunDiff, Tolerance};
+pub use record::{
+    audit_margins, AuditMargin, CongestionSummary, RunRecord, SpanMetrics, RUN_RECORD_SCHEMA,
+};
 
 /// One closed span: a node of the trace tree.
 ///
@@ -184,9 +190,13 @@ impl TraceData {
     }
 
     /// The machine-readable manifest for `results/trace_manifest.json`.
+    ///
+    /// `audit_margins` aggregates every bound audit per algorithm (count,
+    /// worst measured/bound ratio) so constant-factor drift is visible in
+    /// the manifest itself, not only via `trace_diff`.
     pub fn to_manifest(&self) -> Json {
         Json::obj([
-            ("schema", Json::str("mwc-trace-manifest/v1")),
+            ("schema", Json::str("mwc-trace-manifest/v2")),
             (
                 "total_rounds",
                 Json::U64(self.roots.iter().map(SpanNode::total_rounds).sum()),
@@ -194,6 +204,15 @@ impl TraceData {
             (
                 "total_words",
                 Json::U64(self.roots.iter().map(SpanNode::total_words).sum()),
+            ),
+            (
+                "audit_margins",
+                Json::Arr(
+                    record::audit_margins(&self.all_audits())
+                        .iter()
+                        .map(AuditMargin::to_json)
+                        .collect(),
+                ),
             ),
             (
                 "spans",
@@ -566,6 +585,7 @@ mod tests {
         assert_eq!(f1, f2);
         assert_eq!(m1, m2);
         assert!(f1.contains("algo/phase"));
-        assert!(m1.contains("\"schema\": \"mwc-trace-manifest/v1\""));
+        assert!(m1.contains("\"schema\": \"mwc-trace-manifest/v2\""));
+        assert!(m1.contains("\"audit_margins\""));
     }
 }

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Perf gate: regenerate every bench bin's RunRecord at pinned gate sizes
+# and diff them against the committed baselines in results/baselines/.
+#
+# Usage:
+#   scripts/perf_gate.sh            # run bins + trace_diff (exit 1 on
+#                                   # regression, 2 on unpaired records)
+#   scripts/perf_gate.sh refresh    # run bins + overwrite the baselines
+#                                   # (the one-command path for intentional
+#                                   # perf changes — commit the result)
+#
+# The bins run in a scratch directory (target/perf_gate) so the committed
+# full-size artifacts under results/ are never clobbered by the smaller
+# gate-size runs; only results/baselines/ (and, on refresh,
+# results/BENCH_trajectory.json) live in the repo.
+#
+# The sizes below are the gate contract: records are only comparable when
+# name AND parameters match, so changing a size here requires a baseline
+# refresh in the same commit.
+set -euo pipefail
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+WORK="$REPO/target/perf_gate"
+rm -rf "$WORK"
+mkdir -p "$WORK"
+cd "$WORK"
+
+run() {
+  cargo run --manifest-path "$REPO/Cargo.toml" --release --offline \
+    -p mwc-bench --bin "$@" > /dev/null
+}
+
+run table1_girth 1024
+run table1_directed 256
+run table1_undirected_weighted 128
+run table1_lower_bounds 12
+run thm16_ksssp 256
+run approx_quality 64 3
+run ablation 128
+run detection_rounds 12
+run traffic_profile 12
+run phase_breakdown directed 256
+run trace_report 96
+
+if [ "${1:-}" = refresh ]; then
+  mkdir -p "$REPO/results/baselines"
+  cp results/run_records/*.json "$REPO/results/baselines/"
+  echo "baselines refreshed from $WORK/results/run_records/"
+fi
+
+# Diff fresh records against the committed baselines. Reports land in
+# $WORK/results/ (trace_diff_report.{txt,json}, BENCH_trajectory.json).
+cargo run --manifest-path "$REPO/Cargo.toml" --release --offline \
+  -p mwc-bench --bin trace_diff results/run_records "$REPO/results/baselines"
+
+if [ "${1:-}" = refresh ]; then
+  cp results/BENCH_trajectory.json "$REPO/results/BENCH_trajectory.json"
+fi
