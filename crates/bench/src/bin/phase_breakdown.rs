@@ -24,8 +24,10 @@ use std::collections::BTreeMap;
 fn aggregate(ledger: &Ledger) -> BTreeMap<String, u64> {
     let mut by_label: BTreeMap<String, u64> = BTreeMap::new();
     for p in &ledger.phases {
-        // Strip scale suffixes so repeated phases aggregate.
-        let key = p.label.split(" 2^").next().unwrap_or(&p.label).to_string();
+        // Strip scale and cache-savings suffixes so repeated phases
+        // aggregate (e.g. "cached: bfs tree (saved 12 rounds)").
+        let key = p.label.split(" 2^").next().unwrap_or(&p.label);
+        let key = key.split(" (saved").next().unwrap_or(key).to_string();
         *by_label.entry(key).or_default() += p.rounds;
     }
     by_label

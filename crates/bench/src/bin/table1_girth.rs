@@ -46,6 +46,9 @@ fn main() {
             5 + n as u64,
         );
         let d = g.undirected_diameter().expect("connected");
+        // One cache scope per graph: exact and approx share the BFS tree,
+        // so the second algorithm replays it instead of re-charging.
+        let _cache = mwc_congest::PhaseCache::scope();
         let exact = exact_mwc(&g);
         let approx = approx_girth(&g, &params);
         rec.congestion(&format!("n={n} exact"), &exact.ledger);

@@ -47,6 +47,10 @@ fn main() {
                 WeightRange::uniform(1, w_max),
                 13 + n as u64,
             );
+            // One cache scope per graph: exact and approx share the BFS
+            // tree; the approx run also shares its per-scale latency
+            // tables between scaled_latencies and scaled_hop_sssp.
+            let _cache = mwc_congest::PhaseCache::scope();
             let exact = exact_mwc(&g);
             let approx = approx_mwc_undirected_weighted(&g, &params);
             rec.congestion(&format!("eps={eps} n={n} exact"), &exact.ledger);

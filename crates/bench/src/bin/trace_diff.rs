@@ -64,6 +64,7 @@ fn totals_json(r: &RunRecord) -> Json {
         ("rounds", Json::U64(r.rounds)),
         ("words", Json::U64(r.words)),
         ("messages", Json::U64(r.messages)),
+        ("rounds_saved", Json::U64(r.rounds_saved)),
     ])
 }
 

@@ -1,0 +1,369 @@
+//! Phase-level memoization of shared distributed structures.
+//!
+//! The paper's framework (§1.1, citing \[43\]) assumes one global broadcast
+//! backbone: a real CONGEST execution builds the BFS tree once and pays its
+//! `O(D)` rounds once, then every later phase reuses it for free. Before
+//! this module the simulator rebuilt (and re-charged) the tree at every
+//! call site — over-charging rounds relative to the model — and re-derived
+//! identical stretched latency tables per scale per call.
+//!
+//! A [`PhaseCache`] fixes both. It is installed per algorithm *entry
+//! point* via [`PhaseCache::scope`] (a thread-local, so nested calls share
+//! the outer cache and independent invocations stay independent —
+//! determinism tests that run an algorithm twice must see identical
+//! ledgers). Cache hits are **visible, not silent**: a hit on a BFS tree
+//! pushes a zero-cost `cached: bfs tree (saved N rounds)` phase through
+//! [`Ledger::credit_cached`] and attributes `N` to
+//! [`Ledger::rounds_saved`] / the open trace span, so reports and diffs
+//! can audit exactly what reuse bought.
+//!
+//! Set `MWC_NO_CACHE=1` (or use [`PhaseCache::disable_for_thread`] in
+//! tests, which is race-free under parallel test threads) to force every
+//! call site down the uncached path; results must be byte-identical either
+//! way — only the round accounting of repeated builds differs.
+
+use crate::ledger::Ledger;
+use crate::tree::BfsTree;
+use mwc_graph::{Graph, NodeId, Weight};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Key for cached latency tables: `(fingerprint, h, ε_q numerator, scale)`.
+type LatencyKey = (u64, u64, u64, u32);
+
+struct CachedTree {
+    tree: Arc<BfsTree>,
+    rounds: u64,
+}
+
+/// Hit/miss counters for one cache scope — exposed so tests and bench
+/// drivers can assert cache effectiveness instead of trusting it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// BFS trees replayed from the cache.
+    pub tree_hits: u64,
+    /// BFS trees built (and charged) for the first time.
+    pub tree_misses: u64,
+    /// Stretched latency tables reused.
+    pub latency_hits: u64,
+    /// Stretched latency tables derived for the first time.
+    pub latency_misses: u64,
+    /// Total rounds the tree hits avoided re-charging.
+    pub rounds_saved: u64,
+}
+
+/// Memoizes per-run shared structures: the global BFS tree keyed by
+/// `(graph fingerprint, root)` and stretched latency tables keyed by
+/// `(graph fingerprint, h, ε_q, scale)`. See the module docs for the
+/// scoping and visibility rules.
+#[derive(Default)]
+pub struct PhaseCache {
+    trees: HashMap<(u64, NodeId), CachedTree>,
+    latencies: HashMap<LatencyKey, Arc<Vec<Weight>>>,
+    stats: CacheStats,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<PhaseCache>> = const { RefCell::new(None) };
+    static DISABLED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// A stable fingerprint of a graph's topology and weights, mixed with the
+/// in-tree [`mwc_rng::splitmix64`] finalizer. Distinguishes a graph from
+/// its reverse (orientation and edge direction are hashed), so `g` and
+/// `g.reversed()` never share cache entries.
+pub fn graph_fingerprint(g: &Graph) -> u64 {
+    fn mix(state: &mut u64, word: u64) {
+        *state ^= word;
+        mwc_rng::splitmix64(state);
+    }
+    let mut state: u64 = 0x6d77_6363_6163_6865; // "mwccache"
+    mix(&mut state, g.n() as u64);
+    mix(&mut state, g.is_directed() as u64);
+    mix(&mut state, g.m() as u64);
+    for e in g.edges() {
+        mix(&mut state, e.u as u64);
+        mix(&mut state, e.v as u64);
+        mix(&mut state, e.weight);
+    }
+    mwc_rng::splitmix64(&mut state)
+}
+
+/// True when caching is off for this call: either the `MWC_NO_CACHE`
+/// environment variable is set (to anything but `0`/empty) or a
+/// [`PhaseCache::disable_for_thread`] guard is live on this thread.
+pub fn cache_disabled() -> bool {
+    if DISABLED.with(Cell::get) {
+        return true;
+    }
+    std::env::var_os("MWC_NO_CACHE").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+fn is_active() -> bool {
+    ACTIVE.with(|a| a.borrow().is_some())
+}
+
+impl PhaseCache {
+    /// Installs a fresh cache for this thread unless one is already active
+    /// (nested entry points share the outermost scope) or caching is
+    /// disabled. The returned guard uninstalls exactly what it installed,
+    /// so each top-level algorithm invocation starts cold — repeated
+    /// invocations stay deterministic and identically charged.
+    pub fn scope() -> CacheScope {
+        if cache_disabled() {
+            return CacheScope { installed: false };
+        }
+        ACTIVE.with(|a| {
+            let mut slot = a.borrow_mut();
+            if slot.is_none() {
+                *slot = Some(PhaseCache::default());
+                CacheScope { installed: true }
+            } else {
+                CacheScope { installed: false }
+            }
+        })
+    }
+
+    /// Disables caching on this thread until the guard drops. Unlike
+    /// mutating `MWC_NO_CACHE`, this is safe under parallel test threads.
+    pub fn disable_for_thread() -> CacheDisableGuard {
+        let prev = DISABLED.with(|d| d.replace(true));
+        CacheDisableGuard { prev }
+    }
+
+    /// The active scope's counters, or `None` when no cache is installed.
+    pub fn stats() -> Option<CacheStats> {
+        ACTIVE.with(|a| a.borrow().as_ref().map(|c| c.stats))
+    }
+
+    /// [`BfsTree::build`] through the cache. On a miss the tree is built
+    /// normally (charged to `ledger`) and remembered with its round cost;
+    /// on a hit the cached tree is replayed and `ledger` records a
+    /// zero-cost `cached: bfs tree` phase crediting the saved rounds.
+    /// Without an active scope this is exactly `BfsTree::build`.
+    pub fn bfs_tree(g: &Graph, root: NodeId, ledger: &mut Ledger) -> Arc<BfsTree> {
+        if !is_active() {
+            return Arc::new(BfsTree::build(g, root, ledger));
+        }
+        let key = (graph_fingerprint(g), root);
+        let hit = ACTIVE.with(|a| {
+            let mut slot = a.borrow_mut();
+            let cache = slot.as_mut().expect("checked active above");
+            cache.trees.get(&key).map(|ct| {
+                cache.stats.tree_hits += 1;
+                cache.stats.rounds_saved += ct.rounds;
+                (ct.tree.clone(), ct.rounds)
+            })
+        });
+        if let Some((tree, rounds)) = hit {
+            ledger.credit_cached("bfs tree", rounds);
+            return tree;
+        }
+        // Miss: build outside any RefCell borrow (the build may trace,
+        // panic, or re-enter), then remember the measured round cost.
+        let before = ledger.rounds;
+        let tree = Arc::new(BfsTree::build(g, root, ledger));
+        let rounds = ledger.rounds - before;
+        ACTIVE.with(|a| {
+            if let Some(cache) = a.borrow_mut().as_mut() {
+                cache.stats.tree_misses += 1;
+                cache.trees.insert(
+                    key,
+                    CachedTree {
+                        tree: tree.clone(),
+                        rounds,
+                    },
+                );
+            }
+        });
+        tree
+    }
+
+    /// A stretched latency table through the cache: derived once per
+    /// `(fingerprint, h, ε_q, scale)` and shared thereafter. Deriving the
+    /// table is node-local (it costs no rounds), so hits save wall-clock
+    /// and allocation only — nothing is credited to any ledger.
+    pub fn latency_table(
+        g: &Graph,
+        h: u64,
+        eps_num: u64,
+        scale: u32,
+        build: impl FnOnce() -> Vec<Weight>,
+    ) -> Arc<Vec<Weight>> {
+        if !is_active() {
+            return Arc::new(build());
+        }
+        let key = (graph_fingerprint(g), h, eps_num, scale);
+        let hit = ACTIVE.with(|a| {
+            let mut slot = a.borrow_mut();
+            let cache = slot.as_mut().expect("checked active above");
+            cache.latencies.get(&key).map(|t| {
+                cache.stats.latency_hits += 1;
+                t.clone()
+            })
+        });
+        if let Some(table) = hit {
+            return table;
+        }
+        let table = Arc::new(build());
+        ACTIVE.with(|a| {
+            if let Some(cache) = a.borrow_mut().as_mut() {
+                cache.stats.latency_misses += 1;
+                cache.latencies.insert(key, table.clone());
+            }
+        });
+        table
+    }
+}
+
+/// Guard returned by [`PhaseCache::scope`]; uninstalls the cache it
+/// installed (and nothing else) on drop.
+#[must_use = "the cache lives only as long as this guard"]
+pub struct CacheScope {
+    installed: bool,
+}
+
+impl Drop for CacheScope {
+    fn drop(&mut self) {
+        if self.installed {
+            ACTIVE.with(|a| a.borrow_mut().take());
+        }
+    }
+}
+
+/// Guard returned by [`PhaseCache::disable_for_thread`]; restores the
+/// previous thread-local disable flag on drop.
+#[must_use = "caching re-enables when this guard drops"]
+pub struct CacheDisableGuard {
+    prev: bool,
+}
+
+impl Drop for CacheDisableGuard {
+    fn drop(&mut self) {
+        DISABLED.with(|d| d.set(self.prev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwc_graph::generators::{connected_gnm, WeightRange};
+    use mwc_graph::Orientation;
+
+    fn graph() -> Graph {
+        connected_gnm(24, 40, Orientation::Undirected, WeightRange::unit(), 9)
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_separates_graphs() {
+        let g = graph();
+        assert_eq!(graph_fingerprint(&g), graph_fingerprint(&g));
+        let other = connected_gnm(24, 40, Orientation::Undirected, WeightRange::unit(), 10);
+        assert_ne!(graph_fingerprint(&g), graph_fingerprint(&other));
+        let d = connected_gnm(24, 40, Orientation::Directed, WeightRange::uniform(1, 9), 9);
+        assert_ne!(graph_fingerprint(&d), graph_fingerprint(&d.reversed()));
+    }
+
+    #[test]
+    fn second_build_is_a_hit_and_credits_saved_rounds() {
+        let g = graph();
+        let _scope = PhaseCache::scope();
+        let mut ledger = Ledger::new();
+        let t1 = PhaseCache::bfs_tree(&g, 0, &mut ledger);
+        let cost = ledger.rounds;
+        assert!(cost > 0);
+        let t2 = PhaseCache::bfs_tree(&g, 0, &mut ledger);
+        assert_eq!(ledger.rounds, cost, "hit must not re-charge rounds");
+        assert_eq!(ledger.rounds_saved, cost);
+        assert_eq!(t1.parent, t2.parent);
+        assert!(ledger
+            .phases
+            .iter()
+            .any(|p| p.label.starts_with("cached: bfs tree (saved")));
+        let stats = PhaseCache::stats().unwrap();
+        assert_eq!((stats.tree_hits, stats.tree_misses), (1, 1));
+        assert_eq!(stats.rounds_saved, cost);
+    }
+
+    #[test]
+    fn different_roots_are_distinct_entries() {
+        let g = graph();
+        let _scope = PhaseCache::scope();
+        let mut ledger = Ledger::new();
+        PhaseCache::bfs_tree(&g, 0, &mut ledger);
+        PhaseCache::bfs_tree(&g, 5, &mut ledger);
+        let stats = PhaseCache::stats().unwrap();
+        assert_eq!((stats.tree_hits, stats.tree_misses), (0, 2));
+        assert_eq!(ledger.rounds_saved, 0);
+    }
+
+    #[test]
+    fn nested_scopes_share_the_outer_cache() {
+        let g = graph();
+        let _outer = PhaseCache::scope();
+        let mut ledger = Ledger::new();
+        PhaseCache::bfs_tree(&g, 0, &mut ledger);
+        {
+            let _inner = PhaseCache::scope();
+            PhaseCache::bfs_tree(&g, 0, &mut ledger);
+            assert_eq!(PhaseCache::stats().unwrap().tree_hits, 1);
+        }
+        // The inner guard must not have torn down the outer cache.
+        assert!(PhaseCache::stats().is_some());
+        PhaseCache::bfs_tree(&g, 0, &mut ledger);
+        assert_eq!(PhaseCache::stats().unwrap().tree_hits, 2);
+    }
+
+    #[test]
+    fn scope_teardown_leaves_no_cache() {
+        {
+            let _scope = PhaseCache::scope();
+            assert!(PhaseCache::stats().is_some());
+        }
+        assert!(PhaseCache::stats().is_none());
+        // Without a scope, bfs_tree degrades to a plain build.
+        let g = graph();
+        let mut ledger = Ledger::new();
+        let a = PhaseCache::bfs_tree(&g, 0, &mut ledger);
+        let b = PhaseCache::bfs_tree(&g, 0, &mut ledger);
+        assert_eq!(a.parent, b.parent);
+        assert_eq!(ledger.rounds_saved, 0);
+        assert_eq!(ledger.phases.len(), 2);
+    }
+
+    #[test]
+    fn disable_guard_blocks_scope_installation() {
+        let _off = PhaseCache::disable_for_thread();
+        let _scope = PhaseCache::scope();
+        assert!(PhaseCache::stats().is_none());
+        let g = graph();
+        let mut ledger = Ledger::new();
+        PhaseCache::bfs_tree(&g, 0, &mut ledger);
+        PhaseCache::bfs_tree(&g, 0, &mut ledger);
+        assert_eq!(ledger.rounds_saved, 0);
+    }
+
+    #[test]
+    fn latency_tables_are_shared_per_key() {
+        let g = graph();
+        let _scope = PhaseCache::scope();
+        let mut calls = 0;
+        for _ in 0..3 {
+            let t = PhaseCache::latency_table(&g, 8, 4, 2, || {
+                calls += 1;
+                vec![1, 2, 3]
+            });
+            assert_eq!(*t, vec![1, 2, 3]);
+        }
+        assert_eq!(calls, 1);
+        let t = PhaseCache::latency_table(&g, 8, 4, 3, || {
+            calls += 1;
+            vec![9]
+        });
+        assert_eq!(*t, vec![9]);
+        assert_eq!(calls, 2);
+        let stats = PhaseCache::stats().unwrap();
+        assert_eq!((stats.latency_hits, stats.latency_misses), (2, 2));
+    }
+}

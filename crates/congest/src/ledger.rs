@@ -68,6 +68,10 @@ pub struct Ledger {
     pub words: u64,
     /// Total messages delivered.
     pub messages: u64,
+    /// Rounds the phase cache avoided re-charging (cached BFS trees,
+    /// reused latency tables). Not part of `rounds`; purely an audit trail
+    /// so cache hits stay visible in reports and diffs.
+    pub rounds_saved: u64,
     /// Phase breakdown, in execution order.
     pub phases: Vec<Phase>,
     link_ends: Vec<(NodeId, NodeId)>,
@@ -132,6 +136,7 @@ impl Ledger {
         self.rounds += other.rounds;
         self.words += other.words;
         self.messages += other.messages;
+        self.rounds_saved += other.rounds_saved;
         self.phases.extend(other.phases.iter().cloned());
         self.words_per_round
             .extend(other.words_per_round.iter().map(|&(r, w)| (offset + r, w)));
@@ -144,6 +149,23 @@ impl Ledger {
                 *acc += w;
             }
         }
+    }
+
+    /// Records a phase-cache hit: a structure that would have cost
+    /// `saved_rounds` was replayed instead of rebuilt. Pushes
+    /// a zero-cost synthetic phase labeled `cached: <what> (saved N
+    /// rounds)` so the reuse is visible in per-phase breakdowns, bumps
+    /// [`Ledger::rounds_saved`], and attributes the saving to the open
+    /// trace span. Totals (`rounds`/`words`/`messages`) are untouched — a
+    /// real CONGEST execution pays for the structure exactly once.
+    pub fn credit_cached(&mut self, what: &str, saved_rounds: u64) {
+        self.rounds_saved += saved_rounds;
+        mwc_trace::add_saved(saved_rounds);
+        self.phases.push(Phase::synthetic(
+            format!("cached: {what} (saved {saved_rounds} rounds)"),
+            0,
+            0,
+        ));
     }
 
     /// The concatenated `(global round, words)` congestion timeline across
@@ -185,6 +207,7 @@ impl Ledger {
             rounds: self.rounds,
             words: self.words,
             messages: self.messages,
+            rounds_saved: self.rounds_saved,
             active_rounds,
             max_words_in_round,
             peak_round,
@@ -217,6 +240,9 @@ impl fmt::Display for Ledger {
             "total: {} rounds, {} words, {} messages",
             self.rounds, self.words, self.messages
         )?;
+        if self.rounds_saved > 0 {
+            writeln!(f, "cached: {} rounds saved", self.rounds_saved)?;
+        }
         for p in &self.phases {
             writeln!(
                 f,

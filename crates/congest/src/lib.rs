@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod bounds;
+mod cache;
 mod distmat;
 mod engine;
 pub mod events;
@@ -52,6 +53,9 @@ pub mod program;
 pub mod replay;
 mod tree;
 
+pub use cache::{
+    cache_disabled, graph_fingerprint, CacheDisableGuard, CacheScope, CacheStats, PhaseCache,
+};
 pub use distmat::{DistMatrix, INF};
 pub use engine::{hist_bucket, Delivery, NetStats, Network, RoundOutput, SendError, HIST_BUCKETS};
 pub use events::EventCapture;

@@ -28,7 +28,7 @@ use crate::outcome::{BestCycle, MwcOutcome};
 use crate::params::Params;
 use crate::util::{sample_vertices, simplify_path};
 use mwc_congest::{
-    broadcast, convergecast_min, multi_source_bfs, BfsTree, Ledger, MultiBfsSpec, Network, INF,
+    broadcast, convergecast_min, multi_source_bfs, Ledger, MultiBfsSpec, Network, PhaseCache, INF,
 };
 use mwc_graph::seq::Direction;
 use mwc_graph::{CycleWitness, Graph, NodeId, Weight};
@@ -96,6 +96,7 @@ use crate::outcome::Partial;
 /// ```
 pub fn two_approx_directed_mwc(g: &Graph, params: &Params) -> MwcOutcome {
     let _span = mwc_trace::span("directed/2approx");
+    let _cache = PhaseCache::scope();
     assert!(g.is_directed(), "Algorithm 2 requires a directed graph");
     assert!(
         g.is_unit_weight(),
@@ -105,7 +106,7 @@ pub fn two_approx_directed_mwc(g: &Graph, params: &Params) -> MwcOutcome {
     let mut ledger = out.ledger;
     // Line 7: convergecast so every node knows μ (value only; the witness
     // is assembled from the argmin holder).
-    let tree = BfsTree::build(g, 0, &mut ledger);
+    let tree = PhaseCache::bfs_tree(g, 0, &mut ledger);
     let local = vec![out.best.weight().unwrap_or(INF); g.n()];
     let _ = convergecast_min(g, &tree, local, &mut ledger);
     let n = g.n();
@@ -223,7 +224,7 @@ fn directed_mwc_core(g: &Graph, params: &Params, mode: Mode<'_>) -> Partial {
     }
 
     // Line 5: broadcast all-pairs sample distances d(s, t).
-    let tree = BfsTree::build(g, 0, &mut ledger);
+    let tree = PhaseCache::bfs_tree(g, 0, &mut ledger);
     let mut items: Vec<(NodeId, (u32, u32, Weight))> = Vec::new();
     for i in 0..ns {
         for (j, &t) in samples.iter().enumerate() {

@@ -25,7 +25,7 @@ use crate::apsp::distributed_apsp;
 use crate::exchange::{exchange_matrix_columns, lca_cycle};
 use crate::outcome::{BestCycle, MwcOutcome};
 use crate::util::simplify_path;
-use mwc_congest::{convergecast_min, BfsTree, Ledger, INF};
+use mwc_congest::{convergecast_min, Ledger, PhaseCache, INF};
 use mwc_graph::{CycleWitness, Graph, Weight};
 
 /// Exact distributed MWC (any orientation, any weights) in `Õ(n)` rounds
@@ -54,6 +54,7 @@ use mwc_graph::{CycleWitness, Graph, Weight};
 /// ```
 pub fn exact_mwc(g: &Graph) -> MwcOutcome {
     let _span = mwc_trace::span("exact/mwc");
+    let _cache = PhaseCache::scope();
     let n = g.n();
     let mut ledger = Ledger::new();
     if n == 0 {
@@ -115,7 +116,7 @@ pub fn exact_mwc(g: &Graph) -> MwcOutcome {
     }
 
     // Every node learns the global minimum.
-    let tree = BfsTree::build(g, 0, &mut ledger);
+    let tree = PhaseCache::bfs_tree(g, 0, &mut ledger);
     let global = convergecast_min(g, &tree, local_best, &mut ledger);
     debug_assert_eq!(
         global,

@@ -31,8 +31,8 @@ use crate::outcome::{BestCycle, MwcOutcome, Partial};
 use crate::params::Params;
 use crate::util::{extract_cycle_from_walk, sample_vertices};
 use mwc_congest::{
-    convergecast_min, multi_source_bfs, source_detection, BfsTree, Detection, Ledger, MultiBfsSpec,
-    INF,
+    convergecast_min, multi_source_bfs, source_detection, Detection, Ledger, MultiBfsSpec,
+    PhaseCache, INF,
 };
 use mwc_graph::seq::Direction;
 use mwc_graph::{CycleWitness, Graph, NodeId, Weight};
@@ -67,6 +67,7 @@ pub(crate) const SALT_GIRTH_SAMPLES: u64 = 0xC1;
 /// ```
 pub fn approx_girth(g: &Graph, params: &Params) -> MwcOutcome {
     let _span = mwc_trace::span("girth/approx");
+    let _cache = PhaseCache::scope();
     assert!(!g.is_directed(), "girth requires an undirected graph");
     assert!(
         g.is_unit_weight(),
@@ -74,7 +75,7 @@ pub fn approx_girth(g: &Graph, params: &Params) -> MwcOutcome {
     );
     let parts = girth_core(g, params, None);
     let mut ledger = parts.ledger;
-    let tree = BfsTree::build(g, 0, &mut ledger);
+    let tree = PhaseCache::bfs_tree(g, 0, &mut ledger);
     let local = vec![parts.best.weight().unwrap_or(INF); g.n()];
     let _ = convergecast_min(g, &tree, local, &mut ledger);
     audit_girth("core/approx_girth", g, params, &ledger);
@@ -127,6 +128,7 @@ pub fn approx_girth_parts(
     neighborhood_part: bool,
 ) -> MwcOutcome {
     let _span = mwc_trace::span("girth/approx-parts");
+    let _cache = PhaseCache::scope();
     assert!(
         sampled_part || neighborhood_part,
         "enable at least one candidate generator"
@@ -135,7 +137,7 @@ pub fn approx_girth_parts(
     assert!(g.is_unit_weight(), "girth requires an unweighted graph");
     let parts = girth_core_parts(g, params, None, sampled_part, neighborhood_part);
     let mut ledger = parts.ledger;
-    let tree = BfsTree::build(g, 0, &mut ledger);
+    let tree = PhaseCache::bfs_tree(g, 0, &mut ledger);
     let local = vec![parts.best.weight().unwrap_or(INF); g.n()];
     let _ = convergecast_min(g, &tree, local, &mut ledger);
     audit_girth("core/approx_girth", g, params, &ledger);

@@ -25,7 +25,7 @@ use crate::params::Params;
 use crate::pipeline::{skeleton_pipeline, Pipeline};
 use crate::scaling::{scaled_hop_sssp, EpsQ, ScaledSegments};
 use crate::util::simplify_path;
-use mwc_congest::{multi_source_bfs, DistMatrix, Ledger, MultiBfsSpec, INF};
+use mwc_congest::{multi_source_bfs, DistMatrix, Ledger, MultiBfsSpec, PhaseCache, INF};
 use mwc_graph::seq::Direction;
 use mwc_graph::{Graph, NodeId, Weight};
 
@@ -46,7 +46,10 @@ pub struct KSourceApproxSssp {
     sources: Vec<NodeId>,
     flipped: bool,
     pipe: Pipeline<ScaledSegments>,
-    /// The quantized ε actually used (`ε_q ≤ ε`).
+    /// The quantized ε actually used. Usually `ε_q ≤ ε`, but requests
+    /// below the quantization floor [`EpsQ::MIN`] (= 1/16) are clamped
+    /// **up** to it — this field always reports the effective value, so
+    /// the `(1+ε)` guarantee holds with *this* ε, not the requested one.
     pub epsilon: f64,
     /// Round/traffic accounting for the whole computation.
     pub ledger: Ledger,
@@ -164,6 +167,7 @@ pub fn k_source_bfs(
         return out;
     }
     let _span = mwc_trace::span("ksssp/bfs");
+    let _cache = PhaseCache::scope();
     let n = g.n();
     let k = sources.len();
     let h = pick_h(n, k);
@@ -260,6 +264,7 @@ pub fn k_source_approx_sssp(
         return out;
     }
     let _span = mwc_trace::span("ksssp/approx");
+    let _cache = PhaseCache::scope();
     let n = g.n();
     let k = sources.len();
     let h = pick_h(n, k);
@@ -515,6 +520,26 @@ mod tests {
         let g = ring_with_chords(50, 5, Orientation::Directed, WeightRange::uniform(1, 9), 6);
         let params = Params::new().with_seed(8).with_epsilon(0.25);
         check_approx(&g, &[0, 13], Direction::Forward, &params);
+    }
+
+    #[test]
+    fn tiny_epsilon_reports_the_clamped_floor() {
+        // ε = 0.01 is below the quantization floor 1/16; the run must
+        // report the effective ε it actually used, and the guarantee must
+        // hold at that effective value (check_approx uses out.epsilon).
+        use crate::scaling::EpsQ;
+        let g = connected_gnm(
+            60,
+            130,
+            Orientation::Directed,
+            WeightRange::uniform(1, 15),
+            31,
+        );
+        let params = Params::new().with_seed(6).with_epsilon(0.01);
+        assert!(EpsQ::floors(params.epsilon));
+        let out = k_source_approx_sssp(&g, &[0, 29], Direction::Forward, &params);
+        assert_eq!(out.epsilon, EpsQ::MIN);
+        check_approx(&g, &[0, 29], Direction::Forward, &params);
     }
 
     #[test]

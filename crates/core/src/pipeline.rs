@@ -9,7 +9,7 @@
 
 use crate::params::Params;
 use crate::util::sample_vertices;
-use mwc_congest::{broadcast, BfsTree, Ledger, INF};
+use mwc_congest::{broadcast, Ledger, PhaseCache, INF};
 use mwc_graph::{Graph, NodeId, Weight};
 
 pub(crate) const SALT_SAMPLES: u64 = 0xA1;
@@ -179,7 +179,7 @@ pub(crate) fn skeleton_pipeline<S: Segments>(
     };
 
     // Lines 4–5: broadcast skeleton edges.
-    let tree = BfsTree::build(g, 0, ledger);
+    let tree = PhaseCache::bfs_tree(g, 0, ledger);
     let mut skel_items: Vec<(NodeId, (u32, u32, Weight))> = Vec::new();
     for i in 0..ns {
         for (j, &t) in samples.iter().enumerate() {
@@ -277,4 +277,100 @@ pub(crate) fn skeleton_pipeline<S: Segments>(
         final_dist,
         n,
     }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwc_congest::{multi_source_bfs, DistMatrix, MultiBfsSpec};
+    use mwc_graph::generators::{ring_with_chords, WeightRange};
+    use mwc_graph::seq::Direction;
+    use mwc_graph::Orientation;
+
+    /// Witness soundness of [`SkeletonParts::path`]: every reconstructed
+    /// path must be a walk over real edges from the source to `v` whose
+    /// total weight is at most the reported `final_dist` — including on
+    /// the skeleton branch, where the path is stitched from `seg_u`, a
+    /// skeleton predecessor walk, and `seg_s` tails.
+    #[test]
+    fn skeleton_paths_are_real_and_within_final_dist() {
+        // 96-ring with a few chords, h = 8: most of the ring is far
+        // outside any single h-hop segment, so the combination step (and
+        // the skeleton-hop expansion in `path_to_sample`) must do real
+        // work for distant targets.
+        let g = ring_with_chords(96, 4, Orientation::Undirected, WeightRange::unit(), 11);
+        let sources = [0usize, 17];
+        let h = 8u64;
+        let params = Params::new().with_seed(5);
+        let mut ledger = Ledger::new();
+        let spec = MultiBfsSpec {
+            max_dist: h,
+            direction: Direction::Forward,
+            latency: None,
+        };
+        let pipe: Pipeline<DistMatrix> = skeleton_pipeline(
+            &g,
+            &sources,
+            h,
+            &params,
+            &mut ledger,
+            |g, srcs, label, ledger| multi_source_bfs(g, srcs, &spec, label, ledger),
+        );
+        let Pipeline::Skeleton(parts) = pipe else {
+            panic!("direct skeleton_pipeline call must produce the skeleton variant");
+        };
+
+        let n = g.n();
+        let ns = parts.samples.len();
+        let mut beyond_segment = 0usize; // pairs only coverable via the skeleton
+        let mut expanded_hops = 0usize; // paths that walked skeleton predecessors
+        for (row, &s) in sources.iter().enumerate() {
+            for v in 0..n {
+                let d = parts.final_dist[row * n + v];
+                if d == INF {
+                    assert!(parts.path(row, v).is_none(), "INF pair returned a path");
+                    continue;
+                }
+                let p = parts.path(row, v).expect("finite distance ⇒ path");
+                assert_eq!(*p.first().unwrap(), s, "path must start at the source");
+                assert_eq!(*p.last().unwrap(), v, "path must end at the target");
+                let mut w: Weight = 0;
+                for e in p.windows(2) {
+                    w += g
+                        .weight(e[0], e[1])
+                        .unwrap_or_else(|| panic!("path edge {}→{} not in graph", e[0], e[1]));
+                }
+                assert!(
+                    w <= d,
+                    "witness weight {w} > final_dist {d} (row {row}, v {v})"
+                );
+
+                if parts.seg_u.get_row(row, v) == INF {
+                    beyond_segment += 1;
+                    // Re-derive the argmin sample the way `path` does; if
+                    // its direct entry is worse than the combined
+                    // source→sample distance, `path_to_sample` had to
+                    // expand skeleton hops.
+                    if let Some(si) = (0..ns)
+                        .filter(|&si| {
+                            parts.d_us[row * ns + si] != INF && parts.seg_s.get_row(si, v) != INF
+                        })
+                        .min_by_key(|&si| parts.d_us[row * ns + si] + parts.seg_s.get_row(si, v))
+                    {
+                        if parts.seg_u.get_row(row, parts.samples[si]) > parts.d_us[row * ns + si] {
+                            expanded_hops += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(
+            beyond_segment > 0,
+            "test graph too easy: every pair was covered by seg_u alone"
+        );
+        assert!(
+            expanded_hops > 0,
+            "no reconstructed path exercised the skeleton-hop expansion"
+        );
+    }
 }

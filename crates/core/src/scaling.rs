@@ -19,9 +19,10 @@
 //!   and budget `B`, which is both cheaper and tighter.
 
 use crate::pipeline::Segments;
-use mwc_congest::{multi_source_bfs, DistMatrix, Ledger, MultiBfsSpec, INF};
+use mwc_congest::{multi_source_bfs, DistMatrix, Ledger, MultiBfsSpec, PhaseCache, INF};
 use mwc_graph::seq::Direction;
 use mwc_graph::{Graph, NodeId, Weight};
+use std::sync::Arc;
 
 /// Quantized approximation parameter `ε_q = num/16`, with `ε_q ≤ ε`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -34,10 +35,26 @@ impl EpsQ {
     /// Denominator of the quantization.
     pub const DEN: u64 = 16;
 
+    /// The quantization floor: the smallest representable ε, `1/16`.
+    pub const MIN: f64 = 1.0 / Self::DEN as f64;
+
     /// Largest representable `ε_q ≤ eps`, clamped to `[1/16, 4]`.
+    ///
+    /// **Floor:** requests below [`EpsQ::MIN`] cannot be represented and
+    /// are clamped **up** to `1/16` — for those the effective parameter is
+    /// *larger* than requested and `ε_q ≤ ε` does not hold. Callers that
+    /// surface an ε (e.g. `KSourceApproxSssp::epsilon`) must therefore
+    /// report [`EpsQ::value`], the ε actually used, never echo the
+    /// request. Use [`EpsQ::floors`] to detect the clamp.
     pub fn from_f64(eps: f64) -> Self {
         let num = (eps * Self::DEN as f64).floor().clamp(1.0, 64.0) as u64;
         EpsQ { num }
+    }
+
+    /// `true` iff [`EpsQ::from_f64`] would clamp `eps` *up* — i.e. the
+    /// effective `ε_q` would exceed the request.
+    pub fn floors(eps: f64) -> bool {
+        eps < Self::MIN
     }
 
     /// The quantized value as f64.
@@ -60,6 +77,16 @@ pub(crate) struct ScaledSegments {
     est: Vec<Weight>,
     choice: Vec<u8>,
     runs: Vec<Run>,
+}
+
+impl ScaledSegments {
+    /// How many stretched runs actually executed (exact + one per scale).
+    /// [`scale_run_count`] must predict exactly this number — pinned by a
+    /// unit test so the hand-mirrored loops cannot drift.
+    #[cfg(test)]
+    pub(crate) fn run_count(&self) -> u64 {
+        self.runs.len() as u64
+    }
 }
 
 impl Segments for ScaledSegments {
@@ -96,6 +123,34 @@ fn rescale(raw: Weight, scale_pow: u32, en: u64, h: u64) -> Weight {
 /// Budget shared by all runs: `⌈2h/ε_q⌉ + h = ⌈32h/en⌉ + h`.
 pub(crate) fn scale_budget(h: u64, eps: EpsQ) -> Weight {
     (32 * h as u128).div_ceil(eps.num as u128) as Weight + h
+}
+
+/// The canonical stretched latency table `⌈16·h·w(e)/(en·2^s)⌉.max(1)` per
+/// edge, memoized per `(graph, h, ε_q, s)` in the active [`PhaseCache`].
+///
+/// Both consumers reduce to this one formula: [`scaled_hop_sssp`] uses
+/// scale `s = i` directly, and `weighted::scaled_latencies` uses
+/// `s = i − 1` (its `⌈32·h·w/(en·2ⁱ)⌉` equals `⌈16·h·w/(en·2^{i−1})⌉`
+/// since `⌈2a/2b⌉ = ⌈a/b⌉`), so within one cache scope the two derive
+/// each table exactly once.
+pub(crate) fn stretched_latency_table(g: &Graph, h: u64, eps: EpsQ, s: u32) -> Arc<Vec<Weight>> {
+    PhaseCache::latency_table(g, h, eps.num, s, || {
+        g.edges()
+            .iter()
+            .map(|e| {
+                let num = 16 * h as u128 * e.weight as u128;
+                let den = eps.num as u128 * (1u128 << s);
+                (num.div_ceil(den) as Weight).max(1)
+            })
+            .collect()
+    })
+}
+
+/// The unstretched per-edge weight table, memoized under the sentinel key
+/// `(h, en, s) = (0, 0, 0)` — unreachable by [`stretched_latency_table`],
+/// whose `h` is always ≥ 1.
+pub(crate) fn exact_latency_table(g: &Graph) -> Arc<Vec<Weight>> {
+    PhaseCache::latency_table(g, 0, 0, 0, || g.edges().iter().map(|e| e.weight).collect())
 }
 
 /// Number of stretched runs [`scaled_hop_sssp`] performs for this
@@ -148,7 +203,7 @@ pub(crate) fn scaled_hop_sssp(
     let mut runs: Vec<Run> = Vec::new();
 
     // Exact run covering all d ≤ budget.
-    let lat_exact: Vec<Weight> = g.edges().iter().map(|e| e.weight).collect();
+    let lat_exact = exact_latency_table(g);
     let spec = MultiBfsSpec {
         max_dist: budget,
         direction: Direction::Forward,
@@ -165,15 +220,7 @@ pub(crate) fn scaled_hop_sssp(
     // Start one scale lower so the range boundary is safely covered.
     let mut i = i.saturating_sub(1);
     while (1u128 << i) <= 2 * max_dist as u128 {
-        let lat: Vec<Weight> = g
-            .edges()
-            .iter()
-            .map(|e| {
-                let num = e.weight as u128 * 16 * h as u128;
-                let den = eps.num as u128 * (1u128 << i);
-                (num.div_ceil(den) as Weight).max(1)
-            })
-            .collect();
+        let lat = stretched_latency_table(g, h, eps, i);
         let spec = MultiBfsSpec {
             max_dist: budget,
             direction: Direction::Forward,
@@ -187,7 +234,15 @@ pub(crate) fn scaled_hop_sssp(
         i += 1;
     }
 
-    // Fold: min estimate across runs.
+    // Fold: min estimate across runs. `choice` stores run indices as u8,
+    // which is sound only while the run count fits — `scale_run_count`
+    // grows as log₂(h·W), so 256 runs would need W ≈ 2^256; guard anyway
+    // so a future widening of Weight can't truncate silently.
+    debug_assert!(
+        runs.len() <= u8::MAX as usize + 1,
+        "{} stretched runs overflow the u8 choice index",
+        runs.len()
+    );
     let mut est = vec![INF; k * n];
     let mut choice = vec![0u8; k * n];
     for (ri, run) in runs.iter().enumerate() {
@@ -231,6 +286,52 @@ mod tests {
             let q = EpsQ::from_f64(e);
             assert!(q.value() <= e + 1e-12, "{e} → {}", q.value());
             assert!(q.value() >= 1.0 / 16.0);
+        }
+    }
+
+    #[test]
+    fn eps_below_floor_clamps_up_to_min() {
+        // Regression: ε = 0.01 < 1/16 cannot be represented; the clamp
+        // goes *up* to 1/16 and EpsQ::floors must flag it so callers
+        // report the effective value instead of the request.
+        let q = EpsQ::from_f64(0.01);
+        assert_eq!(q.num, 1);
+        assert!((q.value() - EpsQ::MIN).abs() < 1e-12);
+        assert!(q.value() > 0.01, "effective ε exceeds the request");
+        assert!(EpsQ::floors(0.01));
+        assert!(!EpsQ::floors(EpsQ::MIN));
+        assert!(!EpsQ::floors(0.25));
+    }
+
+    #[test]
+    fn scale_run_count_pins_the_actual_loop() {
+        // scale_run_count is hand-mirrored from scaled_hop_sssp's scale
+        // loop; this pins the two together across h, ε, and weight ranges.
+        let configs = [
+            (8u64, 0.25, 1u64, 1u64, 0u64),
+            (8, 0.25, 1, 30, 1),
+            (4, 0.5, 1, 100, 2),
+            (12, 0.0625, 5, 60, 3),
+            (1, 2.0, 1, 7, 4),
+            (20, 1.0, 1, 1, 5),
+        ];
+        for (h, eps, lo, hi, seed) in configs {
+            let g = connected_gnm(
+                30,
+                60,
+                Orientation::Directed,
+                WeightRange::uniform(lo, hi),
+                seed,
+            );
+            let q = EpsQ::from_f64(eps);
+            let mut ledger = Ledger::new();
+            let seg = scaled_hop_sssp(&g, &[0, 7], h, q, "t", &mut ledger);
+            assert_eq!(
+                scale_run_count(&g, h, q),
+                seg.run_count(),
+                "h={h} eps={eps} weights=[{lo},{hi}]"
+            );
+            assert!(seg.run_count() <= u8::MAX as u64 + 1);
         }
     }
 

@@ -29,9 +29,9 @@ use crate::girth::hop_limited_girth;
 use crate::ksssp::{k_source_approx_sssp, KSourceApproxSssp};
 use crate::outcome::{BestCycle, MwcOutcome, Partial};
 use crate::params::Params;
-use crate::scaling::{scale_budget, EpsQ};
+use crate::scaling::{scale_budget, stretched_latency_table, EpsQ};
 use crate::util::{extract_cycle_from_walk, sample_vertices};
-use mwc_congest::{convergecast_min, BfsTree, INF};
+use mwc_congest::{convergecast_min, PhaseCache, INF};
 use mwc_graph::seq::Direction;
 use mwc_graph::{CycleWitness, Graph, NodeId, Weight};
 use std::sync::Arc;
@@ -40,23 +40,18 @@ pub(crate) const SALT_WEIGHTED_SAMPLES: u64 = 0xD1;
 
 /// The scaled per-edge stretch tables `Gⁱ` of §5.1: `⌈2h·w/(ε_q·2ⁱ)⌉` for
 /// `i = 1 … ⌈log₂(hW)⌉`, paired with the shared budget `h*`.
-fn scaled_latencies(g: &Graph, h: u64, eps: EpsQ) -> (Vec<Vec<Weight>>, Weight) {
+///
+/// `⌈32·h·w/(en·2ⁱ)⌉` is the canonical stretched table at scale `i − 1`
+/// (see [`stretched_latency_table`]), so within a [`PhaseCache`] scope
+/// these tables are shared with `scaled_hop_sssp`'s scale runs instead of
+/// being re-derived.
+fn scaled_latencies(g: &Graph, h: u64, eps: EpsQ) -> (Vec<Arc<Vec<Weight>>>, Weight) {
     let h_star = scale_budget(h, eps);
     let max_cycle = (h as u128) * (g.max_weight().max(1) as u128);
     let mut tables = Vec::new();
     let mut i = 1u32;
     while (1u128 << i) <= 2 * max_cycle {
-        let lat: Vec<Weight> = g
-            .edges()
-            .iter()
-            .map(|e| {
-                // ⌈32·h·w / (en·2ⁱ)⌉ with ε_q = en/16.
-                let num = 32 * h as u128 * e.weight as u128;
-                let den = eps.num as u128 * (1u128 << i);
-                (num.div_ceil(den) as Weight).max(1)
-            })
-            .collect();
-        tables.push(lat);
+        tables.push(stretched_latency_table(g, h, eps, i - 1));
         i += 1;
     }
     (tables, h_star)
@@ -92,6 +87,7 @@ fn scaled_latencies(g: &Graph, h: u64, eps: EpsQ) -> (Vec<Vec<Weight>>, Weight) 
 /// ```
 pub fn approx_mwc_undirected_weighted(g: &Graph, params: &Params) -> MwcOutcome {
     let _span = mwc_trace::span("weighted/undirected");
+    let _cache = PhaseCache::scope();
     assert!(
         !g.is_directed(),
         "use approx_mwc_directed_weighted for directed graphs"
@@ -158,6 +154,7 @@ pub fn approx_mwc_undirected_weighted(g: &Graph, params: &Params) -> MwcOutcome 
 /// ```
 pub fn approx_mwc_directed_weighted(g: &Graph, params: &Params) -> MwcOutcome {
     let _span = mwc_trace::span("weighted/directed");
+    let _cache = PhaseCache::scope();
     assert!(
         g.is_directed(),
         "use approx_mwc_undirected_weighted for undirected graphs"
@@ -207,7 +204,7 @@ fn merge_best(into: &mut BestCycle, from: BestCycle) {
 fn finish(g: &Graph, parts: Partial) -> MwcOutcome {
     let mut ledger = parts.ledger;
     if g.n() > 0 {
-        let tree = BfsTree::build(g, 0, &mut ledger);
+        let tree = PhaseCache::bfs_tree(g, 0, &mut ledger);
         let local = vec![parts.best.weight().unwrap_or(INF); g.n()];
         let _ = convergecast_min(g, &tree, local, &mut ledger);
     }
@@ -341,7 +338,7 @@ mod tests {
             // Latencies are ≥ 1 and non-increasing in the scale index.
             assert!(lat.iter().all(|&l| l >= 1));
             if i > 0 {
-                for (a, b) in tables[i - 1].iter().zip(lat) {
+                for (a, b) in tables[i - 1].iter().zip(lat.iter()) {
                     assert!(b <= a, "stretch must shrink as the scale grows");
                 }
             }

@@ -289,6 +289,33 @@ impl Differ<'_> {
         });
     }
 
+    /// `rounds_saved` has inverted polarity: it measures cache
+    /// effectiveness, so *more* saved is better and a collapse to zero
+    /// (while the baseline saved rounds) means the phase cache silently
+    /// stopped working — a regression, even though every cost metric would
+    /// call the smaller number an improvement. A partial decrease passes:
+    /// the workload may legitimately need fewer rebuilds.
+    fn saved_metric(&mut self, section: &'static str, key: &str, base: u64, fresh: u64) {
+        if base == fresh {
+            return;
+        }
+        let status = if fresh == 0 && base > 0 {
+            DiffStatus::Regressed
+        } else if fresh > base {
+            DiffStatus::Improved
+        } else {
+            DiffStatus::WithinTolerance
+        };
+        self.entries.push(DiffEntry {
+            section,
+            key: key.to_owned(),
+            metric: "rounds_saved",
+            base: base as f64,
+            fresh: fresh as f64,
+            status,
+        });
+    }
+
     fn cost_triple(
         &mut self,
         section: &'static str,
@@ -358,6 +385,7 @@ pub fn diff_records(base: &RunRecord, fresh: &RunRecord, cfg: &DiffConfig) -> Ru
         (base.rounds, base.words, base.messages),
         (fresh.rounds, fresh.words, fresh.messages),
     );
+    d.saved_metric("total", "", base.rounds_saved, fresh.rounds_saved);
 
     // Spans: keyed by path (both sides sorted by construction).
     let base_spans: BTreeMap<&str, _> = base.spans.iter().map(|s| (s.path.as_str(), s)).collect();
@@ -371,6 +399,7 @@ pub fn diff_records(base: &RunRecord, fresh: &RunRecord, cfg: &DiffConfig) -> Ru
                     (b.rounds, b.words, b.messages),
                     (f.rounds, f.words, f.messages),
                 );
+                d.saved_metric("span", path, b.rounds_saved, f.rounds_saved);
                 d.metric(
                     "span",
                     path,
@@ -409,6 +438,7 @@ pub fn diff_records(base: &RunRecord, fresh: &RunRecord, cfg: &DiffConfig) -> Ru
                     (b.rounds, b.words, b.messages),
                     (f.rounds, f.words, f.messages),
                 );
+                d.saved_metric("congestion", label, b.rounds_saved, f.rounds_saved);
                 d.metric(
                     "congestion",
                     label,
@@ -502,6 +532,7 @@ mod tests {
             rounds: 100,
             words: 1000,
             messages: 50,
+            rounds_saved: 12,
             spans: vec![
                 SpanMetrics {
                     path: "a".into(),
@@ -509,6 +540,7 @@ mod tests {
                     rounds: 60,
                     words: 600,
                     messages: 30,
+                    rounds_saved: 12,
                 },
                 SpanMetrics {
                     path: "a > b".into(),
@@ -516,6 +548,7 @@ mod tests {
                     rounds: 40,
                     words: 400,
                     messages: 20,
+                    rounds_saved: 0,
                 },
             ],
             congestion: vec![CongestionSummary {
@@ -523,6 +556,7 @@ mod tests {
                 rounds: 100,
                 words: 1000,
                 messages: 50,
+                rounds_saved: 12,
                 active_rounds: 80,
                 max_words_in_round: 12,
                 peak_round: 7,
@@ -597,6 +631,7 @@ mod tests {
             rounds: 1,
             words: 1,
             messages: 1,
+            rounds_saved: 0,
         });
         let d = diff_records(&record(), &fresh, &DiffConfig::default());
         assert!(d.has_regression());
@@ -611,6 +646,40 @@ mod tests {
         assert!(d.has_regression());
         assert!(d.incomparable.is_some());
         assert!(d.render().contains("INCOMPARABLE"));
+    }
+
+    #[test]
+    fn rounds_saved_drop_to_zero_regresses() {
+        let mut fresh = record();
+        fresh.rounds_saved = 0;
+        fresh.spans[0].rounds_saved = 0;
+        fresh.congestion[0].rounds_saved = 0;
+        let d = diff_records(&record(), &fresh, &DiffConfig::default());
+        assert!(d.has_regression(), "{}", d.render());
+        assert_eq!(d.regression_count(), 3); // total + span "a" + congestion
+        assert!(d
+            .entries
+            .iter()
+            .all(|e| e.metric == "rounds_saved" && e.status == DiffStatus::Regressed));
+    }
+
+    #[test]
+    fn rounds_saved_increase_is_an_improvement() {
+        let mut fresh = record();
+        fresh.rounds_saved = 20;
+        let d = diff_records(&record(), &fresh, &DiffConfig::default());
+        assert!(!d.has_regression(), "{}", d.render());
+        assert_eq!(d.entries[0].metric, "rounds_saved");
+        assert_eq!(d.entries[0].status, DiffStatus::Improved);
+    }
+
+    #[test]
+    fn rounds_saved_partial_decrease_passes() {
+        let mut fresh = record();
+        fresh.rounds_saved = 5;
+        let d = diff_records(&record(), &fresh, &DiffConfig::default());
+        assert!(!d.has_regression(), "{}", d.render());
+        assert_eq!(d.entries[0].status, DiffStatus::WithinTolerance);
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub use audit::{check_bound, AuditRecord, BoundInputs};
 pub use diff::{diff_records, DiffConfig, DiffEntry, DiffStatus, RunDiff, Tolerance};
 pub use record::{
     audit_margins, AuditMargin, CongestionSummary, RunRecord, SpanMetrics, RUN_RECORD_SCHEMA,
+    RUN_RECORD_SCHEMA_V1,
 };
 
 /// One closed span: a node of the trace tree.
@@ -66,6 +67,10 @@ pub struct SpanNode {
     pub words: u64,
     /// Messages delivered while this span was innermost.
     pub messages: u64,
+    /// Rounds a phase cache avoided re-charging while this span was
+    /// innermost (see `Ledger::credit_cached` in `mwc-congest`). Not part
+    /// of `rounds` — an audit trail of what reuse saved.
+    pub rounds_saved: u64,
     /// Bound audits recorded while this span was innermost.
     pub audits: Vec<AuditRecord>,
     /// Child spans in open order.
@@ -98,6 +103,16 @@ impl SpanNode {
                 .sum::<u64>()
     }
 
+    /// Cache-saved rounds of this span plus all descendants.
+    pub fn total_rounds_saved(&self) -> u64 {
+        self.rounds_saved
+            + self
+                .children
+                .iter()
+                .map(SpanNode::total_rounds_saved)
+                .sum::<u64>()
+    }
+
     fn to_json(&self) -> Json {
         Json::obj([
             ("label", Json::str(&self.label)),
@@ -105,6 +120,7 @@ impl SpanNode {
             ("rounds", Json::U64(self.rounds)),
             ("words", Json::U64(self.words)),
             ("messages", Json::U64(self.messages)),
+            ("rounds_saved", Json::U64(self.rounds_saved)),
             ("total_rounds", Json::U64(self.total_rounds())),
             ("total_words", Json::U64(self.total_words())),
             (
@@ -196,7 +212,7 @@ impl TraceData {
     /// the manifest itself, not only via `trace_diff`.
     pub fn to_manifest(&self) -> Json {
         Json::obj([
-            ("schema", Json::str("mwc-trace-manifest/v2")),
+            ("schema", Json::str("mwc-trace-manifest/v3")),
             (
                 "total_rounds",
                 Json::U64(self.roots.iter().map(SpanNode::total_rounds).sum()),
@@ -204,6 +220,10 @@ impl TraceData {
             (
                 "total_words",
                 Json::U64(self.roots.iter().map(SpanNode::total_words).sum()),
+            ),
+            (
+                "total_rounds_saved",
+                Json::U64(self.roots.iter().map(SpanNode::total_rounds_saved).sum()),
             ),
             (
                 "audit_margins",
@@ -288,6 +308,7 @@ impl Collector {
             ("rounds", Json::U64(node.rounds)),
             ("words", Json::U64(node.words)),
             ("messages", Json::U64(node.messages)),
+            ("rounds_saved", Json::U64(node.rounds_saved)),
             ("total_rounds", Json::U64(node.total_rounds())),
         ])
         .render();
@@ -308,6 +329,12 @@ impl Collector {
             top.rounds += rounds;
             top.words += words;
             top.messages += messages;
+        }
+    }
+
+    fn add_saved(&mut self, rounds: u64) {
+        if let Some(top) = self.stack.last_mut() {
+            top.rounds_saved += rounds;
         }
     }
 
@@ -411,6 +438,13 @@ pub fn span_owned(label: impl FnOnce() -> String) -> SpanGuard {
 /// no span is open.
 pub fn add_cost(rounds: u64, words: u64, messages: u64) {
     with_collector(|c| c.add_cost(rounds, words, messages));
+}
+
+/// Attributes phase-cache-saved rounds to the innermost open span. Called
+/// by `Ledger::credit_cached` in `mwc-congest`; a no-op when tracing is
+/// disabled or no span is open.
+pub fn add_saved(rounds: u64) {
+    with_collector(|c| c.add_saved(rounds));
 }
 
 pub(crate) fn record_audit(record: AuditRecord) {
@@ -545,7 +579,7 @@ mod tests {
                  \"bound_rounds\":8.0,\"ratio\":0.375,\"n\":8,\"diameter\":4,\"h\":2,\
                  \"k\":1,\"eps\":0.0}",
                 "{\"ev\":\"span\",\"seq\":0,\"parent\":null,\"label\":\"alg\",\"rounds\":3,\
-                 \"words\":12,\"messages\":2,\"total_rounds\":3}",
+                 \"words\":12,\"messages\":2,\"rounds_saved\":0,\"total_rounds\":3}",
             ]
         );
     }
@@ -585,7 +619,30 @@ mod tests {
         assert_eq!(f1, f2);
         assert_eq!(m1, m2);
         assert!(f1.contains("algo/phase"));
-        assert!(m1.contains("\"schema\": \"mwc-trace-manifest/v2\""));
+        assert!(m1.contains("\"schema\": \"mwc-trace-manifest/v3\""));
+        assert!(m1.contains("\"total_rounds_saved\""));
         assert!(m1.contains("\"audit_margins\""));
+    }
+
+    #[test]
+    fn saved_rounds_attribute_to_innermost_span() {
+        let session = TraceSession::memory();
+        {
+            let _o = span("outer");
+            add_saved(4);
+            {
+                let _i = span("inner");
+                add_saved(6);
+            }
+        }
+        let data = session.finish();
+        let outer = &data.roots[0];
+        assert_eq!(outer.rounds_saved, 4);
+        assert_eq!(outer.children[0].rounds_saved, 6);
+        assert_eq!(outer.total_rounds_saved(), 10);
+        // rounds_saved never leaks into charged rounds.
+        assert_eq!(outer.total_rounds(), 0);
+        // And it appears in the close event, right after messages.
+        assert!(data.events[0].contains("\"messages\":0,\"rounds_saved\":6"));
     }
 }

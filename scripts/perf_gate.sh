@@ -5,9 +5,12 @@
 # Usage:
 #   scripts/perf_gate.sh            # run bins + trace_diff (exit 1 on
 #                                   # regression, 2 on unpaired records)
-#   scripts/perf_gate.sh refresh    # run bins + overwrite the baselines
-#                                   # (the one-command path for intentional
-#                                   # perf changes — commit the result)
+#   scripts/perf_gate.sh refresh    # run bins, diff against the OLD
+#                                   # baselines (tolerated — the diff and
+#                                   # trajectory document the change), then
+#                                   # overwrite the baselines (the
+#                                   # one-command path for intentional perf
+#                                   # changes — commit the result)
 #
 # The bins run in a scratch directory (target/perf_gate) so the committed
 # full-size artifacts under results/ are never clobbered by the smaller
@@ -41,17 +44,38 @@ run traffic_profile 12
 run phase_breakdown directed 256
 run trace_report 96
 
+# Diff fresh records against the committed baselines FIRST, so a refresh
+# still produces a meaningful BENCH_trajectory.json (base = old committed
+# baselines, fresh = this run). Reports land in $WORK/results/
+# (trace_diff_report.{txt,json}, BENCH_trajectory.json).
+DIFF_STATUS=0
+cargo run --manifest-path "$REPO/Cargo.toml" --release --offline \
+  -p mwc-bench --bin trace_diff results/run_records "$REPO/results/baselines" \
+  || DIFF_STATUS=$?
+
 if [ "${1:-}" = refresh ]; then
+  # Refreshing: regressions against the old baselines are being accepted
+  # deliberately; only configuration errors (exit 2) still abort.
+  if [ "$DIFF_STATUS" -ge 2 ]; then
+    echo "perf_gate: trace_diff configuration error ($DIFF_STATUS)" >&2
+    exit "$DIFF_STATUS"
+  fi
+
+  # The weighted benches must show the phase cache working: a refreshed
+  # baseline with rounds_saved == 0 everywhere means the cache silently
+  # stopped firing, and committing it would let the gate rot.
+  for rec in table1_undirected_weighted table1_girth phase_breakdown_directed; do
+    if ! grep -q '"rounds_saved": *[1-9]' "results/run_records/$rec.json"; then
+      echo "perf_gate: refreshed $rec.json has no nonzero rounds_saved —" \
+           "the phase cache is not firing; refusing to refresh" >&2
+      exit 1
+    fi
+  done
+
   mkdir -p "$REPO/results/baselines"
   cp results/run_records/*.json "$REPO/results/baselines/"
-  echo "baselines refreshed from $WORK/results/run_records/"
-fi
-
-# Diff fresh records against the committed baselines. Reports land in
-# $WORK/results/ (trace_diff_report.{txt,json}, BENCH_trajectory.json).
-cargo run --manifest-path "$REPO/Cargo.toml" --release --offline \
-  -p mwc-bench --bin trace_diff results/run_records "$REPO/results/baselines"
-
-if [ "${1:-}" = refresh ]; then
   cp results/BENCH_trajectory.json "$REPO/results/BENCH_trajectory.json"
+  echo "baselines refreshed from $WORK/results/run_records/"
+else
+  exit "$DIFF_STATUS"
 fi
