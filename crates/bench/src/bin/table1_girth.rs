@@ -15,6 +15,7 @@ use mwc_graph::generators::{connected_gnm, WeightRange};
 use mwc_graph::Orientation;
 
 fn main() {
+    report::init_jobs();
     let max_n: usize = report::arg(1, 4096);
     let params = Params::lean().with_seed(4242);
     let mut rec = report::RunRecorder::start("table1_girth");
@@ -35,9 +36,15 @@ fn main() {
             "quality",
         ],
     );
-    let (mut ns, mut er, mut ar) = (Vec::new(), Vec::new(), Vec::new());
-    let mut n = 128;
-    while n <= max_n {
+    let sizes: Vec<usize> = std::iter::successors(Some(128usize), |&n| Some(n * 2))
+        .take_while(|&n| n <= max_n)
+        .collect();
+    // Per-size configs are independent: run them on the worker pool
+    // (`--jobs` / `MWC_JOBS`), each under its own trace session and cache
+    // scope, then graft the traces back in input order — output is
+    // byte-identical for every worker count.
+    let runs = mwc_par::ordered_map(sizes, |n| {
+        let session = mwc_trace::TraceSession::memory();
         let g = connected_gnm(
             n,
             2 * n,
@@ -48,9 +55,15 @@ fn main() {
         let d = g.undirected_diameter().expect("connected");
         // One cache scope per graph: exact and approx share the BFS tree,
         // so the second algorithm replays it instead of re-charging.
-        let _cache = mwc_congest::PhaseCache::scope();
+        let cache = mwc_congest::PhaseCache::scope();
         let exact = exact_mwc(&g);
         let approx = approx_girth(&g, &params);
+        drop(cache);
+        (n, g.m(), d, exact, approx, session.finish())
+    });
+    let (mut ns, mut er, mut ar) = (Vec::new(), Vec::new(), Vec::new());
+    for (n, m, d, exact, approx, trace) in runs {
+        mwc_trace::graft(trace);
         rec.congestion(&format!("n={n} exact"), &exact.ledger);
         rec.congestion(&format!("n={n} approx"), &approx.ledger);
         let girth = exact.weight.expect("cycle exists");
@@ -61,7 +74,7 @@ fn main() {
         assert!(within, "(2 − 1/g) violated: {rep} vs girth {girth}");
         t.row(vec![
             n.to_string(),
-            g.m().to_string(),
+            m.to_string(),
             d.to_string(),
             exact.ledger.rounds.to_string(),
             approx.ledger.rounds.to_string(),
@@ -73,7 +86,6 @@ fn main() {
         ns.push(n as f64);
         er.push(exact.ledger.rounds as f64);
         ar.push(approx.ledger.rounds as f64);
-        n *= 2;
     }
     t.print();
     t.save_tsv("table1_girth");

@@ -13,14 +13,49 @@ use mwc_graph::generators::{connected_gnm, WeightRange};
 use mwc_graph::Orientation;
 
 fn main() {
+    report::init_jobs();
     let max_n: usize = report::arg(1, 512);
     let w_max = 8;
     let mut rec = report::RunRecorder::start("table1_undirected_weighted");
     rec.param("max_n", max_n);
     rec.param("seed", 99);
 
-    for eps in [0.5, 0.25] {
+    let eps_values = [0.5, 0.25];
+    let sizes: Vec<usize> = std::iter::successors(Some(64usize), |&n| Some(n * 2))
+        .take_while(|&n| n <= max_n)
+        .collect();
+    // Fan the whole (ε, n) cross product out on the worker pool, ε-major
+    // so the join order matches the original nested loops; traces are
+    // grafted back in that order, making output byte-identical for every
+    // worker count.
+    let mut configs: Vec<(f64, usize)> = Vec::new();
+    for &eps in &eps_values {
+        for &n in &sizes {
+            configs.push((eps, n));
+        }
+    }
+    let runs = mwc_par::ordered_map(configs, |(eps, n)| {
+        let session = mwc_trace::TraceSession::memory();
         let params = Params::lean().with_seed(99).with_epsilon(eps);
+        let g = connected_gnm(
+            n,
+            2 * n,
+            Orientation::Undirected,
+            WeightRange::uniform(1, w_max),
+            13 + n as u64,
+        );
+        // One cache scope per graph: exact and approx share the BFS
+        // tree; the approx run also shares its per-scale latency
+        // tables between scaled_latencies and scaled_hop_sssp.
+        let cache = mwc_congest::PhaseCache::scope();
+        let exact = exact_mwc(&g);
+        let approx = approx_mwc_undirected_weighted(&g, &params);
+        drop(cache);
+        (n, g.m(), exact, approx, session.finish())
+    });
+    let mut runs = runs.into_iter();
+
+    for eps in eps_values {
         let mut t = Table::new(
             &format!(
                 "Table 1 / undirected weighted MWC (ε = {eps}): exact Õ(n) vs (2+ε) Õ(n^{{2/3}}+D)"
@@ -38,21 +73,9 @@ fn main() {
             ],
         );
         let (mut ns, mut er, mut ar) = (Vec::new(), Vec::new(), Vec::new());
-        let mut n = 64;
-        while n <= max_n {
-            let g = connected_gnm(
-                n,
-                2 * n,
-                Orientation::Undirected,
-                WeightRange::uniform(1, w_max),
-                13 + n as u64,
-            );
-            // One cache scope per graph: exact and approx share the BFS
-            // tree; the approx run also shares its per-scale latency
-            // tables between scaled_latencies and scaled_hop_sssp.
-            let _cache = mwc_congest::PhaseCache::scope();
-            let exact = exact_mwc(&g);
-            let approx = approx_mwc_undirected_weighted(&g, &params);
+        for _ in &sizes {
+            let (n, m, exact, approx, trace) = runs.next().expect("one run per config");
+            mwc_trace::graft(trace);
             rec.congestion(&format!("eps={eps} n={n} exact"), &exact.ledger);
             rec.congestion(&format!("eps={eps} n={n} approx"), &approx.ledger);
             let opt = exact.weight.expect("cycle exists");
@@ -61,7 +84,7 @@ fn main() {
             assert!(rep >= opt && rep <= bound, "(2+ε) violated: {rep} vs {opt}");
             t.row(vec![
                 n.to_string(),
-                g.m().to_string(),
+                m.to_string(),
                 w_max.to_string(),
                 exact.ledger.rounds.to_string(),
                 approx.ledger.rounds.to_string(),
@@ -73,7 +96,6 @@ fn main() {
             ns.push(n as f64);
             er.push(exact.ledger.rounds as f64);
             ar.push(approx.ledger.rounds as f64);
-            n *= 2;
         }
         t.print();
         t.save_tsv(&format!(

@@ -65,6 +65,8 @@ fn totals_json(r: &RunRecord) -> Json {
         ("words", Json::U64(r.words)),
         ("messages", Json::U64(r.messages)),
         ("rounds_saved", Json::U64(r.rounds_saved)),
+        // Informational only (never gated): the wall-clock trajectory.
+        ("wall_ms", Json::U64(r.wall_ms)),
     ])
 }
 

@@ -33,8 +33,9 @@ fn flood_with_delays(g: &mwc_graph::Graph, sources: &[NodeId], delays: &[u64], h
         net.schedule_wakeup(delays[i].max(1), s);
     }
     let mut started: Vec<bool> = vec![false; sources.len()];
-    while let Some(out) = net.step_fast() {
-        for v in out.wakeups {
+    let mut out = mwc_congest::RoundOutput::default();
+    while net.step_bulk_into(&mut out) {
+        for v in out.wakeups.drain(..) {
             for (i, &s) in sources.iter().enumerate() {
                 if s == v && !started[i] {
                     started[i] = true;
@@ -44,7 +45,7 @@ fn flood_with_delays(g: &mwc_graph::Graph, sources: &[NodeId], delays: &[u64], h
                 }
             }
         }
-        for d in out.deliveries {
+        for d in out.deliveries.drain(..) {
             let (token, left) = d.payload;
             if seen[d.to].insert(token) && left > 0 {
                 for w in g.comm_neighbors(d.to) {

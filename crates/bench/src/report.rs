@@ -18,18 +18,43 @@ use std::str::FromStr;
 /// Directory (under `results/`) where fresh run records land.
 pub const RUN_RECORD_DIR: &str = "run_records";
 
+/// Positional CLI arguments: everything that does not start with `--`, so
+/// flags like `--jobs=4` never shift the positional indices the bins were
+/// written against. Index 0 is the binary name.
+fn positional(idx: usize) -> Option<String> {
+    std::env::args().filter(|a| !a.starts_with("--")).nth(idx)
+}
+
 /// The `idx`-th positional CLI argument parsed as `T`, or `default` when
-/// absent or unparsable. `idx` is 1-based (0 is the binary name).
+/// absent or unparsable. `idx` is 1-based (0 is the binary name); `--`
+/// flags are skipped.
 pub fn arg<T: FromStr>(idx: usize, default: T) -> T {
-    std::env::args()
-        .nth(idx)
+    positional(idx)
         .and_then(|s| s.parse().ok())
         .unwrap_or(default)
 }
 
 /// The `idx`-th positional CLI argument as a string, or `default`.
 pub fn arg_str(idx: usize, default: &str) -> String {
-    std::env::args().nth(idx).unwrap_or_else(|| default.into())
+    positional(idx).unwrap_or_else(|| default.into())
+}
+
+/// Resolves the worker count for this bin and installs it process-wide:
+/// a `--jobs=N` flag wins over the `MWC_JOBS` environment variable
+/// (default 1 — parallelism is opt-in). Returns the effective count.
+/// Call once at bin startup, before any `mwc_par::ordered_map`.
+///
+/// The worker count is deliberately **not** a run-record parameter:
+/// `ordered_map` + trace grafting make records independent of it (pinned
+/// by the determinism-under-parallelism test), so records from different
+/// `--jobs` settings stay comparable.
+pub fn init_jobs() -> usize {
+    if let Some(flag) = std::env::args().find(|a| a.starts_with("--jobs=")) {
+        if let Ok(n) = flag["--jobs=".len()..].trim().parse::<usize>() {
+            mwc_par::set_jobs(n);
+        }
+    }
+    mwc_par::jobs()
 }
 
 /// Writes `contents` to `results/<relpath>`, creating directories as
@@ -82,17 +107,20 @@ pub struct RunRecorder {
     params: Vec<(String, String)>,
     session: TraceSession,
     congestion: Vec<mwc_trace::CongestionSummary>,
+    started: std::time::Instant,
 }
 
 impl RunRecorder {
-    /// Starts recording: opens an in-memory trace session. `name` is by
-    /// convention the binary name — the baseline pairing key.
+    /// Starts recording: opens an in-memory trace session and the
+    /// wall-clock stopwatch. `name` is by convention the binary name — the
+    /// baseline pairing key.
     pub fn start(name: &str) -> RunRecorder {
         RunRecorder {
             name: name.to_owned(),
             params: Vec::new(),
             session: TraceSession::memory(),
             congestion: Vec::new(),
+            started: std::time::Instant::now(),
         }
     }
 
@@ -110,13 +138,17 @@ impl RunRecorder {
     }
 
     /// Builds the [`RunRecord`] without writing it (used by tests and by
-    /// [`RunRecorder::finish`]).
+    /// [`RunRecorder::finish`]). Stamps `wall_ms` with the elapsed host
+    /// wall-clock since [`RunRecorder::start`] — the one intentionally
+    /// non-deterministic field (informational only; `trace_diff` never
+    /// compares it, and determinism tests zero it before comparing).
     pub fn into_record(self) -> RunRecord {
         let data = self.session.finish();
         let mut record = RunRecord::from_trace(&self.name, self.params, &data);
         for c in self.congestion {
             record.push_congestion(c);
         }
+        record.wall_ms = self.started.elapsed().as_millis() as u64;
         record
     }
 
@@ -162,7 +194,11 @@ mod tests {
             let mut ledger = Ledger::new();
             ledger.absorb("hop", &net);
             rec.congestion("hop", &ledger);
-            rec.into_record()
+            let mut record = rec.into_record();
+            // wall_ms is the one intentionally machine-dependent field.
+            assert!(record.render().contains("\"wall_ms\""));
+            record.wall_ms = 0;
+            record
         };
         let (a, b) = (build(), build());
         assert_eq!(a, b);

@@ -1,0 +1,104 @@
+//! Determinism under parallelism: the table bins must produce
+//! byte-identical stdout and run records whether they run on one worker
+//! or four (`MWC_JOBS`), with `wall_ms` — the only field allowed to
+//! differ — zeroed before comparison. This is the end-to-end guarantee
+//! behind `mwc_par::ordered_map` + trace capture-and-graft: the worker
+//! schedule must leave no trace in any artifact the perf gate reads.
+
+use std::path::{Path, PathBuf};
+
+/// Runs `bin` with `MWC_JOBS=jobs` in a scratch cwd; returns stdout and
+/// the rendered run record with its `wall_ms` line zeroed.
+fn run_bin(bin: &str, arg: &str, record: &str, jobs: &str, scratch: &Path) -> (String, String) {
+    let _ = std::fs::remove_dir_all(scratch);
+    std::fs::create_dir_all(scratch).unwrap();
+    let out = std::process::Command::new(bin)
+        .arg(arg)
+        .env("MWC_JOBS", jobs)
+        .env("MWC_TRACE", "1")
+        .current_dir(scratch)
+        .output()
+        .expect("bench bin runs");
+    assert!(
+        out.status.success(),
+        "MWC_JOBS={jobs}: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let rec = std::fs::read_to_string(scratch.join("results/run_records").join(record)).unwrap();
+    let rec = rec
+        .lines()
+        .map(|l| {
+            if l.trim_start().starts_with("\"wall_ms\":") {
+                let indent = &l[..l.len() - l.trim_start().len()];
+                let comma = if l.trim_end().ends_with(',') { "," } else { "" };
+                format!("{indent}\"wall_ms\": 0{comma}")
+            } else {
+                l.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    (String::from_utf8_lossy(&out.stdout).into_owned(), rec)
+}
+
+fn scratch(case: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("mwc-par-determinism-{case}"))
+}
+
+fn assert_jobs_invariant(bin: &str, arg: &str, record: &str, case: &str) {
+    let (out1, rec1) = run_bin(bin, arg, record, "1", &scratch(&format!("{case}-j1")));
+    let (out4, rec4) = run_bin(bin, arg, record, "4", &scratch(&format!("{case}-j4")));
+    assert_eq!(
+        out1, out4,
+        "{case}: stdout differs between MWC_JOBS=1 and 4"
+    );
+    assert_eq!(
+        rec1, rec4,
+        "{case}: run record differs (beyond wall_ms) between MWC_JOBS=1 and 4"
+    );
+    assert!(
+        rec1.contains("\"wall_ms\": 0"),
+        "{case}: record should carry a wall_ms field"
+    );
+}
+
+#[test]
+fn table1_girth_is_identical_across_worker_counts() {
+    assert_jobs_invariant(
+        env!("CARGO_BIN_EXE_table1_girth"),
+        "512",
+        "table1_girth.json",
+        "girth",
+    );
+}
+
+#[test]
+fn table1_undirected_weighted_is_identical_across_worker_counts() {
+    assert_jobs_invariant(
+        env!("CARGO_BIN_EXE_table1_undirected_weighted"),
+        "128",
+        "table1_undirected_weighted.json",
+        "uw",
+    );
+}
+
+#[test]
+fn jobs_flag_overrides_env_and_preserves_positional_args() {
+    // `--jobs=4` on the command line must win over MWC_JOBS=1 and must not
+    // shift the positional size argument.
+    let dir = scratch("flag");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_table1_girth"))
+        .args(["--jobs=4", "256"])
+        .env("MWC_JOBS", "1")
+        .current_dir(&dir)
+        .output()
+        .expect("bench bin runs");
+    assert!(out.status.success());
+    let rec = std::fs::read_to_string(dir.join("results/run_records/table1_girth.json")).unwrap();
+    assert!(
+        rec.contains("\"max_n\": \"256\""),
+        "--jobs must not consume the positional arg: {rec}"
+    );
+}

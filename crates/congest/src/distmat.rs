@@ -10,6 +10,14 @@ const NO_PRED: u32 = u32::MAX;
 /// A `k × n` table of distances from `k` sources to all nodes, with
 /// predecessor pointers for witness reconstruction.
 ///
+/// Storage is **node-major** (`[v * k + row]`): the dominant consumers —
+/// per-delivery updates in the pipelined BFS, per-node column extraction
+/// for the neighbor exchange, and the per-edge all-source candidate scans
+/// — fix a node and vary the source row, so keeping a node's column
+/// contiguous turns their inner loops into sequential reads. With `k = n`
+/// the table is hundreds of megabytes at bench sizes; layout is what
+/// decides whether those loops run at cache or DRAM speed.
+///
 /// For a **forward** search from source `s`, `pred(s, v)` is the node
 /// preceding `v` on the discovered `s → … → v` path. For a **reverse**
 /// search (distances *to* `s` in a directed graph), `pred(s, v)` is the
@@ -76,24 +84,25 @@ impl DistMatrix {
     /// Panics if `s` is not a source.
     pub fn get(&self, s: NodeId, v: NodeId) -> Weight {
         let row = self.row_of(s).expect("s must be a source");
-        self.dist[row * self.n + v]
+        self.dist[v * self.k() + row]
     }
 
     /// Distance by row index.
     pub fn get_row(&self, row: usize, v: NodeId) -> Weight {
-        self.dist[row * self.n + v]
+        self.dist[v * self.k() + row]
     }
 
     /// Sets the distance and predecessor for `(row, v)`.
     pub fn set_row(&mut self, row: usize, v: NodeId, d: Weight, pred: Option<NodeId>) {
-        self.dist[row * self.n + v] = d;
-        self.pred[row * self.n + v] = pred.map_or(NO_PRED, |p| p as u32);
+        let i = v * self.k() + row;
+        self.dist[i] = d;
+        self.pred[i] = pred.map_or(NO_PRED, |p| p as u32);
     }
 
     /// Predecessor of `v` in the search from row `row` (see the type docs
     /// for direction semantics).
     pub fn pred_row(&self, row: usize, v: NodeId) -> Option<NodeId> {
-        let p = self.pred[row * self.n + v];
+        let p = self.pred[v * self.k() + row];
         (p != NO_PRED).then_some(p as usize)
     }
 

@@ -38,12 +38,22 @@ pub struct Delivery<M> {
 }
 
 /// Everything that happens at one node-visible round boundary.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct RoundOutput<M> {
     /// Messages whose transfer completed this round.
     pub deliveries: Vec<Delivery<M>>,
     /// Nodes whose scheduled wakeup fired this round.
     pub wakeups: Vec<NodeId>,
+}
+
+// Manual impl: `#[derive(Default)]` would needlessly bound `M: Default`.
+impl<M> Default for RoundOutput<M> {
+    fn default() -> Self {
+        RoundOutput {
+            deliveries: Vec::new(),
+            wakeups: Vec::new(),
+        }
+    }
 }
 
 /// Number of buckets in the per-round delivered-word histogram: bucket `i`
@@ -57,7 +67,11 @@ pub fn hist_bucket(words: u64) -> usize {
 }
 
 /// Aggregate traffic statistics of a [`Network`].
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq` is derived so differential tests can assert that bulk
+/// advancement ([`Network::step_bulk`]) produces *bit-identical* stats to
+/// single-stepping.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct NetStats {
     /// Total words transferred over all links.
     pub words: u64,
@@ -89,10 +103,11 @@ pub struct NetStats {
     pub round_histogram: [u64; HIST_BUCKETS],
 }
 
+/// A queued message. Endpoints are *not* stored: queues are per-link, so
+/// `from`/`to` are recovered from the link table at delivery time, keeping
+/// the struct (and the per-send copy) as small as the payload allows.
 struct InFlight<M> {
     payload: M,
-    from: NodeId,
-    to: NodeId,
     /// Total words of the message (for the event log).
     words: u64,
     words_left: u64,
@@ -135,14 +150,28 @@ pub struct Network<M> {
     active: Vec<usize>,
     active_flag: Vec<bool>,
     /// Messages whose words all left their link, awaiting latency expiry:
-    /// (arrival round, insertion sequence for FIFO stability).
-    transit: BinaryHeap<Reverse<(u64, u64)>>,
-    /// `seq → (delivery, message words)`; words ride along for the event log.
-    transit_msgs: std::collections::HashMap<u64, (Delivery<M>, u64)>,
+    /// (arrival round, insertion sequence for FIFO stability, slab slot).
+    /// The slot tags along outside the ordering key so expiry is a direct
+    /// index into `transit_msgs` — on stretched graphs *every* message
+    /// passes through here, so this path must not hash.
+    transit: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    /// Slab of in-transit `(delivery, message words)`; words ride along
+    /// for the event log. Freed slots are recycled via `transit_free`.
+    transit_msgs: Vec<Option<(Delivery<M>, u64)>>,
+    transit_free: Vec<u32>,
     transit_seq: u64,
     wakeups: BinaryHeap<Reverse<(u64, NodeId)>>,
     stats: NetStats,
     history: bool,
+    /// Sticky: set once any message longer than one word is enqueued.
+    /// While false, every active link's head has exactly one word left, so
+    /// [`Network::step_bulk`] can skip its `O(active)` lookahead scan —
+    /// one-word workloads (BFS floods, source detection) pay nothing for
+    /// the bulk path.
+    any_multiword: bool,
+    /// Recycled backing storage for the `still_active` rebuild in
+    /// [`Network::step_into`], so steady-state stepping allocates nothing.
+    scratch_active: Vec<usize>,
     /// Sequence number in the message-event log, when logging is active
     /// (see [`crate::events`]); `None` keeps the logging path cost-free.
     events_net: Option<u64>,
@@ -198,7 +227,8 @@ impl<M> Network<M> {
             active: Vec::new(),
             active_flag: vec![false; m],
             transit: BinaryHeap::new(),
-            transit_msgs: std::collections::HashMap::new(),
+            transit_msgs: Vec::new(),
+            transit_free: Vec::new(),
             transit_seq: 0,
             wakeups: BinaryHeap::new(),
             stats: NetStats {
@@ -206,6 +236,8 @@ impl<M> Network<M> {
                 ..NetStats::default()
             },
             history: false,
+            any_multiword: false,
+            scratch_active: Vec::new(),
             events_net: crate::events::next_net_id(),
         }
     }
@@ -263,12 +295,20 @@ impl<M> Network<M> {
             .sum()
     }
 
-    fn link(&self, from: NodeId, to: NodeId) -> Option<usize> {
+    /// The directed link id for `from → to`, if the nodes are adjacent.
+    /// Ids index [`NetStats::per_link_words`] / [`Network::link_ends`] and
+    /// can be fed to [`Network::send_on_link`] to skip the per-send
+    /// neighbor lookup in tight flooding loops.
+    pub fn link_id(&self, from: NodeId, to: NodeId) -> Option<usize> {
         let links = &self.out_links[from];
         links
             .binary_search_by_key(&to, |&(nb, _)| nb)
             .ok()
             .map(|i| links[i].1)
+    }
+
+    fn link(&self, from: NodeId, to: NodeId) -> Option<usize> {
+        self.link_id(from, to)
     }
 
     /// Enqueues a `words`-word message from `from` to its neighbor `to`.
@@ -307,12 +347,27 @@ impl<M> Network<M> {
         latency: u64,
     ) -> Result<(), SendError> {
         let l = self.link(from, to).ok_or(SendError::NoLink { from, to })?;
+        self.send_on_link(l, payload, words, latency);
+        Ok(())
+    }
+
+    /// [`Network::send_latency`] addressed by link id instead of endpoint
+    /// pair — the flooding primitives resolve each node's links once with
+    /// [`Network::link_id`] and then enqueue millions of one-word
+    /// announcements without re-searching the adjacency every time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is not a valid link id for this network.
+    pub fn send_on_link(&mut self, l: usize, payload: M, words: u64, latency: u64) {
+        let words = words.max(1);
+        if words > 1 {
+            self.any_multiword = true;
+        }
         self.queues[l].push_back(InFlight {
             payload,
-            from,
-            to,
-            words: words.max(1),
-            words_left: words.max(1),
+            words,
+            words_left: words,
             latency,
         });
         let depth = self.queues[l].len() as u64;
@@ -323,7 +378,6 @@ impl<M> Network<M> {
             self.active_flag[l] = true;
             self.active.push(l);
         }
-        Ok(())
     }
 
     /// Schedules `node` to be woken at the end of round `round` (must be
@@ -344,7 +398,7 @@ impl<M> Network<M> {
         if !self.active.is_empty() {
             next = Some(self.round + 1);
         }
-        if let Some(Reverse((r, _))) = self.transit.peek() {
+        if let Some(Reverse((r, _, _))) = self.transit.peek() {
             next = Some(next.map_or(*r, |n: u64| n.min(*r)));
         }
         if let Some(Reverse((r, _))) = self.wakeups.peek() {
@@ -356,11 +410,20 @@ impl<M> Network<M> {
     /// Advances the simulation by exactly one round and returns what the
     /// nodes observe at its end.
     pub fn step(&mut self) -> RoundOutput<M> {
+        let mut out = RoundOutput::default();
+        self.step_into(&mut out);
+        out
+    }
+
+    /// Allocation-free [`Network::step`]: clears `out` and fills it with
+    /// this round's deliveries and wakeups, reusing its backing buffers.
+    /// Driver loops that step many thousands of rounds should hold one
+    /// `RoundOutput` and call this (or [`Network::step_bulk_into`]) in a
+    /// loop.
+    pub fn step_into(&mut self, out: &mut RoundOutput<M>) {
+        out.deliveries.clear();
+        out.wakeups.clear();
         self.round += 1;
-        let mut out = RoundOutput {
-            deliveries: Vec::new(),
-            wakeups: Vec::new(),
-        };
 
         // Transfer one word on every active link.
         let transferred = self.active.len() as u64;
@@ -375,9 +438,10 @@ impl<M> Network<M> {
                 self.stats.words_per_round.push((self.round, transferred));
             }
         }
-        let mut still_active = Vec::with_capacity(self.active.len());
+        let mut still_active = std::mem::take(&mut self.scratch_active);
+        still_active.clear();
         let active = std::mem::take(&mut self.active);
-        for l in active {
+        for &l in &active {
             let q = &mut self.queues[l];
             let head = q.front_mut().expect("active links have queued traffic");
             head.words_left -= 1;
@@ -386,9 +450,10 @@ impl<M> Network<M> {
             if head.words_left == 0 {
                 let msg = q.pop_front().expect("head exists");
                 let words = msg.words;
+                let (from, to) = self.link_ends[l];
                 let delivery = Delivery {
-                    from: msg.from,
-                    to: msg.to,
+                    from,
+                    to,
                     payload: msg.payload,
                 };
                 if msg.latency == 0 {
@@ -400,8 +465,18 @@ impl<M> Network<M> {
                 } else {
                     let seq = self.transit_seq;
                     self.transit_seq += 1;
-                    self.transit.push(Reverse((self.round + msg.latency, seq)));
-                    self.transit_msgs.insert(seq, (delivery, words));
+                    let slot = match self.transit_free.pop() {
+                        Some(s) => {
+                            self.transit_msgs[s as usize] = Some((delivery, words));
+                            s
+                        }
+                        None => {
+                            self.transit_msgs.push(Some((delivery, words)));
+                            (self.transit_msgs.len() - 1) as u32
+                        }
+                    };
+                    self.transit
+                        .push(Reverse((self.round + msg.latency, seq, slot)));
                 }
             }
             if q.is_empty() {
@@ -411,17 +486,18 @@ impl<M> Network<M> {
             }
         }
         self.active = still_active;
+        self.scratch_active = active;
 
         // Deliver messages whose latency expired.
-        while let Some(Reverse((r, seq))) = self.transit.peek().copied() {
+        while let Some(Reverse((r, _, slot))) = self.transit.peek().copied() {
             if r > self.round {
                 break;
             }
             self.transit.pop();
-            let (msg, words) = self
-                .transit_msgs
-                .remove(&seq)
+            let (msg, words) = self.transit_msgs[slot as usize]
+                .take()
                 .expect("transit message exists");
+            self.transit_free.push(slot);
             self.stats.messages += 1;
             if let Some(net) = self.events_net {
                 crate::events::emit_msg(net, self.round, msg.from, msg.to, words);
@@ -437,8 +513,6 @@ impl<M> Network<M> {
             self.wakeups.pop();
             out.wakeups.push(node);
         }
-
-        out
     }
 
     /// Jumps over quiet rounds (when no link is transferring) straight to
@@ -446,11 +520,106 @@ impl<M> Network<M> {
     /// advances over the skipped rounds, so complexity accounting is
     /// unchanged. Returns `None` when the network is idle.
     pub fn step_fast(&mut self) -> Option<RoundOutput<M>> {
-        let next = self.next_event_round()?;
+        let mut out = RoundOutput::default();
+        self.step_fast_into(&mut out).then_some(out)
+    }
+
+    /// Allocation-free [`Network::step_fast`]: returns `false` (leaving
+    /// `out` cleared) when the network is idle.
+    pub fn step_fast_into(&mut self, out: &mut RoundOutput<M>) -> bool {
+        let Some(next) = self.next_event_round() else {
+            out.deliveries.clear();
+            out.wakeups.clear();
+            return false;
+        };
         if next > self.round + 1 {
             self.round = next - 1;
         }
-        Some(self.step())
+        self.step_into(out);
+        true
+    }
+
+    /// [`Network::step_fast`] plus **bulk link transfer**: when no
+    /// delivery, transit expiry, or wakeup can fire before round `r + k`,
+    /// the engine advances every active link `k - 1` words in one pass —
+    /// updating `NetStats` (words, per-link words, histogram buckets, peak
+    /// round, `words_per_round` history) in closed form — and then executes
+    /// round `r + k` normally. Observable state after the call, including
+    /// all statistics, the ledger history and the message-event log, is
+    /// bit-identical to `k` calls of [`Network::step`]: during the skipped
+    /// rounds the active-link set cannot change (no head finishes, by the
+    /// choice of `k`), every round transfers exactly `active.len()` words,
+    /// and nothing is delivered, so there is no event to log and no
+    /// stats path that differs.
+    ///
+    /// The lookahead scan is `O(active)` and gated on the network ever
+    /// having carried a multi-word message; single-word workloads take the
+    /// plain [`Network::step_fast_into`] path unchanged.
+    pub fn step_bulk(&mut self) -> Option<RoundOutput<M>> {
+        let mut out = RoundOutput::default();
+        self.step_bulk_into(&mut out).then_some(out)
+    }
+
+    /// Allocation-free [`Network::step_bulk`]: returns `false` (leaving
+    /// `out` cleared) when the network is idle.
+    pub fn step_bulk_into(&mut self, out: &mut RoundOutput<M>) -> bool {
+        let Some(next) = self.next_event_round() else {
+            out.deliveries.clear();
+            out.wakeups.clear();
+            return false;
+        };
+        if next > self.round + 1 {
+            // Quiet gap: nothing is transferring, jump like step_fast.
+            self.round = next - 1;
+        } else if self.any_multiword && !self.active.is_empty() {
+            // k = number of rounds until *any* observable event: the
+            // earliest head completion, transit expiry, or wakeup.
+            let mut k = u64::MAX;
+            let mut deepest_queue = 0u64;
+            for &l in &self.active {
+                let q = &self.queues[l];
+                deepest_queue = deepest_queue.max(q.len() as u64);
+                k = k.min(q.front().expect("active links have traffic").words_left);
+            }
+            if let Some(Reverse((r, _, _))) = self.transit.peek() {
+                k = k.min(r - self.round);
+            }
+            if let Some(Reverse((r, _))) = self.wakeups.peek() {
+                k = k.min(r - self.round);
+            }
+            if k > 1 {
+                // Queue depth can only grow at send() time, which already
+                // maintains the high-water mark, but re-observe it here so
+                // depth standing through a bulk advance is accounted even
+                // if a future send path forgets to.
+                if deepest_queue > self.stats.queue_high_water {
+                    self.stats.queue_high_water = deepest_queue;
+                }
+                let skipped = k - 1;
+                let per_round = self.active.len() as u64;
+                self.stats.active_rounds += skipped;
+                self.stats.round_histogram[hist_bucket(per_round)] += skipped;
+                if per_round > self.stats.max_words_in_round {
+                    self.stats.max_words_in_round = per_round;
+                    // First skipped round is the first to hit the new max.
+                    self.stats.peak_round = self.round + 1;
+                }
+                if self.history {
+                    for i in 1..=skipped {
+                        self.stats.words_per_round.push((self.round + i, per_round));
+                    }
+                }
+                self.stats.words += skipped * per_round;
+                for &l in &self.active {
+                    let head = self.queues[l].front_mut().expect("active");
+                    head.words_left -= skipped;
+                    self.stats.per_link_words[l] += skipped;
+                }
+                self.round += skipped;
+            }
+        }
+        self.step_into(out);
+        true
     }
 }
 
@@ -651,5 +820,118 @@ mod tests {
         let mut net: Network<u32> = Network::new(&path3());
         net.send(0, 1, 1, 0).unwrap();
         assert_eq!(net.step().deliveries.len(), 1);
+    }
+
+    /// Loads `net` with a mixed workload: multi-word, latency, and
+    /// plain-word traffic plus wakeups.
+    fn mixed_load(net: &mut Network<u32>) {
+        net.send(0, 1, 1, 5).unwrap();
+        net.send(0, 1, 2, 1).unwrap();
+        net.send_latency(1, 2, 3, 4, 3).unwrap();
+        net.send(2, 1, 4, 2).unwrap();
+        net.schedule_wakeup(2, 0);
+        net.schedule_wakeup(9, 2);
+    }
+
+    /// Drains `net` with `advance`, recording `(round, deliveries,
+    /// wakeups)` per non-empty output.
+    fn drain(
+        net: &mut Network<u32>,
+        mut advance: impl FnMut(&mut Network<u32>) -> Option<RoundOutput<u32>>,
+    ) -> Vec<(u64, Vec<(NodeId, NodeId, u32)>, Vec<NodeId>)> {
+        let mut log = Vec::new();
+        while let Some(out) = advance(net) {
+            if !out.deliveries.is_empty() || !out.wakeups.is_empty() {
+                let ds = out
+                    .deliveries
+                    .iter()
+                    .map(|d| (d.from, d.to, d.payload))
+                    .collect();
+                log.push((net.round(), ds, out.wakeups.clone()));
+            }
+        }
+        log
+    }
+
+    #[test]
+    fn bulk_step_is_bit_identical_to_single_stepping() {
+        let g = path3();
+        let mut slow: Network<u32> = Network::new(&g);
+        let mut fast: Network<u32> = Network::new(&g);
+        slow.enable_history();
+        fast.enable_history();
+        mixed_load(&mut slow);
+        mixed_load(&mut fast);
+        let slow_log = drain(&mut slow, |n| (!n.is_idle()).then(|| n.step()));
+        let fast_log = drain(&mut fast, Network::step_bulk);
+        assert_eq!(slow_log, fast_log);
+        assert_eq!(slow.round(), fast.round());
+        assert_eq!(slow.stats(), fast.stats());
+    }
+
+    #[test]
+    fn bulk_step_skips_rounds_inside_long_messages() {
+        let mut net: Network<u32> = Network::new(&path3());
+        net.send(0, 1, 7, 100).unwrap();
+        let mut calls = 0;
+        while net.step_bulk().is_some() {
+            calls += 1;
+        }
+        // One bulk call covers rounds 1..=100; the message arrives at 100.
+        assert_eq!(calls, 1);
+        assert_eq!(net.round(), 100);
+        assert_eq!(net.stats().words, 100);
+        assert_eq!(net.stats().active_rounds, 100);
+        assert_eq!(net.stats().round_histogram[hist_bucket(1)], 100);
+    }
+
+    #[test]
+    fn bulk_step_peak_round_ties_break_earliest() {
+        let mut net: Network<u32> = Network::new(&path3());
+        // Two links active for 4 rounds (bulk), then one for 2 more.
+        net.send(0, 1, 1, 4).unwrap();
+        net.send(1, 2, 2, 6).unwrap();
+        while net.step_bulk().is_some() {}
+        assert_eq!(net.stats().max_words_in_round, 2);
+        assert_eq!(net.stats().peak_round, 1);
+        assert_eq!(net.stats().words, 10);
+    }
+
+    #[test]
+    fn bulk_step_stops_at_transit_and_wakeup_boundaries() {
+        let g = path3();
+        let mut slow: Network<u32> = Network::new(&g);
+        let mut fast: Network<u32> = Network::new(&g);
+        for net in [&mut slow, &mut fast] {
+            net.enable_history();
+            // 10-word transfer on 0→1; a latency message expiring at round
+            // 4 and a wakeup at round 7 both interrupt the bulk run.
+            net.send(0, 1, 1, 10).unwrap();
+            net.send_latency(1, 2, 2, 1, 3).unwrap();
+            net.schedule_wakeup(7, 1);
+        }
+        let slow_log = drain(&mut slow, |n| (!n.is_idle()).then(|| n.step()));
+        let fast_log = drain(&mut fast, Network::step_bulk);
+        assert_eq!(slow_log, fast_log);
+        assert_eq!(slow.stats(), fast.stats());
+    }
+
+    #[test]
+    fn bulk_step_event_log_matches_single_stepping() {
+        let run = |bulk: bool| {
+            let cap = crate::events::EventCapture::memory();
+            let mut net: Network<u32> = Network::new(&path3());
+            net.send(0, 1, 7, 6).unwrap();
+            net.send_latency(1, 2, 8, 3, 2).unwrap();
+            if bulk {
+                while net.step_bulk().is_some() {}
+            } else {
+                while !net.is_idle() {
+                    net.step();
+                }
+            }
+            cap.finish()
+        };
+        assert_eq!(run(false), run(true));
     }
 }

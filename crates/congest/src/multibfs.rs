@@ -15,7 +15,7 @@
 //! `ℓ` unit edges simulated at its endpoint.
 
 use crate::distmat::{DistMatrix, INF};
-use crate::engine::Network;
+use crate::engine::{Network, RoundOutput};
 use crate::ledger::Ledger;
 use mwc_graph::seq::Direction;
 use mwc_graph::{Graph, NodeId, Weight};
@@ -60,6 +60,52 @@ fn stretch(latency: Option<&[Weight]>, edge: usize) -> Weight {
     latency.map_or(1, |l| l[edge].max(1))
 }
 
+/// Per traversal edge, everything the flood's inner loop needs: the link
+/// to occupy, the announced distance increment, and the extra delivery
+/// latency. Distance and travel time are decoupled so zero-weight edges
+/// (the paper allows `w = 0`) stay exact: they add 0 to the distance but
+/// still take one round to cross. Resolving link ids and latency-table
+/// entries once up front keeps the per-announcement loop free of adjacency
+/// searches — it matters at millions of announcements per run.
+struct FloodPlan {
+    /// CSR offsets: node `v`'s hops are `hops[start[v]..start[v + 1]]`.
+    start: Vec<u32>,
+    /// `(link id, dist_add, latency = stretch − 1)` per traversal edge.
+    hops: Vec<(u32, Weight, u64)>,
+}
+
+impl FloodPlan {
+    fn build<M>(
+        g: &Graph,
+        net: &Network<M>,
+        direction: Direction,
+        latency: Option<&[Weight]>,
+    ) -> FloodPlan {
+        let n = g.n();
+        let mut start = Vec::with_capacity(n + 1);
+        let mut hops = Vec::new();
+        start.push(0);
+        for v in 0..n {
+            for a in direction.adj(g, v) {
+                let l = net
+                    .link_id(v, a.to)
+                    .expect("traversal edges are communication links");
+                hops.push((
+                    l as u32,
+                    dist_add(latency, a.edge),
+                    stretch(latency, a.edge) - 1,
+                ));
+            }
+            start.push(u32::try_from(hops.len()).expect("edge count fits u32"));
+        }
+        FloodPlan { start, hops }
+    }
+
+    fn of(&self, v: NodeId) -> &[(u32, Weight, u64)] {
+        &self.hops[self.start[v] as usize..self.start[v + 1] as usize]
+    }
+}
+
 /// Runs a pipelined `h`-bounded search from `sources` and returns the
 /// distance table. Costs `O(max_dist + k)` rounds for unit latencies,
 /// charged to `ledger` under `label`.
@@ -82,6 +128,7 @@ pub fn multi_source_bfs(
     let n = g.n();
     let mut mat = DistMatrix::new(n, sources.to_vec());
     let mut net: Network<Announce> = Network::new(g);
+    let plan = FloodPlan::build(g, &net, spec.direction, spec.latency);
 
     // outbox[v]: fresh announcements not yet forwarded, smallest first.
     let mut outbox: Vec<BinaryHeap<Reverse<Announce2>>> =
@@ -98,6 +145,7 @@ pub fn multi_source_bfs(
         }
     }
 
+    let mut out = RoundOutput::default();
     loop {
         // Node actions for this round: each pending node forwards its
         // smallest fresh announcement over every traversal link.
@@ -117,22 +165,17 @@ pub fn multi_source_bfs(
                 }
             };
             let Some((d, row)) = fresh else { continue };
-            for a in spec.direction.adj(g, v) {
-                // Distance and travel time are decoupled so zero-weight
-                // edges (the paper allows w = 0) stay exact: they add 0 to
-                // the distance but still take one round to cross.
-                let cand = d.saturating_add(dist_add(spec.latency, a.edge));
+            for &(l, add, lat) in plan.of(v) {
+                let cand = d.saturating_add(add);
                 if cand > spec.max_dist {
                     continue;
                 }
-                let ell = stretch(spec.latency, a.edge);
                 // Receiver-side pruning happens on delivery; sender-side we
                 // also skip if the receiver is already known (to the
                 // sender) to be closer — we cannot know that locally, so
                 // no such check: CONGEST nodes only know their own state.
                 any_sent = true;
-                net.send_latency(v, a.to, (row, cand), 1, ell - 1)
-                    .expect("traversal edges are communication links");
+                net.send_on_link(l as usize, (row, cand), 1, lat);
             }
             if !outbox[v].is_empty() && !pending_flag[v] {
                 pending_flag[v] = true;
@@ -150,13 +193,16 @@ pub fn multi_source_bfs(
                 break;
             }
         }
-        let out = if any_sent {
-            Some(net.step())
+        let stepped = if any_sent {
+            net.step_into(&mut out);
+            true
         } else {
-            net.step_fast()
+            net.step_fast_into(&mut out)
         };
-        let Some(out) = out else { break };
-        for d in out.deliveries {
+        if !stepped {
+            break;
+        }
+        for d in out.deliveries.drain(..) {
             let (row, cand) = d.payload;
             let v = d.to;
             if cand < mat.get_row(row as usize, v) {
@@ -256,6 +302,7 @@ pub fn source_detection(
     let _span = mwc_trace::span_owned(|| format!("detect/{label}"));
     let n = g.n();
     let mut net: Network<(u32, Weight)> = Network::new(g);
+    let plan = FloodPlan::build(g, &net, direction, latency);
 
     // Per node: current best (distance, pred) per source, the top-σ set,
     // and the outbox of fresh entries.
@@ -306,6 +353,7 @@ pub fn source_detection(
         }
     }
 
+    let mut out = RoundOutput::default();
     loop {
         let acting = std::mem::take(&mut pending);
         let mut any_action = false;
@@ -326,14 +374,12 @@ pub fn source_detection(
             };
             let Some((d, row)) = fresh else { continue };
             any_action = true;
-            for a in direction.adj(g, v) {
-                let cand = d.saturating_add(dist_add(latency, a.edge));
+            for &(l, add, lat) in plan.of(v) {
+                let cand = d.saturating_add(add);
                 if cand > h {
                     continue;
                 }
-                let ell = stretch(latency, a.edge);
-                net.send_latency(v, a.to, (row, cand), 1, ell - 1)
-                    .expect("traversal edges are communication links");
+                net.send_on_link(l as usize, (row, cand), 1, lat);
             }
             if !outbox[v].is_empty() && !pending_flag[v] {
                 pending_flag[v] = true;
@@ -344,13 +390,16 @@ pub fn source_detection(
         if !any_action && net.is_idle() {
             break;
         }
-        let out = if any_action {
-            Some(net.step())
+        let stepped = if any_action {
+            net.step_into(&mut out);
+            true
         } else {
-            net.step_fast()
+            net.step_fast_into(&mut out)
         };
-        let Some(out) = out else { break };
-        for dmsg in out.deliveries {
+        if !stepped {
+            break;
+        }
+        for dmsg in out.deliveries.drain(..) {
             let (row, cand) = dmsg.payload;
             let v = dmsg.to;
             if admit(v, row, cand, dmsg.from, &mut best, &mut top) {

@@ -27,7 +27,7 @@
 //! assert!(nodes.iter().all(|p| p.leader() == 31));
 //! ```
 
-use crate::engine::Network;
+use crate::engine::{Network, RoundOutput};
 use crate::ledger::Ledger;
 use mwc_graph::{Graph, NodeId};
 
@@ -119,20 +119,21 @@ where
         let actions = programs[v].init(&ctxs[v]);
         apply(&mut net, v, actions);
     }
-    while let Some(out) = net.step_fast() {
+    let mut out = RoundOutput::default();
+    while net.step_bulk_into(&mut out) {
         assert!(
             net.round() <= max_rounds,
             "round budget exhausted at {}",
             net.round()
         );
         let round = net.round();
-        for d in out.deliveries {
+        for d in out.deliveries.drain(..) {
             let mut ctx = ctxs[d.to].clone();
             ctx.round = round;
             let actions = programs[d.to].on_receive(&ctx, d.from, d.payload);
             apply(&mut net, d.to, actions);
         }
-        for v in out.wakeups {
+        for v in out.wakeups.drain(..) {
             let mut ctx = ctxs[v].clone();
             ctx.round = round;
             let actions = programs[v].on_wakeup(&ctx);

@@ -8,7 +8,7 @@
 //! All three are *simulated* (the data really flows through the engine), so
 //! their measured round counts are the ones charged to algorithms.
 
-use crate::engine::Network;
+use crate::engine::{Network, RoundOutput};
 use crate::ledger::Ledger;
 use mwc_graph::{Graph, NodeId};
 
@@ -46,8 +46,9 @@ impl BfsTree {
         for w in g.comm_neighbors(root) {
             net.send(root, w, 1, 1).expect("neighbors are linked");
         }
-        while let Some(out) = net.step_fast() {
-            for d in out.deliveries {
+        let mut out = RoundOutput::default();
+        while net.step_bulk_into(&mut out) {
+            for d in out.deliveries.drain(..) {
                 let v = d.to;
                 if depth[v] == usize::MAX {
                     depth[v] = d.payload as usize;
@@ -115,8 +116,9 @@ pub fn broadcast<T: Clone>(
             None => collected.push((origin, item)),
         }
     }
-    while let Some(out) = net.step_fast() {
-        for d in out.deliveries {
+    let mut out = RoundOutput::default();
+    while net.step_bulk_into(&mut out) {
+        for d in out.deliveries.drain(..) {
             let v = d.to;
             match tree.parent[v] {
                 Some(p) => net
@@ -138,8 +140,9 @@ pub fn broadcast<T: Clone>(
                 .expect("tree edges are links");
         }
     }
-    while let Some(out) = net.step_fast() {
-        for d in out.deliveries {
+    let mut out = RoundOutput::default();
+    while net.step_bulk_into(&mut out) {
+        for d in out.deliveries.drain(..) {
             let v = d.to;
             received[v] += 1;
             for &c in &tree.children[v] {
@@ -190,8 +193,9 @@ where
             }
         }
     }
-    while let Some(out) = net.step_fast() {
-        for d in out.deliveries {
+    let mut out = RoundOutput::default();
+    while net.step_bulk_into(&mut out) {
+        for d in out.deliveries.drain(..) {
             let v = d.to;
             acc[v] = op(acc[v], d.payload);
             pending[v] -= 1;
@@ -213,8 +217,9 @@ where
         net.send(tree.root, c, result, 1)
             .expect("tree edges are links");
     }
-    while let Some(out) = net.step_fast() {
-        for d in out.deliveries {
+    let mut out = RoundOutput::default();
+    while net.step_bulk_into(&mut out) {
+        for d in out.deliveries.drain(..) {
             for &c in &tree.children[d.to] {
                 net.send(d.to, c, result, 1).expect("tree edges are links");
             }

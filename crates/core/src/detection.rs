@@ -17,7 +17,9 @@
 
 use crate::outcome::{BestCycle, MwcOutcome};
 use crate::util::simplify_path;
-use mwc_congest::{convergecast_min, multi_source_bfs, BfsTree, Ledger, MultiBfsSpec, INF};
+use mwc_congest::{
+    convergecast_min, multi_source_bfs, BfsTree, Ledger, MultiBfsSpec, RoundOutput, INF,
+};
 use mwc_graph::seq::Direction;
 use mwc_graph::{CycleWitness, Graph, NodeId, Weight};
 
@@ -129,8 +131,9 @@ pub fn shortest_cycle_within(g: &Graph, q: u64) -> MwcOutcome {
         let mut nbr: Vec<
             std::collections::HashMap<NodeId, std::sync::Arc<Vec<(u32, Weight, u32)>>>,
         > = vec![std::collections::HashMap::new(); n];
-        while let Some(out) = net.step_fast() {
-            for d in out.deliveries {
+        let mut out = RoundOutput::default();
+        while net.step_bulk_into(&mut out) {
+            for d in out.deliveries.drain(..) {
                 nbr[d.to].insert(d.from, d.payload);
             }
         }

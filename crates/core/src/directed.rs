@@ -28,7 +28,8 @@ use crate::outcome::{BestCycle, MwcOutcome};
 use crate::params::Params;
 use crate::util::{sample_vertices, simplify_path};
 use mwc_congest::{
-    broadcast, convergecast_min, multi_source_bfs, Ledger, MultiBfsSpec, Network, PhaseCache, INF,
+    broadcast, convergecast_min, multi_source_bfs, Ledger, MultiBfsSpec, Network, PhaseCache,
+    RoundOutput, INF,
 };
 use mwc_graph::seq::Direction;
 use mwc_graph::{CycleWitness, Graph, NodeId, Weight};
@@ -452,8 +453,9 @@ fn short_cycles_restricted_bfs(
     }
     let mut nbr_to_s: Vec<HashMap<NodeId, Arc<Vec<Weight>>>> = vec![HashMap::new(); n];
     let mut nbr_from_s: Vec<HashMap<NodeId, Arc<Vec<Weight>>>> = vec![HashMap::new(); n];
-    while let Some(out) = net.step_fast() {
-        for d in out.deliveries {
+    let mut out = RoundOutput::default();
+    while net.step_bulk_into(&mut out) {
+        for d in out.deliveries.drain(..) {
             nbr_to_s[d.to].insert(d.from, d.payload.0);
             nbr_from_s[d.to].insert(d.from, d.payload.1);
         }
@@ -590,7 +592,8 @@ fn short_cycles_restricted_bfs(
                 .send(*from, *to, (), msg.words())
                 .expect("traversal edges are communication links");
         }
-        while bfs_net.step_fast().is_some() {}
+        let mut drained = RoundOutput::default();
+        while bfs_net.step_bulk_into(&mut drained) {}
         phase_rounds_total = bfs_net.round();
         // Schedule arrivals: entry phase + stretch.
         for (from, to, msg) in sends {

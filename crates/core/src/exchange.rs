@@ -3,7 +3,7 @@
 //! your neighbors" steps (Algorithm 3 line 11, the non-tree-edge scans of
 //! the exact and girth algorithms).
 
-use mwc_congest::{DistMatrix, Ledger, Network};
+use mwc_congest::{DistMatrix, Ledger, Network, RoundOutput};
 use mwc_graph::{Graph, NodeId, Weight};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -28,8 +28,9 @@ pub(crate) fn exchange_with_neighbors<T: Clone>(
         }
     }
     let mut got: Vec<HashMap<NodeId, T>> = vec![HashMap::new(); n];
-    while let Some(out) = net.step_fast() {
-        for d in out.deliveries {
+    let mut out = RoundOutput::default();
+    while net.step_bulk_into(&mut out) {
+        for d in out.deliveries.drain(..) {
             got[d.to].insert(d.from, d.payload);
         }
     }

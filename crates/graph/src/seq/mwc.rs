@@ -11,10 +11,34 @@
 //!
 //! All oracles return a validated [`CycleWitness`] so distributed results
 //! can be compared both by value and by structure.
+//!
+//! # Parallelism and determinism
+//!
+//! The per-source / per-edge outer loops are embarrassingly parallel and
+//! dominate bench wall-clock, so they run through
+//! [`mwc_par::ordered_map`] (worker count from `MWC_JOBS` / `--jobs`,
+//! default 1). The returned cycle is **identical for every worker
+//! count**: each oracle updates its running best only on *strict*
+//! improvement, so the sequential winner is the first item (in iteration
+//! order) attaining the global minimum — and merging per-item results in
+//! input order with the same strict rule reproduces exactly that item.
 
 use crate::graph::{Graph, NodeId, Weight};
 use crate::seq::paths::{bfs, dijkstra, dijkstra_skipping, extract_path, Direction, HOP_INF, INF};
 use crate::witness::CycleWitness;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Merges per-item oracle results in input order: keeps the earlier item
+/// on ties, exactly like the sequential strict-improvement loop.
+fn first_min(results: impl IntoIterator<Item = Option<Mwc>>) -> Option<Mwc> {
+    results
+        .into_iter()
+        .flatten()
+        .fold(None, |acc: Option<Mwc>, m| match acc {
+            Some(b) if b.weight <= m.weight => Some(b),
+            _ => Some(m),
+        })
+}
 
 /// A minimum weight cycle: its weight and a witness vertex sequence.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -49,9 +73,9 @@ pub fn mwc_directed_exact(g: &Graph) -> Option<Mwc> {
         g.is_directed(),
         "mwc_directed_exact requires a directed graph"
     );
-    let mut best: Option<Mwc> = None;
-    for v in 0..g.n() {
+    let per_source = mwc_par::ordered_map((0..g.n()).collect(), |v| {
         let t = dijkstra(g, v, Direction::Forward);
+        let mut best: Option<Mwc> = None;
         for a in g.in_adj(v) {
             let u = a.to;
             if t.dist[u] == INF {
@@ -67,7 +91,9 @@ pub fn mwc_directed_exact(g: &Graph) -> Option<Mwc> {
                 });
             }
         }
-    }
+        best
+    });
+    let best = first_min(per_source);
     debug_assert!(best
         .as_ref()
         .is_none_or(|b| b.witness.validate(g) == Ok(b.weight)));
@@ -84,26 +110,34 @@ pub fn mwc_undirected_exact(g: &Graph) -> Option<Mwc> {
         !g.is_directed(),
         "mwc_undirected_exact requires an undirected graph"
     );
-    let mut best: Option<Mwc> = None;
-    for (eid, e) in g.edges().iter().enumerate() {
-        if best.as_ref().is_some_and(|b| e.weight >= b.weight) {
-            continue;
+    // Shared upper bound for pruning across workers. The skip must be
+    // *strict* (`>`), not the sequential loop's `>=`: every candidate
+    // satisfies `cand ≥ e.weight`, so `e.weight > bound ≥ final MWC`
+    // proves the edge cannot win — whereas `e.weight == bound` could
+    // still tie via a zero-weight path, and pruning it would change
+    // which edge index wins the tie. The bound only shrinks, so a stale
+    // read merely prunes less; the winning candidate is never skipped.
+    let bound = AtomicU64::new(u64::MAX);
+    let per_edge = mwc_par::ordered_map((0..g.edges().len()).collect(), |eid| {
+        let e = &g.edges()[eid];
+        if e.weight > bound.load(Ordering::Relaxed) {
+            return None;
         }
         let t = dijkstra_skipping(g, e.u, Direction::Forward, eid);
         if t.dist[e.v] == INF {
-            continue;
+            return None;
         }
         let cand = e.weight + t.dist[e.v];
-        if best.as_ref().is_none_or(|b| cand < b.weight) {
-            let path = extract_path(&t.parent, e.u, e.v)
-                .expect("e.v is reachable so the parent chain exists");
-            // path = x … y; closing edge (y, x) is e itself.
-            best = Some(Mwc {
-                weight: cand,
-                witness: CycleWitness::new(path),
-            });
-        }
-    }
+        bound.fetch_min(cand, Ordering::Relaxed);
+        let path =
+            extract_path(&t.parent, e.u, e.v).expect("e.v is reachable so the parent chain exists");
+        // path = x … y; closing edge (y, x) is e itself.
+        Some(Mwc {
+            weight: cand,
+            witness: CycleWitness::new(path),
+        })
+    });
+    let best = first_min(per_edge);
     debug_assert!(best
         .as_ref()
         .is_none_or(|b| b.witness.validate(g) == Ok(b.weight)));
@@ -120,9 +154,9 @@ pub fn mwc_undirected_exact(g: &Graph) -> Option<Mwc> {
 /// the girth exactly.
 pub fn girth_exact(g: &Graph) -> Option<Mwc> {
     assert!(!g.is_directed(), "girth_exact requires an undirected graph");
-    let mut best: Option<Mwc> = None;
-    for s in 0..g.n() {
+    let per_source = mwc_par::ordered_map((0..g.n()).collect(), |s| {
         let t = bfs(g, s, Direction::Forward);
+        let mut best: Option<Mwc> = None;
         for e in g.edges() {
             let (u, v) = (e.u, e.v);
             if t.dist[u] == HOP_INF || t.dist[v] == HOP_INF {
@@ -150,7 +184,9 @@ pub fn girth_exact(g: &Graph) -> Option<Mwc> {
                 });
             }
         }
-    }
+        best
+    });
+    let best = first_min(per_source);
     debug_assert!(best.as_ref().is_none_or(|b| {
         b.witness.validate(g).is_ok() && b.witness.hop_len() as Weight == b.weight
     }));
@@ -330,6 +366,41 @@ mod tests {
         assert_eq!(mwc_exact(&d).unwrap().weight, 6);
         let u = ring_with_chords(6, 0, Orientation::Undirected, WeightRange::uniform(2, 2), 0);
         assert_eq!(mwc_exact(&u).unwrap().weight, 12);
+    }
+
+    #[test]
+    fn oracles_are_identical_for_any_worker_count() {
+        // Tie-heavy instances (tiny weight range) so tie-breaking — the
+        // part a naive parallel merge gets wrong — is actually exercised.
+        // Compares full `Mwc` values, i.e. witnesses too, not just weights.
+        let d = connected_gnm(
+            40,
+            90,
+            Orientation::Directed,
+            WeightRange::uniform(1, 3),
+            11,
+        );
+        let u = connected_gnm(
+            40,
+            70,
+            Orientation::Undirected,
+            WeightRange::uniform(1, 3),
+            12,
+        );
+        let un = connected_gnm(40, 70, Orientation::Undirected, WeightRange::unit(), 13);
+        mwc_par::set_jobs(1);
+        let base = (
+            mwc_directed_exact(&d),
+            mwc_undirected_exact(&u),
+            girth_exact(&un),
+        );
+        for jobs in [2, 4, 8] {
+            mwc_par::set_jobs(jobs);
+            assert_eq!(mwc_directed_exact(&d), base.0, "directed, jobs={jobs}");
+            assert_eq!(mwc_undirected_exact(&u), base.1, "undirected, jobs={jobs}");
+            assert_eq!(girth_exact(&un), base.2, "girth, jobs={jobs}");
+        }
+        mwc_par::set_jobs(1);
     }
 
     prop_tests! {

@@ -533,6 +533,7 @@ mod tests {
             words: 1000,
             messages: 50,
             rounds_saved: 12,
+            wall_ms: 0,
             spans: vec![
                 SpanMetrics {
                     path: "a".into(),

@@ -346,6 +346,74 @@ impl Collector {
             None => self.data.orphan_audits.push(record),
         }
     }
+
+    /// Splices a captured [`TraceData`] (from a worker's
+    /// [`TraceSession::memory`]) into this collector exactly as if its
+    /// spans had run inline on this thread, here, now.
+    ///
+    /// Because spans close strictly LIFO, the worker's seqs `0..k` are its
+    /// open order — which is also a pre-order walk of its forest — so a
+    /// constant offset of `next_seq` renumbers them to what an inline run
+    /// would have assigned. The worker's event lines are re-emitted in
+    /// their original order with the same offset applied (span roots get
+    /// the current innermost span, if any, as parent), keeping file sinks
+    /// byte-identical to sequential execution.
+    fn graft(&mut self, mut data: TraceData) {
+        let base = self.next_seq;
+        fn renumber(node: &mut SpanNode, next: &mut u64) {
+            node.seq = *next;
+            *next += 1;
+            for c in &mut node.children {
+                renumber(c, next);
+            }
+        }
+        let mut next = base;
+        for r in &mut data.roots {
+            renumber(r, &mut next);
+        }
+        self.next_seq = next;
+        let parent_seq = self.stack.last().map(|p| p.seq);
+        for line in &data.events {
+            let rewritten = rewrite_grafted_event(line, base, parent_seq);
+            self.emit(rewritten);
+        }
+        match self.stack.last_mut() {
+            Some(top) => {
+                top.children.extend(data.roots);
+                top.audits.extend(data.orphan_audits);
+            }
+            None => {
+                self.data.roots.extend(data.roots);
+                self.data.orphan_audits.extend(data.orphan_audits);
+                if let Sink::File(w) = &mut self.sink {
+                    let _ = w.flush();
+                }
+            }
+        }
+    }
+}
+
+/// Offsets the seq/parent links of a captured span event by `base`;
+/// worker-root spans (`parent: null`) are re-parented to `parent_seq`.
+/// Audit events carry no seq and pass through untouched.
+fn rewrite_grafted_event(line: &str, base: u64, parent_seq: Option<u64>) -> String {
+    let Ok(mut v) = Json::parse(line) else {
+        return line.to_owned();
+    };
+    if v.get("ev").and_then(Json::as_str) != Some("span") {
+        return line.to_owned();
+    }
+    if let Json::Obj(pairs) = &mut v {
+        for (k, val) in pairs.iter_mut() {
+            match (k.as_str(), &*val) {
+                ("seq", Json::U64(s)) => *val = Json::U64(s + base),
+                ("parent", Json::U64(p)) => *val = Json::U64(p + base),
+                ("parent", Json::Null) => *val = parent_seq.map_or(Json::Null, Json::U64),
+                _ => {}
+            }
+        }
+    }
+    v.render()
 }
 
 enum Tracer {
@@ -449,6 +517,22 @@ pub fn add_saved(rounds: u64) {
 
 pub(crate) fn record_audit(record: AuditRecord) {
     with_collector(|c| c.add_audit(record));
+}
+
+/// Splices a [`TraceData`] captured on another thread (via
+/// [`TraceSession::memory`]) into the current thread's active trace, as if
+/// its spans had run inline at this point. A no-op when tracing is
+/// disabled.
+///
+/// This is the join half of the capture-and-graft pattern the parallel
+/// bench bins use with `mwc-par`: each worker runs its item under its own
+/// memory session (tracing state is thread-local), returns the finished
+/// `TraceData`, and the caller grafts the results **in input order** —
+/// making the merged trace, and everything derived from it (run records,
+/// manifests, JSONL sinks), independent of the worker schedule and
+/// byte-identical to a sequential run.
+pub fn graft(data: TraceData) {
+    with_collector(|c| c.graft(data));
 }
 
 /// A programmatic tracing session on the current thread.
@@ -622,6 +706,81 @@ mod tests {
         assert!(m1.contains("\"schema\": \"mwc-trace-manifest/v3\""));
         assert!(m1.contains("\"total_rounds_saved\""));
         assert!(m1.contains("\"audit_margins\""));
+    }
+
+    /// The workload used by the graft equivalence tests: two spans with
+    /// costs, savings, and an audit.
+    fn graft_workload(tag: u64) {
+        let _o = span_owned(|| format!("work/{tag}"));
+        add_cost(tag + 1, 10 * (tag + 1), 2);
+        check_bound("test/graft", BoundInputs::n(8), 2, |_| 16.0);
+        {
+            let _i = span("inner");
+            add_cost(1, 2, 3);
+            add_saved(5);
+        }
+    }
+
+    #[test]
+    fn graft_is_byte_identical_to_inline_execution() {
+        // Inline: everything on one session.
+        let inline = {
+            let session = TraceSession::memory();
+            for tag in 0..3 {
+                graft_workload(tag);
+            }
+            session.finish()
+        };
+        // Captured: each item under its own session (as a pool worker
+        // would run it), grafted back in input order.
+        let grafted = {
+            let session = TraceSession::memory();
+            let captured: Vec<TraceData> = (0..3)
+                .map(|tag| {
+                    let worker = TraceSession::memory();
+                    graft_workload(tag);
+                    worker.finish()
+                })
+                .collect();
+            for data in captured {
+                graft(data);
+            }
+            session.finish()
+        };
+        assert_eq!(inline.events, grafted.events);
+        assert_eq!(
+            inline.to_manifest().render_pretty(),
+            grafted.to_manifest().render_pretty()
+        );
+        assert_eq!(
+            record::RunRecord::from_trace("t", [], &inline),
+            record::RunRecord::from_trace("t", [], &grafted)
+        );
+    }
+
+    #[test]
+    fn graft_under_an_open_span_nests_like_inline() {
+        let inline = {
+            let session = TraceSession::memory();
+            {
+                let _outer = span("sweep");
+                graft_workload(7);
+            }
+            session.finish()
+        };
+        let grafted = {
+            let session = TraceSession::memory();
+            {
+                let _outer = span("sweep");
+                let worker = TraceSession::memory();
+                graft_workload(7);
+                graft(worker.finish());
+            }
+            session.finish()
+        };
+        assert_eq!(inline.events, grafted.events);
+        assert_eq!(grafted.roots.len(), 1);
+        assert_eq!(grafted.roots[0].children[0].label, "work/7");
     }
 
     #[test]
