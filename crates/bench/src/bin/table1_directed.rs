@@ -16,6 +16,7 @@ use mwc_graph::generators::{connected_gnm, WeightRange};
 use mwc_graph::Orientation;
 
 fn main() {
+    report::init_shards();
     let max_n: usize = report::arg(1, 1024);
     let params = Params::lean().with_seed(42);
     let mut rec = report::RunRecorder::start("table1_directed");

@@ -16,6 +16,7 @@ use mwc_graph::Orientation;
 
 fn main() {
     report::init_jobs();
+    report::init_shards();
     let max_n: usize = report::arg(1, 4096);
     let params = Params::lean().with_seed(4242);
     let mut rec = report::RunRecorder::start("table1_girth");

@@ -14,6 +14,7 @@ use mwc_graph::Orientation;
 
 fn main() {
     report::init_jobs();
+    report::init_shards();
     let max_n: usize = report::arg(1, 512);
     let w_max = 8;
     let mut rec = report::RunRecorder::start("table1_undirected_weighted");

@@ -65,8 +65,10 @@ fn totals_json(r: &RunRecord) -> Json {
         ("words", Json::U64(r.words)),
         ("messages", Json::U64(r.messages)),
         ("rounds_saved", Json::U64(r.rounds_saved)),
-        // Informational only (never gated): the wall-clock trajectory.
+        // Informational only (never gated): the wall-clock trajectory and
+        // the engine shard count the record was produced under.
         ("wall_ms", Json::U64(r.wall_ms)),
+        ("shards", Json::U64(r.shards)),
     ])
 }
 

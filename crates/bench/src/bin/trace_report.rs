@@ -26,6 +26,7 @@ use mwc_graph::{NodeId, Orientation};
 use mwc_trace::{RunRecord, TraceSession};
 
 fn main() {
+    report::init_shards();
     let n: usize = report::arg(1, 96);
     let params = Params::lean().with_seed(42);
 
@@ -97,7 +98,9 @@ fn main() {
 
     report::save_json("trace_manifest.json", &data.to_manifest());
 
-    let record = RunRecord::from_trace("trace_report", [("n".to_owned(), n.to_string())], &data);
+    let mut record =
+        RunRecord::from_trace("trace_report", [("n".to_owned(), n.to_string())], &data);
+    record.shards = mwc_par::shards() as u64;
     report::save_artifact(
         &format!("{}/trace_report.json", report::RUN_RECORD_DIR),
         &record.render(),

@@ -57,6 +57,26 @@ pub fn init_jobs() -> usize {
     mwc_par::jobs()
 }
 
+/// Resolves the engine shard count for this bin and installs it
+/// process-wide: a `--shards=N` flag wins over the `MWC_SHARDS`
+/// environment variable (default 1 — intra-simulation parallelism is
+/// opt-in, like `--jobs`). Returns the effective count. Call once at bin
+/// startup, before any network is built.
+///
+/// Unlike the worker count, the shard count **is** stamped on run records
+/// (the informational `shards` field) so sweeps are attributable — but it
+/// is never diffed: the sharded engine grafts per-shard work back in
+/// deterministic order, so every gated metric is byte-identical for any
+/// shard count (pinned by the shard differential suite).
+pub fn init_shards() -> usize {
+    if let Some(flag) = std::env::args().find(|a| a.starts_with("--shards=")) {
+        if let Ok(n) = flag["--shards=".len()..].trim().parse::<usize>() {
+            mwc_par::set_shards(n);
+        }
+    }
+    mwc_par::shards()
+}
+
 /// Writes `contents` to `results/<relpath>`, creating directories as
 /// needed, and logs the destination to stderr.
 ///
@@ -141,7 +161,9 @@ impl RunRecorder {
     /// [`RunRecorder::finish`]). Stamps `wall_ms` with the elapsed host
     /// wall-clock since [`RunRecorder::start`] — the one intentionally
     /// non-deterministic field (informational only; `trace_diff` never
-    /// compares it, and determinism tests zero it before comparing).
+    /// compares it, and determinism tests zero it before comparing) —
+    /// and `shards` with the effective engine shard count (also
+    /// informational: sharding never changes a gated metric).
     pub fn into_record(self) -> RunRecord {
         let data = self.session.finish();
         let mut record = RunRecord::from_trace(&self.name, self.params, &data);
@@ -149,6 +171,7 @@ impl RunRecorder {
             record.push_congestion(c);
         }
         record.wall_ms = self.started.elapsed().as_millis() as u64;
+        record.shards = mwc_par::shards() as u64;
         record
     }
 

@@ -1,39 +1,58 @@
 //! Determinism under parallelism: the table bins must produce
-//! byte-identical stdout and run records whether they run on one worker
-//! or four (`MWC_JOBS`), with `wall_ms` — the only field allowed to
-//! differ — zeroed before comparison. This is the end-to-end guarantee
-//! behind `mwc_par::ordered_map` + trace capture-and-graft: the worker
-//! schedule must leave no trace in any artifact the perf gate reads.
+//! byte-identical stdout and run records across both parallelism axes —
+//! worker count (`MWC_JOBS`, sweep items fanned over threads) and engine
+//! shard count (`MWC_SHARDS`, one simulation split across threads) —
+//! with `wall_ms` and `shards`, the only informational fields allowed to
+//! differ, normalized before comparison. This is the end-to-end
+//! guarantee behind `mwc_par::ordered_map` + trace capture-and-graft and
+//! the sharded engine's bucket/fork/graft round kernel: no thread
+//! schedule may leave a trace in any artifact the perf gate reads.
 
 use std::path::{Path, PathBuf};
 
-/// Runs `bin` with `MWC_JOBS=jobs` in a scratch cwd; returns stdout and
-/// the rendered run record with its `wall_ms` line zeroed.
-fn run_bin(bin: &str, arg: &str, record: &str, jobs: &str, scratch: &Path) -> (String, String) {
+/// Runs `bin` with `MWC_JOBS=jobs` and `MWC_SHARDS=shards` in a scratch
+/// cwd; returns stdout and the rendered run record with its `wall_ms`
+/// and `shards` lines normalized to zero (both are informational and
+/// legitimately vary across configurations).
+fn run_bin(
+    bin: &str,
+    arg: &str,
+    record: &str,
+    jobs: &str,
+    shards: &str,
+    scratch: &Path,
+) -> (String, String) {
     let _ = std::fs::remove_dir_all(scratch);
     std::fs::create_dir_all(scratch).unwrap();
     let out = std::process::Command::new(bin)
         .arg(arg)
         .env("MWC_JOBS", jobs)
+        .env("MWC_SHARDS", shards)
+        // Engage the sharded kernel even at test-sized active lists.
+        .env("MWC_SHARD_THRESHOLD", "0")
         .env("MWC_TRACE", "1")
         .current_dir(scratch)
         .output()
         .expect("bench bin runs");
     assert!(
         out.status.success(),
-        "MWC_JOBS={jobs}: {}",
+        "MWC_JOBS={jobs} MWC_SHARDS={shards}: {}",
         String::from_utf8_lossy(&out.stderr)
     );
     let rec = std::fs::read_to_string(scratch.join("results/run_records").join(record)).unwrap();
     let rec = rec
         .lines()
         .map(|l| {
-            if l.trim_start().starts_with("\"wall_ms\":") {
-                let indent = &l[..l.len() - l.trim_start().len()];
-                let comma = if l.trim_end().ends_with(',') { "," } else { "" };
-                format!("{indent}\"wall_ms\": 0{comma}")
-            } else {
-                l.to_string()
+            let field = ["\"wall_ms\":", "\"shards\":"]
+                .iter()
+                .find(|f| l.trim_start().starts_with(*f));
+            match field {
+                Some(f) => {
+                    let indent = &l[..l.len() - l.trim_start().len()];
+                    let comma = if l.trim_end().ends_with(',') { "," } else { "" };
+                    format!("{indent}{f} 0{comma}")
+                }
+                None => l.to_string(),
             }
         })
         .collect::<Vec<_>>()
@@ -45,26 +64,43 @@ fn scratch(case: &str) -> PathBuf {
     std::env::temp_dir().join(format!("mwc-par-determinism-{case}"))
 }
 
-fn assert_jobs_invariant(bin: &str, arg: &str, record: &str, case: &str) {
-    let (out1, rec1) = run_bin(bin, arg, record, "1", &scratch(&format!("{case}-j1")));
-    let (out4, rec4) = run_bin(bin, arg, record, "4", &scratch(&format!("{case}-j4")));
-    assert_eq!(
-        out1, out4,
-        "{case}: stdout differs between MWC_JOBS=1 and 4"
-    );
-    assert_eq!(
-        rec1, rec4,
-        "{case}: run record differs (beyond wall_ms) between MWC_JOBS=1 and 4"
+/// The full 2×2 matrix of jobs {1, 4} × shards {1, 4}: every cell must
+/// match the sequential corner byte for byte, including the cell where
+/// both axes are parallel at once.
+fn assert_parallelism_invariant(bin: &str, arg: &str, record: &str, case: &str) {
+    let (out_base, rec_base) = run_bin(
+        bin,
+        arg,
+        record,
+        "1",
+        "1",
+        &scratch(&format!("{case}-j1-s1")),
     );
     assert!(
-        rec1.contains("\"wall_ms\": 0"),
+        rec_base.contains("\"wall_ms\": 0"),
         "{case}: record should carry a wall_ms field"
     );
+    assert!(
+        rec_base.contains("\"shards\": 0"),
+        "{case}: record should carry a shards field"
+    );
+    for (jobs, shards) in [("4", "1"), ("1", "4"), ("4", "4")] {
+        let dir = scratch(&format!("{case}-j{jobs}-s{shards}"));
+        let (out, rec) = run_bin(bin, arg, record, jobs, shards, &dir);
+        assert_eq!(
+            out, out_base,
+            "{case}: stdout differs at MWC_JOBS={jobs} MWC_SHARDS={shards}"
+        );
+        assert_eq!(
+            rec, rec_base,
+            "{case}: run record differs (beyond wall_ms/shards) at MWC_JOBS={jobs} MWC_SHARDS={shards}"
+        );
+    }
 }
 
 #[test]
-fn table1_girth_is_identical_across_worker_counts() {
-    assert_jobs_invariant(
+fn table1_girth_is_identical_across_worker_and_shard_counts() {
+    assert_parallelism_invariant(
         env!("CARGO_BIN_EXE_table1_girth"),
         "512",
         "table1_girth.json",
@@ -73,8 +109,8 @@ fn table1_girth_is_identical_across_worker_counts() {
 }
 
 #[test]
-fn table1_undirected_weighted_is_identical_across_worker_counts() {
-    assert_jobs_invariant(
+fn table1_undirected_weighted_is_identical_across_worker_and_shard_counts() {
+    assert_parallelism_invariant(
         env!("CARGO_BIN_EXE_table1_undirected_weighted"),
         "128",
         "table1_undirected_weighted.json",
@@ -100,5 +136,30 @@ fn jobs_flag_overrides_env_and_preserves_positional_args() {
     assert!(
         rec.contains("\"max_n\": \"256\""),
         "--jobs must not consume the positional arg: {rec}"
+    );
+}
+
+#[test]
+fn shards_flag_overrides_env_and_is_stamped_on_the_record() {
+    // `--shards=2` must win over MWC_SHARDS=1, be stamped in the record's
+    // informational `shards` field, and leave the positional arg alone.
+    let dir = scratch("shards-flag");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_table1_girth"))
+        .args(["--shards=2", "256"])
+        .env("MWC_SHARDS", "1")
+        .current_dir(&dir)
+        .output()
+        .expect("bench bin runs");
+    assert!(out.status.success());
+    let rec = std::fs::read_to_string(dir.join("results/run_records/table1_girth.json")).unwrap();
+    assert!(
+        rec.contains("\"shards\": 2"),
+        "--shards must be stamped on the record: {rec}"
+    );
+    assert!(
+        rec.contains("\"max_n\": \"256\""),
+        "--shards must not consume the positional arg: {rec}"
     );
 }

@@ -103,15 +103,109 @@ pub struct NetStats {
     pub round_histogram: [u64; HIST_BUCKETS],
 }
 
+impl NetStats {
+    /// Folds `other` into `self` as if one network had recorded both stat
+    /// sets. **Order-independent**: `a.merge(&b)` and `b.merge(&a)` give
+    /// field-identical results (pinned by
+    /// `netstats_merge_is_order_independent`), so capture-and-graft
+    /// fan-ins — per-shard fragments, per-item sweep stats — may combine
+    /// in completion order without leaking it into reports.
+    ///
+    /// Counters (`words`, `messages`, `per_link_words`) add;
+    /// `queue_high_water` takes the max — backpressure high-waters don't
+    /// stack, the worst queue either side saw is the worst overall. The
+    /// congestion timeline is merge-joined by round, summing rounds both
+    /// sides were active in. When **both** sides carry a timeline, the
+    /// round-derived fields (`active_rounds`, `round_histogram`,
+    /// `max_words_in_round`, `peak_round`) are recomputed from the merged
+    /// timeline — the only overlap-exact answer, and the fix for the
+    /// order-dependent folds a naive merge inherits (a round active on
+    /// both sides is one round, not two, and two half-peaks can sum into
+    /// a new global peak). Without both timelines overlaps are invisible,
+    /// so those fields fold conservatively: counts add, and the peak
+    /// keeps the larger max, ties breaking toward the earlier round.
+    pub fn merge(&mut self, other: &NetStats) {
+        self.words += other.words;
+        self.messages += other.messages;
+        if self.per_link_words.len() < other.per_link_words.len() {
+            self.per_link_words.resize(other.per_link_words.len(), 0);
+        }
+        for (acc, w) in self.per_link_words.iter_mut().zip(&other.per_link_words) {
+            *acc += w;
+        }
+        self.queue_high_water = self.queue_high_water.max(other.queue_high_water);
+
+        let both_timelines = !self.words_per_round.is_empty() && !other.words_per_round.is_empty();
+        let (a, b) = (&self.words_per_round, &other.words_per_round);
+        let mut merged = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() || j < b.len() {
+            merged.push(match (a.get(i).copied(), b.get(j).copied()) {
+                (Some((ra, wa)), Some((rb, _))) if ra < rb => {
+                    i += 1;
+                    (ra, wa)
+                }
+                (Some((ra, _)), Some((rb, wb))) if rb < ra => {
+                    j += 1;
+                    (rb, wb)
+                }
+                (Some((ra, wa)), Some((_, wb))) => {
+                    i += 1;
+                    j += 1;
+                    (ra, wa + wb)
+                }
+                (Some((ra, wa)), None) => {
+                    i += 1;
+                    (ra, wa)
+                }
+                (None, Some((rb, wb))) => {
+                    j += 1;
+                    (rb, wb)
+                }
+                (None, None) => unreachable!("loop guard"),
+            });
+        }
+        if both_timelines {
+            self.active_rounds = merged.len() as u64;
+            self.round_histogram = [0; HIST_BUCKETS];
+            self.max_words_in_round = 0;
+            self.peak_round = 0;
+            for &(r, w) in &merged {
+                self.round_histogram[hist_bucket(w)] += 1;
+                if w > self.max_words_in_round {
+                    self.max_words_in_round = w;
+                    self.peak_round = r;
+                }
+            }
+        } else {
+            self.active_rounds += other.active_rounds;
+            for (acc, c) in self.round_histogram.iter_mut().zip(&other.round_histogram) {
+                *acc += c;
+            }
+            let other_peaks = other.max_words_in_round > self.max_words_in_round
+                || (other.max_words_in_round == self.max_words_in_round
+                    && other.max_words_in_round > 0
+                    && other.peak_round < self.peak_round);
+            if other_peaks {
+                self.max_words_in_round = other.max_words_in_round;
+                self.peak_round = other.peak_round;
+            }
+        }
+        self.words_per_round = merged;
+    }
+}
+
 /// A queued message. Endpoints are *not* stored: queues are per-link, so
 /// `from`/`to` are recovered from the link table at delivery time, keeping
 /// the struct (and the per-send copy) as small as the payload allows.
-struct InFlight<M> {
-    payload: M,
+/// `pub(crate)` so the sharded round kernel ([`crate::shard`]) can walk
+/// queue slices directly.
+pub(crate) struct InFlight<M> {
+    pub(crate) payload: M,
     /// Total words of the message (for the event log).
-    words: u64,
-    words_left: u64,
-    latency: u64,
+    pub(crate) words: u64,
+    pub(crate) words_left: u64,
+    pub(crate) latency: u64,
 }
 
 /// The CONGEST network simulator. See the crate docs for the model.
@@ -175,6 +269,10 @@ pub struct Network<M> {
     /// Sequence number in the message-event log, when logging is active
     /// (see [`crate::events`]); `None` keeps the logging path cost-free.
     events_net: Option<u64>,
+    /// Intra-simulation sharding state ([`Network::new_sharded`]); `None`
+    /// (the [`Network::new`] default) keeps every round on the sequential
+    /// path. Boxed so unsharded networks pay one pointer.
+    sharding: Option<Box<crate::shard::Sharding<M>>>,
 }
 
 /// Error returned by [`Network::send`] variants.
@@ -239,7 +337,57 @@ impl<M> Network<M> {
             any_multiword: false,
             scratch_active: Vec::new(),
             events_net: crate::events::next_net_id(),
+            sharding: None,
         }
+    }
+
+    /// [`Network::new`], sharded across [`mwc_par::shards`] engine shards
+    /// when more than one is configured (`--shards=N` / `MWC_SHARDS`).
+    /// This is the constructor the primitives use: sharding is an
+    /// execution strategy, never an observable — see
+    /// [`Network::new_sharded`].
+    pub fn new_auto(graph: &Graph) -> Self
+    where
+        M: Send,
+    {
+        let shards = mwc_par::shards();
+        if shards > 1 {
+            Self::new_sharded(graph, shards)
+        } else {
+            Self::new(graph)
+        }
+    }
+
+    /// [`Network::new`] with round transfers partitioned across `shards`
+    /// contiguous vertex ranges (degree-balanced; see
+    /// [`crate::ShardPlan`]), each stepped on its own worker thread with
+    /// cut-link traffic exchanged at the round barrier.
+    ///
+    /// Every observable — [`RoundOutput`] contents and order, every
+    /// [`NetStats`] field, the message-event log, transit FIFO
+    /// tie-breaking — is **byte-identical** to the unsharded engine for
+    /// any shard count, by construction: shards own disjoint link
+    /// ranges, and the coordinator grafts their completions back in
+    /// active-list order before anything order-sensitive happens (see
+    /// [`crate::shard`]). Rounds with fewer active links than
+    /// [`mwc_par::shard_threshold`] run sequentially; the threshold is
+    /// pure scheduling policy.
+    pub fn new_sharded(graph: &Graph, shards: usize) -> Self
+    where
+        M: Send,
+    {
+        let mut net = Self::new(graph);
+        let degrees: Vec<usize> = net.out_links.iter().map(Vec::len).collect();
+        let plan = crate::shard::ShardPlan::new(&degrees, shards);
+        if plan.shards() > 1 {
+            net.sharding = Some(Box::new(crate::shard::Sharding::new(plan)));
+        }
+        net
+    }
+
+    /// The shard count this network was built with (1 when unsharded).
+    pub fn shards(&self) -> usize {
+        self.sharding.as_ref().map_or(1, |s| s.plan.shards())
     }
 
     /// The network's sequence number in the message-event log, if logging
@@ -407,6 +555,46 @@ impl<M> Network<M> {
         next
     }
 
+    /// Completes a message whose last word left its link this round:
+    /// counts it, logs it, and either delivers it now (zero latency) or
+    /// parks it in transit until its latency expires. Shared by the
+    /// sequential transfer loop and the sharded graft so message
+    /// accounting, event emission, and transit sequence assignment have
+    /// exactly one code path.
+    fn finish_message(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        payload: M,
+        words: u64,
+        latency: u64,
+        out: &mut RoundOutput<M>,
+    ) {
+        let delivery = Delivery { from, to, payload };
+        if latency == 0 {
+            self.stats.messages += 1;
+            if let Some(net) = self.events_net {
+                crate::events::emit_msg(net, self.round, from, to, words);
+            }
+            out.deliveries.push(delivery);
+        } else {
+            let seq = self.transit_seq;
+            self.transit_seq += 1;
+            let slot = match self.transit_free.pop() {
+                Some(s) => {
+                    self.transit_msgs[s as usize] = Some((delivery, words));
+                    s
+                }
+                None => {
+                    self.transit_msgs.push(Some((delivery, words)));
+                    (self.transit_msgs.len() - 1) as u32
+                }
+            };
+            self.transit
+                .push(Reverse((self.round + latency, seq, slot)));
+        }
+    }
+
     /// Advances the simulation by exactly one round and returns what the
     /// nodes observe at its end.
     pub fn step(&mut self) -> RoundOutput<M> {
@@ -441,48 +629,49 @@ impl<M> Network<M> {
         let mut still_active = std::mem::take(&mut self.scratch_active);
         still_active.clear();
         let active = std::mem::take(&mut self.active);
-        for &l in &active {
-            let q = &mut self.queues[l];
-            let head = q.front_mut().expect("active links have queued traffic");
-            head.words_left -= 1;
-            self.stats.words += 1;
-            self.stats.per_link_words[l] += 1;
-            if head.words_left == 0 {
-                let msg = q.pop_front().expect("head exists");
-                let words = msg.words;
-                let (from, to) = self.link_ends[l];
-                let delivery = Delivery {
-                    from,
-                    to,
-                    payload: msg.payload,
-                };
-                if msg.latency == 0 {
-                    self.stats.messages += 1;
-                    if let Some(net) = self.events_net {
-                        crate::events::emit_msg(net, self.round, delivery.from, delivery.to, words);
-                    }
-                    out.deliveries.push(delivery);
+        let engaged = self
+            .sharding
+            .as_ref()
+            .is_some_and(|sh| sh.engaged(active.len()));
+        if engaged {
+            // Sharded round: workers transfer words on disjoint link
+            // ranges; the coordinator grafts completions back in active
+            // order so everything order-sensitive below is bit-identical
+            // to the sequential loop. (The sharding state is taken out of
+            // `self` for the duration so the worker slices and the graft
+            // can borrow disjoint parts of the engine.)
+            let mut sh = self.sharding.take().expect("engaged sharding present");
+            sh.transfer_round(&active, &mut self.queues, &mut self.stats.per_link_words);
+            self.stats.words += transferred;
+            for c in sh.merged.drain(..) {
+                let (from, to) = self.link_ends[c.link as usize];
+                self.finish_message(from, to, c.payload, c.words, c.latency, out);
+            }
+            self.sharding = Some(sh);
+            for &l in &active {
+                if self.queues[l].is_empty() {
+                    self.active_flag[l] = false;
                 } else {
-                    let seq = self.transit_seq;
-                    self.transit_seq += 1;
-                    let slot = match self.transit_free.pop() {
-                        Some(s) => {
-                            self.transit_msgs[s as usize] = Some((delivery, words));
-                            s
-                        }
-                        None => {
-                            self.transit_msgs.push(Some((delivery, words)));
-                            (self.transit_msgs.len() - 1) as u32
-                        }
-                    };
-                    self.transit
-                        .push(Reverse((self.round + msg.latency, seq, slot)));
+                    still_active.push(l);
                 }
             }
-            if q.is_empty() {
-                self.active_flag[l] = false;
-            } else {
-                still_active.push(l);
+        } else {
+            for &l in &active {
+                let q = &mut self.queues[l];
+                let head = q.front_mut().expect("active links have queued traffic");
+                head.words_left -= 1;
+                self.stats.words += 1;
+                self.stats.per_link_words[l] += 1;
+                if head.words_left == 0 {
+                    let msg = q.pop_front().expect("head exists");
+                    let (from, to) = self.link_ends[l];
+                    self.finish_message(from, to, msg.payload, msg.words, msg.latency, out);
+                }
+                if self.queues[l].is_empty() {
+                    self.active_flag[l] = false;
+                } else {
+                    still_active.push(l);
+                }
             }
         }
         self.active = still_active;
@@ -610,10 +799,27 @@ impl<M> Network<M> {
                     }
                 }
                 self.stats.words += skipped * per_round;
-                for &l in &self.active {
-                    let head = self.queues[l].front_mut().expect("active");
-                    head.words_left -= skipped;
-                    self.stats.per_link_words[l] += skipped;
+                let engaged = self
+                    .sharding
+                    .as_ref()
+                    .is_some_and(|sh| sh.engaged(self.active.len()));
+                if engaged {
+                    let mut sh = self.sharding.take().expect("engaged sharding present");
+                    let active = std::mem::take(&mut self.active);
+                    sh.bulk_skip(
+                        &active,
+                        &mut self.queues,
+                        &mut self.stats.per_link_words,
+                        skipped,
+                    );
+                    self.active = active;
+                    self.sharding = Some(sh);
+                } else {
+                    for &l in &self.active {
+                        let head = self.queues[l].front_mut().expect("active");
+                        head.words_left -= skipped;
+                        self.stats.per_link_words[l] += skipped;
+                    }
                 }
                 self.round += skipped;
             }
@@ -914,6 +1120,181 @@ mod tests {
         let fast_log = drain(&mut fast, Network::step_bulk);
         assert_eq!(slow_log, fast_log);
         assert_eq!(slow.stats(), fast.stats());
+    }
+
+    /// A sharded clone of `path3` with the engagement threshold forced to
+    /// 0 so even 2-link rounds take the parallel path.
+    fn sharded_path3(shards: usize) -> Network<u32> {
+        let mut net: Network<u32> = Network::new_sharded(&path3(), shards);
+        if let Some(sh) = net.sharding.as_mut() {
+            sh.force_threshold(0);
+        }
+        net
+    }
+
+    #[test]
+    fn sharded_round_is_bit_identical_to_sequential() {
+        let mut seq: Network<u32> = Network::new(&path3());
+        let mut par = sharded_path3(2);
+        assert_eq!(par.shards(), 2);
+        seq.enable_history();
+        par.enable_history();
+        mixed_load(&mut seq);
+        mixed_load(&mut par);
+        let seq_log = drain(&mut seq, |n| (!n.is_idle()).then(|| n.step()));
+        let par_log = drain(&mut par, |n| (!n.is_idle()).then(|| n.step()));
+        assert_eq!(seq_log, par_log);
+        assert_eq!(seq.round(), par.round());
+        assert_eq!(seq.stats(), par.stats());
+    }
+
+    #[test]
+    fn sharded_bulk_step_is_bit_identical_to_sequential_bulk() {
+        let mut seq: Network<u32> = Network::new(&path3());
+        let mut par = sharded_path3(3);
+        seq.enable_history();
+        par.enable_history();
+        mixed_load(&mut seq);
+        mixed_load(&mut par);
+        let seq_log = drain(&mut seq, Network::step_bulk);
+        let par_log = drain(&mut par, Network::step_bulk);
+        assert_eq!(seq_log, par_log);
+        assert_eq!(seq.stats(), par.stats());
+    }
+
+    #[test]
+    fn sharded_event_log_matches_sequential() {
+        let run = |shards: usize| {
+            let cap = crate::events::EventCapture::memory();
+            let mut net = if shards > 1 {
+                sharded_path3(shards)
+            } else {
+                Network::new(&path3())
+            };
+            mixed_load(&mut net);
+            while net.step_bulk().is_some() {}
+            cap.finish()
+        };
+        let baseline = run(1);
+        assert!(!baseline.is_empty());
+        assert_eq!(run(2), baseline);
+        assert_eq!(run(3), baseline);
+    }
+
+    #[test]
+    fn netstats_merge_is_order_independent() {
+        // Two fragments with overlapping histories: both active in round
+        // 2, disjoint elsewhere, different queue high-waters.
+        let a = NetStats {
+            words: 7,
+            messages: 2,
+            per_link_words: vec![3, 4],
+            words_per_round: vec![(1, 3), (2, 4)],
+            active_rounds: 2,
+            max_words_in_round: 4,
+            peak_round: 2,
+            queue_high_water: 3,
+            round_histogram: {
+                let mut h = [0; HIST_BUCKETS];
+                h[hist_bucket(3)] += 1;
+                h[hist_bucket(4)] += 1;
+                h
+            },
+        };
+        let b = NetStats {
+            words: 9,
+            messages: 1,
+            per_link_words: vec![0, 5, 4],
+            words_per_round: vec![(2, 5), (4, 4)],
+            active_rounds: 2,
+            max_words_in_round: 5,
+            peak_round: 2,
+            queue_high_water: 2,
+            round_histogram: {
+                let mut h = [0; HIST_BUCKETS];
+                h[hist_bucket(5)] += 1;
+                h[hist_bucket(4)] += 1;
+                h
+            },
+        };
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        // The regression this pins: a naive fold gives a different
+        // histogram (and active-round count) depending on merge order
+        // once activity overlaps. The merged timeline is the truth.
+        assert_eq!(ab, ba);
+        assert_eq!(ab.words, 16);
+        assert_eq!(ab.messages, 3);
+        assert_eq!(ab.per_link_words, vec![3, 9, 4]);
+        assert_eq!(ab.words_per_round, vec![(1, 3), (2, 9), (4, 4)]);
+        assert_eq!(ab.active_rounds, 3);
+        // Round 2 carried 4 + 5 = 9 words — a peak neither side saw.
+        assert_eq!(ab.max_words_in_round, 9);
+        assert_eq!(ab.peak_round, 2);
+        assert_eq!(ab.queue_high_water, 3);
+        let mut expect_hist = [0u64; HIST_BUCKETS];
+        expect_hist[hist_bucket(3)] += 1;
+        expect_hist[hist_bucket(9)] += 1;
+        expect_hist[hist_bucket(4)] += 1;
+        assert_eq!(ab.round_histogram, expect_hist);
+    }
+
+    #[test]
+    fn netstats_merge_without_history_breaks_peak_ties_early() {
+        let frag = |max: u64, peak: u64| NetStats {
+            max_words_in_round: max,
+            peak_round: peak,
+            ..NetStats::default()
+        };
+        let mut ab = frag(4, 9);
+        ab.merge(&frag(4, 3));
+        let mut ba = frag(4, 3);
+        ba.merge(&frag(4, 9));
+        assert_eq!(ab, ba);
+        assert_eq!(ab.peak_round, 3);
+        // Zero-max fragments must not drag the peak to round 0.
+        let mut z = frag(4, 9);
+        z.merge(&frag(0, 0));
+        assert_eq!((z.max_words_in_round, z.peak_round), (4, 9));
+        let mut z = frag(0, 0);
+        z.merge(&frag(4, 9));
+        assert_eq!((z.max_words_in_round, z.peak_round), (4, 9));
+    }
+
+    #[test]
+    fn netstats_merge_matches_one_network_recording_both_phases() {
+        // Ground truth: one network runs workload A then workload B.
+        // Merge of two separate same-topology runs must agree on every
+        // additive field (timelines differ by round offsets, so compare
+        // the offset-free fields).
+        let run = |loads: &[fn(&mut Network<u32>)]| {
+            let mut net: Network<u32> = Network::new(&path3());
+            for load in loads {
+                load(&mut net);
+                while !net.is_idle() {
+                    net.step();
+                }
+            }
+            net.stats().clone()
+        };
+        fn load_a(net: &mut Network<u32>) {
+            net.send(0, 1, 1, 3).unwrap();
+            net.send(2, 1, 2, 1).unwrap();
+        }
+        fn load_b(net: &mut Network<u32>) {
+            net.send(1, 0, 3, 2).unwrap();
+        }
+        let combined = run(&[load_a, load_b]);
+        let mut merged = run(&[load_a]);
+        merged.merge(&run(&[load_b]));
+        assert_eq!(merged.words, combined.words);
+        assert_eq!(merged.messages, combined.messages);
+        assert_eq!(merged.per_link_words, combined.per_link_words);
+        assert_eq!(merged.active_rounds, combined.active_rounds);
+        assert_eq!(merged.queue_high_water, combined.queue_high_water);
+        assert_eq!(merged.round_histogram, combined.round_histogram);
     }
 
     #[test]

@@ -51,6 +51,7 @@ mod multibfs;
 mod profile;
 pub mod program;
 pub mod replay;
+mod shard;
 mod tree;
 
 pub use cache::{
@@ -63,4 +64,5 @@ pub use ledger::{Ledger, Phase};
 pub use multibfs::{multi_source_bfs, source_detection, Detection, DetectionLists, MultiBfsSpec};
 pub use profile::{top_links, CongestionProfile, PROFILE_HOT_LINKS};
 pub use replay::{first_divergence, Divergence, EventLog, MsgEvent, PhaseEvent};
+pub use shard::ShardPlan;
 pub use tree::{broadcast, convergecast, convergecast_min, BfsTree};

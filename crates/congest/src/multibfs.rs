@@ -127,7 +127,7 @@ pub fn multi_source_bfs(
     let _span = mwc_trace::span_owned(|| format!("multibfs/{label}"));
     let n = g.n();
     let mut mat = DistMatrix::new(n, sources.to_vec());
-    let mut net: Network<Announce> = Network::new(g);
+    let mut net: Network<Announce> = Network::new_auto(g);
     let plan = FloodPlan::build(g, &net, spec.direction, spec.latency);
 
     // outbox[v]: fresh announcements not yet forwarded, smallest first.
@@ -301,7 +301,7 @@ pub fn source_detection(
     }
     let _span = mwc_trace::span_owned(|| format!("detect/{label}"));
     let n = g.n();
-    let mut net: Network<(u32, Weight)> = Network::new(g);
+    let mut net: Network<(u32, Weight)> = Network::new_auto(g);
     let plan = FloodPlan::build(g, &net, direction, latency);
 
     // Per node: current best (distance, pred) per source, the top-σ set,

@@ -39,7 +39,7 @@ impl BfsTree {
     pub fn build(g: &Graph, root: NodeId, ledger: &mut Ledger) -> BfsTree {
         let _span = mwc_trace::span("tree/build");
         let n = g.n();
-        let mut net: Network<u64> = Network::new(g);
+        let mut net: Network<u64> = Network::new_auto(g);
         let mut parent: Vec<Option<NodeId>> = vec![None; n];
         let mut depth = vec![usize::MAX; n];
         depth[root] = 0;
@@ -96,7 +96,7 @@ impl BfsTree {
 ///
 /// Returns the items in a deterministic (engine-arrival) order together
 /// with their origins; conceptually every node now holds this list.
-pub fn broadcast<T: Clone>(
+pub fn broadcast<T: Clone + Send>(
     g: &Graph,
     tree: &BfsTree,
     items: Vec<(NodeId, T)>,
@@ -106,7 +106,7 @@ pub fn broadcast<T: Clone>(
     let _span = mwc_trace::span("tree/broadcast");
     let n = g.n();
     // Upcast: every node forwards items toward the root.
-    let mut net: Network<(NodeId, T)> = Network::new(g);
+    let mut net: Network<(NodeId, T)> = Network::new_auto(g);
     let mut collected: Vec<(NodeId, T)> = Vec::with_capacity(items.len());
     for (origin, item) in items {
         match tree.parent[origin] {
@@ -132,7 +132,7 @@ pub fn broadcast<T: Clone>(
     let up_rounds = net.round();
 
     // Downcast: the root streams the full list down every tree edge.
-    let mut net: Network<(NodeId, T)> = Network::new(g);
+    let mut net: Network<(NodeId, T)> = Network::new_auto(g);
     let mut received: Vec<usize> = vec![0; n];
     for &c in &tree.children[tree.root] {
         for item in &collected {
@@ -175,7 +175,7 @@ pub fn convergecast<T, F>(
     ledger: &mut Ledger,
 ) -> T
 where
-    T: Copy,
+    T: Copy + Send,
     F: Fn(T, T) -> T,
 {
     let _span = mwc_trace::span("tree/convergecast");
@@ -183,7 +183,7 @@ where
     assert_eq!(values.len(), n, "one value per node");
     let mut pending: Vec<usize> = (0..n).map(|v| tree.children[v].len()).collect();
     let mut acc: Vec<T> = values;
-    let mut net: Network<T> = Network::new(g);
+    let mut net: Network<T> = Network::new_auto(g);
     // Leaves start immediately; internal nodes send once all children
     // reported.
     for v in 0..n {
@@ -212,7 +212,7 @@ where
 
     // Flood the result down so every node knows it (the paper requires
     // every node to know the final MWC weight).
-    let mut net: Network<T> = Network::new(g);
+    let mut net: Network<T> = Network::new_auto(g);
     for &c in &tree.children[tree.root] {
         net.send(tree.root, c, result, 1)
             .expect("tree edges are links");

@@ -120,7 +120,7 @@ pub fn shortest_cycle_within(g: &Graph, q: u64) -> MwcOutcome {
             })
             .collect();
         let mut net: mwc_congest::Network<std::sync::Arc<Vec<(u32, Weight, u32)>>> =
-            mwc_congest::Network::new(g);
+            mwc_congest::Network::new_auto(g);
         for v in 0..n {
             for w in g.comm_neighbors(v) {
                 let words = (2 * entries[v].len() as u64).max(1);

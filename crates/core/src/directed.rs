@@ -439,7 +439,7 @@ fn short_cycles_restricted_bfs(
 
     // Line 11: every node sends {(d(v,s), d(s,v))} to each neighbor —
     // a 2|S|-word bulk exchange, O(|S|) rounds.
-    let mut net: Network<(Arc<Vec<Weight>>, Arc<Vec<Weight>>)> = Network::new(g);
+    let mut net: Network<(Arc<Vec<Weight>>, Arc<Vec<Weight>>)> = Network::new_auto(g);
     for v in 0..n {
         for w in g.comm_neighbors(v) {
             net.send(
@@ -491,7 +491,7 @@ fn short_cycles_restricted_bfs(
     };
     let window = max_stretch + 1;
     let mut future: Vec<Vec<(NodeId, NodeId, BfsMsg)>> = vec![Vec::new(); window];
-    let mut bfs_net: Network<()> = Network::new(g); // round accounting only
+    let mut bfs_net: Network<()> = Network::new_auto(g); // round accounting only
     let mut phase_rounds_total = 0u64;
 
     for phase in 1..=max_phase {

@@ -11,7 +11,7 @@ use std::sync::Arc;
 /// Sends `values[v]` from every `v` to each of its neighbors as a
 /// `words`-word message; returns, per node, the map *neighbor → their
 /// value*. Costs `O(words)` rounds (all links run in parallel).
-pub(crate) fn exchange_with_neighbors<T: Clone>(
+pub(crate) fn exchange_with_neighbors<T: Clone + Send>(
     g: &Graph,
     values: &[T],
     words: u64,
@@ -20,7 +20,7 @@ pub(crate) fn exchange_with_neighbors<T: Clone>(
 ) -> Vec<HashMap<NodeId, T>> {
     let n = g.n();
     assert_eq!(values.len(), n, "one value per node");
-    let mut net: Network<T> = Network::new(g);
+    let mut net: Network<T> = Network::new_auto(g);
     for v in 0..n {
         for w in g.comm_neighbors(v) {
             net.send(v, w, values[v].clone(), words)

@@ -18,6 +18,15 @@
 //! 2. the `MWC_JOBS` environment variable;
 //! 3. `1` (sequential; parallelism is strictly opt-in so default runs stay
 //!    byte-for-byte comparable to the pre-pool codebase by construction).
+//!
+//! Two axes of parallelism share this crate. `ordered_map` parallelizes
+//! **across** independent work items (sweep configs). [`fork_join`] is the
+//! round-barrier primitive for parallelism **inside** one simulation: the
+//! CONGEST engine splits a round's link work into per-shard tasks, forks
+//! one thread per shard, and the scope join is the barrier at which the
+//! coordinator grafts shard results back in deterministic order. Shard
+//! count resolves like the worker count ([`set_shards`] → `MWC_SHARDS` →
+//! 1) so `--jobs` and `--shards` compose without interfering.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -44,6 +53,93 @@ pub fn jobs() -> usize {
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&n| n > 0)
         .unwrap_or(1)
+}
+
+/// Process-wide override set by [`set_shards`]; `0` = unset.
+static SHARDS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Stored as `threshold + 1` so `0` can mean "unset" while a threshold of
+/// `0` (always shard) stays expressible for tests.
+static SHARD_THRESHOLD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Active-link count below which the engine's sharded round path is not
+/// worth a fork-join: per-link work is a few nanoseconds, so a round has
+/// to carry thousands of busy links before spawning threads wins.
+/// Sharding never changes output (the differential suite pins this), so
+/// the threshold is pure scheduling policy.
+pub const DEFAULT_SHARD_THRESHOLD: usize = 4096;
+
+/// Overrides the engine shard count for the whole process (clamped to
+/// ≥ 1). Bench bins call this when given a `--shards=N` flag; it wins
+/// over `MWC_SHARDS`.
+pub fn set_shards(n: usize) {
+    SHARDS_OVERRIDE.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The effective engine shard count: [`set_shards`] override, else
+/// `MWC_SHARDS`, else 1 (unsharded; like jobs, intra-simulation
+/// parallelism is strictly opt-in).
+pub fn shards() -> usize {
+    let o = SHARDS_OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
+    std::env::var("MWC_SHARDS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
+/// Overrides the sharding engagement threshold (see
+/// [`DEFAULT_SHARD_THRESHOLD`]). `0` means "always engage" — the
+/// differential tests use that to force tiny graphs through the sharded
+/// path.
+pub fn set_shard_threshold(n: usize) {
+    SHARD_THRESHOLD_OVERRIDE.store(n + 1, Ordering::Relaxed);
+}
+
+/// The effective sharding engagement threshold:
+/// [`set_shard_threshold`] override, else `MWC_SHARD_THRESHOLD`, else
+/// [`DEFAULT_SHARD_THRESHOLD`].
+pub fn shard_threshold() -> usize {
+    let o = SHARD_THRESHOLD_OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o - 1;
+    }
+    std::env::var("MWC_SHARD_THRESHOLD")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(DEFAULT_SHARD_THRESHOLD)
+}
+
+/// Runs every task on its own thread and returns only when all of them
+/// finished — the round barrier for barrier-synchronized shard stepping.
+/// Task 0 runs on the calling thread (the common `len() == 1` case pays
+/// for no spawn at all); the scope join is the barrier.
+///
+/// Determinism is the caller's job: tasks must own disjoint state (the
+/// engine hands each shard its own queue/stats slices) and the caller
+/// merges anything order-sensitive after the join, in task order — the
+/// same capture-and-graft discipline as [`ordered_map`].
+///
+/// A panic in any task propagates to the caller after the scope joins.
+pub fn fork_join<T, F>(tasks: Vec<T>, f: F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    let mut iter = tasks.into_iter();
+    let Some(first) = iter.next() else {
+        return;
+    };
+    let f = &f;
+    std::thread::scope(|s| {
+        for t in iter {
+            s.spawn(move || f(t));
+        }
+        f(first);
+    });
 }
 
 /// Maps `f` over `items` on [`jobs`] worker threads, returning results in
@@ -162,6 +258,50 @@ mod tests {
         let items: Vec<String> = (0..10).map(|i| format!("s{i}")).collect();
         let got = ordered_map_jobs(items, 3, |s| s.len());
         assert_eq!(got, vec![2; 10]);
+    }
+
+    #[test]
+    fn fork_join_runs_every_task_to_completion() {
+        use std::sync::atomic::AtomicU64;
+        let hits: Vec<AtomicU64> = (0..7).map(|_| AtomicU64::new(0)).collect();
+        let tasks: Vec<usize> = (0..7).collect();
+        fork_join(tasks, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        // The call returning IS the barrier: every task ran exactly once.
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "task {i}");
+        }
+    }
+
+    #[test]
+    fn fork_join_handles_empty_and_single() {
+        fork_join(Vec::<u8>::new(), |_| panic!("no tasks to run"));
+        let ran = AtomicUsize::new(0);
+        fork_join(vec![5usize], |x| {
+            ran.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn fork_join_task_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            fork_join(vec![1, 2, 3], |x| assert_ne!(x, 2, "boom"));
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn shard_threshold_override_expresses_zero() {
+        // Not run in parallel with other threshold readers: overrides are
+        // process-wide, so this test owns the knob for its duration.
+        assert_eq!(shard_threshold(), DEFAULT_SHARD_THRESHOLD);
+        set_shard_threshold(0);
+        assert_eq!(shard_threshold(), 0);
+        set_shard_threshold(128);
+        assert_eq!(shard_threshold(), 128);
+        SHARD_THRESHOLD_OVERRIDE.store(0, Ordering::Relaxed);
     }
 
     #[test]

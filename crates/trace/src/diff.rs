@@ -534,6 +534,7 @@ mod tests {
             messages: 50,
             rounds_saved: 12,
             wall_ms: 0,
+            shards: 0,
             spans: vec![
                 SpanMetrics {
                     path: "a".into(),
