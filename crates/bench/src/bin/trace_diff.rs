@@ -66,10 +66,21 @@ fn totals_json(r: &RunRecord) -> Json {
         ("messages", Json::U64(r.messages)),
         ("rounds_saved", Json::U64(r.rounds_saved)),
         // Informational only (never gated): the wall-clock trajectory and
-        // the engine shard count the record was produced under.
+        // the parallelism knobs the record was produced under.
         ("wall_ms", Json::U64(r.wall_ms)),
         ("shards", Json::U64(r.shards)),
+        ("jobs", Json::U64(r.jobs)),
     ])
+}
+
+/// One human-report line for the informational fields — printed, never
+/// gated, so the reader sees the wall-clock/parallelism context instead
+/// of the report silently dropping it.
+fn info_line(base: &RunRecord, fresh: &RunRecord) -> String {
+    format!(
+        "{:<16} wall_ms {} -> {}, shards {} -> {}, jobs {} -> {} (informational, never gated)\n",
+        "info", base.wall_ms, fresh.wall_ms, base.shards, fresh.shards, base.jobs, fresh.jobs
+    )
 }
 
 fn main() {
@@ -95,6 +106,7 @@ fn main() {
 
     let mut diffs: Vec<RunDiff> = Vec::new();
     let mut trajectory: Vec<Json> = Vec::new();
+    let mut info_lines: BTreeMap<String, String> = BTreeMap::new();
     for name in &names {
         let diff = match (base.get(name), fresh.get(name)) {
             (Some(_), None) => incomparable(
@@ -115,6 +127,7 @@ fn main() {
                         ("base", totals_json(&b)),
                         ("fresh", totals_json(&f)),
                     ]));
+                    info_lines.insert(name.clone(), info_line(&b, &f));
                     diff_records(&b, &f, &cfg)
                 }
                 (Err(e), _) => incomparable(name, format!("baseline unparsable: {e}")),
@@ -130,6 +143,9 @@ fn main() {
     let mut human = String::new();
     for d in &diffs {
         human.push_str(&d.render());
+        if let Some(info) = info_lines.get(&d.name) {
+            human.push_str(info);
+        }
         human.push('\n');
     }
     human.push_str(&format!(

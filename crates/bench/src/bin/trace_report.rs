@@ -101,6 +101,7 @@ fn main() {
     let mut record =
         RunRecord::from_trace("trace_report", [("n".to_owned(), n.to_string())], &data);
     record.shards = mwc_par::shards() as u64;
+    report::save_metrics_exposition(&record);
     report::save_artifact(
         &format!("{}/trace_report.json", report::RUN_RECORD_DIR),
         &record.render(),

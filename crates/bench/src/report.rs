@@ -132,9 +132,11 @@ pub struct RunRecorder {
 
 impl RunRecorder {
     /// Starts recording: opens an in-memory trace session and the
-    /// wall-clock stopwatch. `name` is by convention the binary name — the
-    /// baseline pairing key.
+    /// wall-clock stopwatch, and zeroes the process-wide `mwc-par` worker
+    /// counters so the record's `workers` tally covers exactly this run.
+    /// `name` is by convention the binary name — the baseline pairing key.
     pub fn start(name: &str) -> RunRecorder {
+        mwc_par::reset_worker_counters();
         RunRecorder {
             name: name.to_owned(),
             params: Vec::new(),
@@ -162,8 +164,8 @@ impl RunRecorder {
     /// wall-clock since [`RunRecorder::start`] — the one intentionally
     /// non-deterministic field (informational only; `trace_diff` never
     /// compares it, and determinism tests zero it before comparing) —
-    /// and `shards` with the effective engine shard count (also
-    /// informational: sharding never changes a gated metric).
+    /// and `shards`/`jobs`/`workers` (also informational: parallelism
+    /// knobs and pool counters never change a gated metric).
     pub fn into_record(self) -> RunRecord {
         let data = self.session.finish();
         let mut record = RunRecord::from_trace(&self.name, self.params, &data);
@@ -172,20 +174,49 @@ impl RunRecorder {
         }
         record.wall_ms = self.started.elapsed().as_millis() as u64;
         record.shards = mwc_par::shards() as u64;
+        record.jobs = mwc_par::jobs() as u64;
+        let w = mwc_par::worker_counters();
+        record.workers = mwc_trace::WorkerTally {
+            tasks_executed: w.tasks_executed,
+            items_grafted: w.items_grafted,
+            idle_joins: w.idle_joins,
+            busy_ms: w.busy_ns / 1_000_000,
+        };
         record
     }
 
     /// Finishes the trace and writes
-    /// `results/run_records/<name>.json`.
+    /// `results/run_records/<name>.json` plus the OpenMetrics exposition
+    /// of the same record as `results/metrics.prom` (validated before it
+    /// lands — an unparsable exposition is a bug, not an artifact).
     ///
     /// # Panics
     ///
-    /// Panics on I/O errors, like [`save_artifact`].
+    /// Panics on I/O errors, like [`save_artifact`], or when the rendered
+    /// exposition fails [`mwc_trace::validate_openmetrics`].
     pub fn finish(self) -> PathBuf {
         let relpath = format!("{RUN_RECORD_DIR}/{}.json", self.name);
         let record = self.into_record();
+        save_metrics_exposition(&record);
         save_artifact(&relpath, &record.render())
     }
+}
+
+/// Renders `record` as an OpenMetrics exposition and writes it to
+/// `results/metrics.prom`, validating it first (an unparsable exposition
+/// is a bug, not an artifact). Shared by [`RunRecorder::finish`] and the
+/// bins that build their [`RunRecord`] directly.
+///
+/// # Panics
+///
+/// Panics on I/O errors, like [`save_artifact`], or when the rendered
+/// exposition fails [`mwc_trace::validate_openmetrics`].
+pub fn save_metrics_exposition(record: &RunRecord) -> PathBuf {
+    let mut registry = mwc_trace::MetricsRegistry::new();
+    registry.add(record);
+    let exposition = registry.render();
+    mwc_trace::validate_openmetrics(&exposition).expect("exposition validates");
+    save_artifact("metrics.prom", &exposition)
 }
 
 #[cfg(test)]
@@ -218,9 +249,12 @@ mod tests {
             ledger.absorb("hop", &net);
             rec.congestion("hop", &ledger);
             let mut record = rec.into_record();
-            // wall_ms is the one intentionally machine-dependent field.
+            // wall_ms and the worker tally are the intentionally
+            // machine-dependent fields (the counters are process-global,
+            // so concurrent tests can bump them mid-build).
             assert!(record.render().contains("\"wall_ms\""));
             record.wall_ms = 0;
+            record.workers = Default::default();
             record
         };
         let (a, b) = (build(), build());

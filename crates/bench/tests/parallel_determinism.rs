@@ -1,19 +1,35 @@
 //! Determinism under parallelism: the table bins must produce
-//! byte-identical stdout and run records across both parallelism axes —
-//! worker count (`MWC_JOBS`, sweep items fanned over threads) and engine
-//! shard count (`MWC_SHARDS`, one simulation split across threads) —
-//! with `wall_ms` and `shards`, the only informational fields allowed to
-//! differ, normalized before comparison. This is the end-to-end
-//! guarantee behind `mwc_par::ordered_map` + trace capture-and-graft and
-//! the sharded engine's bucket/fork/graft round kernel: no thread
-//! schedule may leave a trace in any artifact the perf gate reads.
+//! byte-identical stdout, run records, and OpenMetrics expositions
+//! across both parallelism axes — worker count (`MWC_JOBS`, sweep items
+//! fanned over threads) and engine shard count (`MWC_SHARDS`, one
+//! simulation split across threads) — with the informational fields
+//! (`wall_ms`, `shards`, `jobs`, the `workers` tally; `mwc_info_`
+//! samples in the exposition) normalized before comparison. This is the
+//! end-to-end guarantee behind `mwc_par::ordered_map` + trace
+//! capture-and-graft and the sharded engine's bucket/fork/graft round
+//! kernel: no thread schedule may leave a trace in any artifact the
+//! perf gate reads.
 
 use std::path::{Path, PathBuf};
 
+/// JSON members that are informational by contract: stamped on every
+/// record, legitimately varying across configurations, and normalized to
+/// zero before byte comparison.
+const INFORMATIONAL_FIELDS: &[&str] = &[
+    "\"wall_ms\":",
+    "\"shards\":",
+    "\"jobs\":",
+    "\"tasks_executed\":",
+    "\"items_grafted\":",
+    "\"idle_joins\":",
+    "\"busy_ms\":",
+];
+
 /// Runs `bin` with `MWC_JOBS=jobs` and `MWC_SHARDS=shards` in a scratch
-/// cwd; returns stdout and the rendered run record with its `wall_ms`
-/// and `shards` lines normalized to zero (both are informational and
-/// legitimately vary across configurations).
+/// cwd; returns stdout, the rendered run record with its informational
+/// member lines normalized to zero, and the OpenMetrics exposition with
+/// its `mwc_info_`-prefixed sample lines dropped (same contract: those
+/// are the run-dependent samples).
 fn run_bin(
     bin: &str,
     arg: &str,
@@ -21,7 +37,7 @@ fn run_bin(
     jobs: &str,
     shards: &str,
     scratch: &Path,
-) -> (String, String) {
+) -> (String, String, String) {
     let _ = std::fs::remove_dir_all(scratch);
     std::fs::create_dir_all(scratch).unwrap();
     let out = std::process::Command::new(bin)
@@ -43,7 +59,7 @@ fn run_bin(
     let rec = rec
         .lines()
         .map(|l| {
-            let field = ["\"wall_ms\":", "\"shards\":"]
+            let field = INFORMATIONAL_FIELDS
                 .iter()
                 .find(|f| l.trim_start().starts_with(*f));
             match field {
@@ -57,7 +73,13 @@ fn run_bin(
         })
         .collect::<Vec<_>>()
         .join("\n");
-    (String::from_utf8_lossy(&out.stdout).into_owned(), rec)
+    let prom = std::fs::read_to_string(scratch.join("results/metrics.prom")).unwrap();
+    let prom = prom
+        .lines()
+        .filter(|l| !l.starts_with("mwc_info_"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    (String::from_utf8_lossy(&out.stdout).into_owned(), rec, prom)
 }
 
 fn scratch(case: &str) -> PathBuf {
@@ -68,7 +90,7 @@ fn scratch(case: &str) -> PathBuf {
 /// match the sequential corner byte for byte, including the cell where
 /// both axes are parallel at once.
 fn assert_parallelism_invariant(bin: &str, arg: &str, record: &str, case: &str) {
-    let (out_base, rec_base) = run_bin(
+    let (out_base, rec_base, prom_base) = run_bin(
         bin,
         arg,
         record,
@@ -76,24 +98,35 @@ fn assert_parallelism_invariant(bin: &str, arg: &str, record: &str, case: &str) 
         "1",
         &scratch(&format!("{case}-j1-s1")),
     );
+    for field in [
+        "\"wall_ms\": 0",
+        "\"shards\": 0",
+        "\"jobs\": 0",
+        "\"tasks_executed\": 0",
+    ] {
+        assert!(
+            rec_base.contains(field),
+            "{case}: record should carry a (normalized) {field} member"
+        );
+    }
     assert!(
-        rec_base.contains("\"wall_ms\": 0"),
-        "{case}: record should carry a wall_ms field"
-    );
-    assert!(
-        rec_base.contains("\"shards\": 0"),
-        "{case}: record should carry a shards field"
+        prom_base.contains("mwc_rounds_total"),
+        "{case}: exposition should carry gated samples"
     );
     for (jobs, shards) in [("4", "1"), ("1", "4"), ("4", "4")] {
         let dir = scratch(&format!("{case}-j{jobs}-s{shards}"));
-        let (out, rec) = run_bin(bin, arg, record, jobs, shards, &dir);
+        let (out, rec, prom) = run_bin(bin, arg, record, jobs, shards, &dir);
         assert_eq!(
             out, out_base,
             "{case}: stdout differs at MWC_JOBS={jobs} MWC_SHARDS={shards}"
         );
         assert_eq!(
             rec, rec_base,
-            "{case}: run record differs (beyond wall_ms/shards) at MWC_JOBS={jobs} MWC_SHARDS={shards}"
+            "{case}: run record differs (beyond informational fields) at MWC_JOBS={jobs} MWC_SHARDS={shards}"
+        );
+        assert_eq!(
+            prom, prom_base,
+            "{case}: metrics.prom differs (beyond mwc_info_ samples) at MWC_JOBS={jobs} MWC_SHARDS={shards}"
         );
     }
 }

@@ -227,7 +227,23 @@ pub struct CacheScope {
 impl Drop for CacheScope {
     fn drop(&mut self) {
         if self.installed {
-            ACTIVE.with(|a| a.borrow_mut().take());
+            let cache = ACTIVE.with(|a| a.borrow_mut().take());
+            // The scope owns its cache's whole life, so teardown is the
+            // one point the final hit/miss tally exists — report it to
+            // the active trace (a no-op when tracing is off or the scope
+            // saw no cache traffic).
+            if let Some(cache) = cache {
+                let s = cache.stats;
+                if s != CacheStats::default() {
+                    mwc_trace::add_cache_stats(
+                        s.tree_hits,
+                        s.tree_misses,
+                        s.latency_hits,
+                        s.latency_misses,
+                        s.rounds_saved,
+                    );
+                }
+            }
         }
     }
 }

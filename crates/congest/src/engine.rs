@@ -80,6 +80,11 @@ pub struct NetStats {
     /// Words transferred per directed link (parallel to the engine's link
     /// table); used by the lower-bound harness for cut accounting.
     pub per_link_words: Vec<u64>,
+    /// High-water mark of each directed link's send-queue depth (parallel
+    /// to `per_link_words`). Updated at send time on the coordinator
+    /// thread, so it is deterministic for any shard count; the canonical
+    /// shard profile ([`crate::ShardProfile`]) folds it per shard.
+    pub per_link_queue_high: Vec<u64>,
     /// When history is enabled ([`Network::enable_history`]): `(round,
     /// words transferred that round)` for every non-quiet round — the
     /// congestion timeline used by the scheduling ablations.
@@ -113,7 +118,9 @@ impl NetStats {
     ///
     /// Counters (`words`, `messages`, `per_link_words`) add;
     /// `queue_high_water` takes the max — backpressure high-waters don't
-    /// stack, the worst queue either side saw is the worst overall. The
+    /// stack, the worst queue either side saw is the worst overall — and
+    /// `per_link_queue_high` takes the elementwise max for the same
+    /// reason. The
     /// congestion timeline is merge-joined by round, summing rounds both
     /// sides were active in. When **both** sides carry a timeline, the
     /// round-derived fields (`active_rounds`, `round_histogram`,
@@ -132,6 +139,17 @@ impl NetStats {
         }
         for (acc, w) in self.per_link_words.iter_mut().zip(&other.per_link_words) {
             *acc += w;
+        }
+        if self.per_link_queue_high.len() < other.per_link_queue_high.len() {
+            self.per_link_queue_high
+                .resize(other.per_link_queue_high.len(), 0);
+        }
+        for (acc, q) in self
+            .per_link_queue_high
+            .iter_mut()
+            .zip(&other.per_link_queue_high)
+        {
+            *acc = (*acc).max(*q);
         }
         self.queue_high_water = self.queue_high_water.max(other.queue_high_water);
 
@@ -331,6 +349,7 @@ impl<M> Network<M> {
             wakeups: BinaryHeap::new(),
             stats: NetStats {
                 per_link_words: vec![0; m],
+                per_link_queue_high: vec![0; m],
                 ..NetStats::default()
             },
             history: false,
@@ -521,6 +540,11 @@ impl<M> Network<M> {
         let depth = self.queues[l].len() as u64;
         if depth > self.stats.queue_high_water {
             self.stats.queue_high_water = depth;
+        }
+        // A queue's depth peaks immediately after a push, so send time is
+        // the only point the per-link high-water can move.
+        if depth > self.stats.per_link_queue_high[l] {
+            self.stats.per_link_queue_high[l] = depth;
         }
         if !self.active_flag[l] {
             self.active_flag[l] = true;
@@ -1189,6 +1213,7 @@ mod tests {
             words: 7,
             messages: 2,
             per_link_words: vec![3, 4],
+            per_link_queue_high: vec![2, 1],
             words_per_round: vec![(1, 3), (2, 4)],
             active_rounds: 2,
             max_words_in_round: 4,
@@ -1205,6 +1230,7 @@ mod tests {
             words: 9,
             messages: 1,
             per_link_words: vec![0, 5, 4],
+            per_link_queue_high: vec![1, 3, 2],
             words_per_round: vec![(2, 5), (4, 4)],
             active_rounds: 2,
             max_words_in_round: 5,
@@ -1228,6 +1254,7 @@ mod tests {
         assert_eq!(ab.words, 16);
         assert_eq!(ab.messages, 3);
         assert_eq!(ab.per_link_words, vec![3, 9, 4]);
+        assert_eq!(ab.per_link_queue_high, vec![2, 3, 2]);
         assert_eq!(ab.words_per_round, vec![(1, 3), (2, 9), (4, 4)]);
         assert_eq!(ab.active_rounds, 3);
         // Round 2 carried 4 + 5 = 9 words — a peak neither side saw.

@@ -64,5 +64,5 @@ pub use ledger::{Ledger, Phase};
 pub use multibfs::{multi_source_bfs, source_detection, Detection, DetectionLists, MultiBfsSpec};
 pub use profile::{top_links, CongestionProfile, PROFILE_HOT_LINKS};
 pub use replay::{first_divergence, Divergence, EventLog, MsgEvent, PhaseEvent};
-pub use shard::ShardPlan;
+pub use shard::{ShardPlan, ShardProfile, PROFILE_SHARDS};
 pub use tree::{broadcast, convergecast, convergecast_min, BfsTree};

@@ -13,6 +13,8 @@
 //! - the ledger's congestion history (`words_per_round`), hot links, and
 //!   totals,
 //! - the [`DistMatrix`] digest and the full detection lists,
+//! - the phase-cache `CacheStats` counters and the ledger's canonical
+//!   `ShardProfile` (per-reference-shard links/words/queue highs),
 //! - the `MWC_TRACE_EVENTS` event log, line for line.
 //!
 //! The shard knobs are process globals, so runs take a lock and restore
@@ -22,8 +24,8 @@
 use std::sync::{Mutex, MutexGuard};
 
 use mwc_congest::{
-    broadcast, convergecast_min, multi_source_bfs, source_detection, BfsTree, DetectionLists,
-    EventCapture, Ledger, MultiBfsSpec, Network, RoundOutput,
+    broadcast, convergecast_min, multi_source_bfs, source_detection, CacheStats, DetectionLists,
+    EventCapture, Ledger, MultiBfsSpec, Network, PhaseCache, RoundOutput, ShardProfile,
 };
 use mwc_graph::generators::{connected_gnm, ring_with_chords, WeightRange};
 use mwc_graph::seq::Direction;
@@ -66,6 +68,8 @@ struct Observed {
     hot_links: Vec<((NodeId, NodeId), u64)>,
     totals: (u64, u64, u64, u64),
     tree_min: u64,
+    cache_stats: CacheStats,
+    shard_profile: ShardProfile,
 }
 
 /// A delivery-driven phase with history on: every node seeds tokens of
@@ -115,7 +119,13 @@ fn observe(g: &Graph, direction: Direction, shards: usize) -> Observed {
     let session = TraceSession::memory();
     let mut ledger = Ledger::new();
 
-    let tree = BfsTree::build(g, 0, &mut ledger);
+    // Build the tree through the phase cache, twice: the second build is
+    // a hit, so the run exercises the CacheStats counters (and the
+    // ledger's rounds_saved credit) that must stay shard-invariant.
+    let cache = PhaseCache::scope();
+    let tree = PhaseCache::bfs_tree(g, 0, &mut ledger);
+    let tree_again = PhaseCache::bfs_tree(g, 0, &mut ledger);
+    assert_eq!(tree.parent, tree_again.parent, "cache replays the tree");
     let items: Vec<(NodeId, u32)> = (0..g.n()).step_by(3).map(|v| (v, v as u32)).collect();
     let _gathered = broadcast(g, &tree, items, 2, &mut ledger);
     let values: Vec<u64> = (0..g.n() as u64).map(|v| v * 7 % 23 + 1).collect();
@@ -130,6 +140,12 @@ fn observe(g: &Graph, direction: Direction, shards: usize) -> Observed {
     };
     let mat = multi_source_bfs(g, &sources, &spec, "probe", &mut ledger);
     let det = source_detection(g, &sources, 64, 3, direction, None, "probe", &mut ledger);
+
+    // Capture the counters, then drop the scope BEFORE finishing the
+    // session so the cache event lands in this session's trace (and the
+    // record's gated `cache` tally is populated).
+    let cache_stats = PhaseCache::stats().expect("scope is active");
+    drop(cache);
 
     let mut record = RunRecord::from_trace(
         "shard_probe",
@@ -152,6 +168,8 @@ fn observe(g: &Graph, direction: Direction, shards: usize) -> Observed {
             ledger.rounds_saved,
         ),
         tree_min,
+        cache_stats,
+        shard_profile: ledger.shard_profile(),
     }
 }
 
@@ -160,6 +178,20 @@ fn assert_shard_invariant(g: &Graph, direction: Direction, family: &str) {
     assert!(
         !baseline.history.is_empty(),
         "{family}: the history-enabled phase must populate the ledger"
+    );
+    assert!(
+        baseline.cache_stats.tree_hits >= 1 && baseline.totals.3 > 0,
+        "{family}: the pipeline must exercise the phase cache"
+    );
+    assert!(
+        !baseline.shard_profile.words.is_empty()
+            && baseline.shard_profile.imbalance_milli() >= 1000,
+        "{family}: the ledger must carry a canonical shard profile"
+    );
+    assert!(
+        baseline.record.contains("\"tree_hits\": 1")
+            && baseline.record.contains("\"shard_imbalance_milli\":"),
+        "{family}: the record must carry the gated cache/shard metrics"
     );
     for shards in [2, 4, 8] {
         let got = observe(g, direction, shards);

@@ -28,8 +28,9 @@
 //! count resolves like the worker count ([`set_shards`] → `MWC_SHARDS` →
 //! 1) so `--jobs` and `--shards` compose without interfering.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Process-wide override set by [`set_jobs`]; `0` = unset.
 static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -113,6 +114,58 @@ pub fn shard_threshold() -> usize {
         .unwrap_or(DEFAULT_SHARD_THRESHOLD)
 }
 
+/// Fork-join tasks executed (every task body run by [`fork_join`]).
+static TASKS_EXECUTED: AtomicU64 = AtomicU64::new(0);
+/// Items mapped by [`ordered_map_jobs`] and joined back in input order.
+static ITEMS_GRAFTED: AtomicU64 = AtomicU64::new(0);
+/// Pool entry points that stayed inline (≤ 1 task/item or 1 worker) and
+/// therefore spawned no thread.
+static IDLE_JOINS: AtomicU64 = AtomicU64::new(0);
+/// Coordinator wall-time spent inside pool entry points, nanoseconds.
+/// Machine-dependent — informational only, like a run record's `wall_ms`.
+static BUSY_NS: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the process-wide runtime counters. The three count
+/// fields are exact tallies of work the pool performed; `busy_ns` is
+/// host wall-clock and must never enter a gated artifact.
+///
+/// All of these depend on how a run was scheduled (`--jobs`, `--shards`,
+/// the engagement threshold), so the whole snapshot is **informational**:
+/// run records stamp it the way they stamp `wall_ms` — never diffed,
+/// normalized to zero in byte-comparisons.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerCounters {
+    /// Task bodies executed by [`fork_join`] (engine shard tasks).
+    pub tasks_executed: u64,
+    /// Items mapped and joined in input order by [`ordered_map`].
+    pub items_grafted: u64,
+    /// Entry points that ran inline without spawning any worker.
+    pub idle_joins: u64,
+    /// Coordinator wall-time inside the pool, nanoseconds (informational).
+    pub busy_ns: u64,
+}
+
+/// Reads the process-wide [`WorkerCounters`]. Counters accumulate from
+/// process start (or the last [`reset_worker_counters`]); bench bins
+/// reset at `RunRecorder::start` and snapshot at `finish` so each record
+/// sees only its own run.
+pub fn worker_counters() -> WorkerCounters {
+    WorkerCounters {
+        tasks_executed: TASKS_EXECUTED.load(Ordering::Relaxed),
+        items_grafted: ITEMS_GRAFTED.load(Ordering::Relaxed),
+        idle_joins: IDLE_JOINS.load(Ordering::Relaxed),
+        busy_ns: BUSY_NS.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes the process-wide [`WorkerCounters`].
+pub fn reset_worker_counters() {
+    TASKS_EXECUTED.store(0, Ordering::Relaxed);
+    ITEMS_GRAFTED.store(0, Ordering::Relaxed);
+    IDLE_JOINS.store(0, Ordering::Relaxed);
+    BUSY_NS.store(0, Ordering::Relaxed);
+}
+
 /// Runs every task on its own thread and returns only when all of them
 /// finished — the round barrier for barrier-synchronized shard stepping.
 /// Task 0 runs on the calling thread (the common `len() == 1` case pays
@@ -129,10 +182,16 @@ where
     T: Send,
     F: Fn(T) + Sync,
 {
+    let started = Instant::now();
+    let count = tasks.len() as u64;
     let mut iter = tasks.into_iter();
     let Some(first) = iter.next() else {
         return;
     };
+    TASKS_EXECUTED.fetch_add(count, Ordering::Relaxed);
+    if count == 1 {
+        IDLE_JOINS.fetch_add(1, Ordering::Relaxed);
+    }
     let f = &f;
     std::thread::scope(|s| {
         for t in iter {
@@ -140,6 +199,7 @@ where
         }
         f(first);
     });
+    BUSY_NS.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
 }
 
 /// Maps `f` over `items` on [`jobs`] worker threads, returning results in
@@ -168,8 +228,15 @@ where
 {
     let n = items.len();
     if jobs <= 1 || n <= 1 {
-        return items.into_iter().map(f).collect();
+        let started = Instant::now();
+        ITEMS_GRAFTED.fetch_add(n as u64, Ordering::Relaxed);
+        IDLE_JOINS.fetch_add(1, Ordering::Relaxed);
+        let out = items.into_iter().map(f).collect();
+        BUSY_NS.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        return out;
     }
+    let started = Instant::now();
+    ITEMS_GRAFTED.fetch_add(n as u64, Ordering::Relaxed);
     // Item and result slots are lock-per-slot: each index is claimed by
     // exactly one worker (the fetch_add hands out every index once), so
     // locks never contend — they exist to make the slot vectors Sync.
@@ -193,14 +260,16 @@ where
             });
         }
     });
-    results
+    let out = results
         .into_iter()
         .map(|m| {
             m.into_inner()
                 .expect("result lock")
                 .expect("worker filled every claimed slot")
         })
-        .collect()
+        .collect();
+    BUSY_NS.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    out
 }
 
 #[cfg(test)]
@@ -302,6 +371,23 @@ mod tests {
         set_shard_threshold(128);
         assert_eq!(shard_threshold(), 128);
         SHARD_THRESHOLD_OVERRIDE.store(0, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn worker_counters_tally_pool_work() {
+        // Counters are process-global and other tests run concurrently,
+        // so assert on deltas with ≥, never on absolute values.
+        let before = worker_counters();
+        let got = ordered_map_jobs((0..9u64).collect(), 3, |x| x + 1);
+        assert_eq!(got.len(), 9);
+        fork_join(vec![0usize, 1, 2], |_| {});
+        fork_join(vec![7usize], |_| {});
+        let _ = ordered_map_jobs(vec![1u8], 8, |x| x);
+        let after = worker_counters();
+        assert!(after.items_grafted >= before.items_grafted + 10);
+        assert!(after.tasks_executed >= before.tasks_executed + 4);
+        // The singleton fork_join and the singleton map both stay inline.
+        assert!(after.idle_joins >= before.idle_joins + 2);
     }
 
     #[test]

@@ -110,7 +110,8 @@ impl DiffStatus {
 /// One changed metric (or structural drift) between baseline and fresh.
 #[derive(Clone, Debug, PartialEq)]
 pub struct DiffEntry {
-    /// Which record section: `"total"`, `"span"`, `"congestion"`, `"audit"`.
+    /// Which record section: `"total"`, `"cache"`, `"span"`,
+    /// `"congestion"`, `"audit"`.
     pub section: &'static str,
     /// The key inside the section (span path, summary label, algorithm);
     /// empty for totals.
@@ -289,13 +290,21 @@ impl Differ<'_> {
         });
     }
 
-    /// `rounds_saved` has inverted polarity: it measures cache
-    /// effectiveness, so *more* saved is better and a collapse to zero
-    /// (while the baseline saved rounds) means the phase cache silently
-    /// stopped working — a regression, even though every cost metric would
-    /// call the smaller number an improvement. A partial decrease passes:
-    /// the workload may legitimately need fewer rebuilds.
-    fn saved_metric(&mut self, section: &'static str, key: &str, base: u64, fresh: u64) {
+    /// `rounds_saved` and the cache hit counters have inverted polarity:
+    /// they measure cache effectiveness, so *more* is better and a
+    /// collapse to zero (while the baseline was nonzero) means the phase
+    /// cache silently stopped working — a regression, even though every
+    /// cost metric would call the smaller number an improvement. A
+    /// partial decrease passes: the workload may legitimately need fewer
+    /// rebuilds.
+    fn saved_metric(
+        &mut self,
+        section: &'static str,
+        key: &str,
+        metric: &'static str,
+        base: u64,
+        fresh: u64,
+    ) {
         if base == fresh {
             return;
         }
@@ -309,7 +318,7 @@ impl Differ<'_> {
         self.entries.push(DiffEntry {
             section,
             key: key.to_owned(),
-            metric: "rounds_saved",
+            metric,
             base: base as f64,
             fresh: fresh as f64,
             status,
@@ -385,7 +394,50 @@ pub fn diff_records(base: &RunRecord, fresh: &RunRecord, cfg: &DiffConfig) -> Ru
         (base.rounds, base.words, base.messages),
         (fresh.rounds, fresh.words, fresh.messages),
     );
-    d.saved_metric("total", "", base.rounds_saved, fresh.rounds_saved);
+    d.saved_metric(
+        "total",
+        "",
+        "rounds_saved",
+        base.rounds_saved,
+        fresh.rounds_saved,
+    );
+
+    // Cache effectiveness (deterministic, gated). Hits share
+    // `rounds_saved`'s inverted polarity; misses are plain cost counters.
+    // `wall_ms`, `shards`, `jobs`, and `workers` are informational and
+    // deliberately never compared.
+    let (bc, fc) = (&base.cache, &fresh.cache);
+    d.saved_metric("cache", "", "tree_hits", bc.tree_hits, fc.tree_hits);
+    d.metric(
+        "cache",
+        "",
+        "tree_misses",
+        cfg.rounds,
+        bc.tree_misses as f64,
+        fc.tree_misses as f64,
+    );
+    d.saved_metric(
+        "cache",
+        "",
+        "latency_hits",
+        bc.latency_hits,
+        fc.latency_hits,
+    );
+    d.metric(
+        "cache",
+        "",
+        "latency_misses",
+        cfg.rounds,
+        bc.latency_misses as f64,
+        fc.latency_misses as f64,
+    );
+    d.saved_metric(
+        "cache",
+        "",
+        "rounds_saved",
+        bc.rounds_saved,
+        fc.rounds_saved,
+    );
 
     // Spans: keyed by path (both sides sorted by construction).
     let base_spans: BTreeMap<&str, _> = base.spans.iter().map(|s| (s.path.as_str(), s)).collect();
@@ -399,7 +451,7 @@ pub fn diff_records(base: &RunRecord, fresh: &RunRecord, cfg: &DiffConfig) -> Ru
                     (b.rounds, b.words, b.messages),
                     (f.rounds, f.words, f.messages),
                 );
-                d.saved_metric("span", path, b.rounds_saved, f.rounds_saved);
+                d.saved_metric("span", path, "rounds_saved", b.rounds_saved, f.rounds_saved);
                 d.metric(
                     "span",
                     path,
@@ -438,7 +490,13 @@ pub fn diff_records(base: &RunRecord, fresh: &RunRecord, cfg: &DiffConfig) -> Ru
                     (b.rounds, b.words, b.messages),
                     (f.rounds, f.words, f.messages),
                 );
-                d.saved_metric("congestion", label, b.rounds_saved, f.rounds_saved);
+                d.saved_metric(
+                    "congestion",
+                    label,
+                    "rounds_saved",
+                    b.rounds_saved,
+                    f.rounds_saved,
+                );
                 d.metric(
                     "congestion",
                     label,
@@ -455,6 +513,42 @@ pub fn diff_records(base: &RunRecord, fresh: &RunRecord, cfg: &DiffConfig) -> Ru
                     b.queue_high_water as f64,
                     f.queue_high_water as f64,
                 );
+                d.metric(
+                    "congestion",
+                    label,
+                    "shard_imbalance_milli",
+                    cfg.words,
+                    b.shard_imbalance_milli as f64,
+                    f.shard_imbalance_milli as f64,
+                );
+                // The reference partition has a fixed shard count, so a
+                // length change is structure drift, not a metric move.
+                if b.shard_words.len() != f.shard_words.len() {
+                    let status = if f.shard_words.len() < b.shard_words.len() {
+                        DiffStatus::Removed
+                    } else {
+                        DiffStatus::Added
+                    };
+                    d.entries.push(DiffEntry {
+                        section: "congestion",
+                        key: format!("{label} shard_words"),
+                        metric: "shard_count",
+                        base: b.shard_words.len() as f64,
+                        fresh: f.shard_words.len() as f64,
+                        status,
+                    });
+                } else {
+                    for (i, (&bw, &fw)) in b.shard_words.iter().zip(&f.shard_words).enumerate() {
+                        d.metric(
+                            "congestion",
+                            &format!("{label}[shard {i}]"),
+                            "shard_words",
+                            cfg.words,
+                            bw as f64,
+                            fw as f64,
+                        );
+                    }
+                }
             }
             None => d.structural("congestion", label, DiffStatus::Removed, b.rounds as f64),
         }
@@ -523,7 +617,7 @@ pub fn diff_records(base: &RunRecord, fresh: &RunRecord, cfg: &DiffConfig) -> Ru
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::record::{CongestionSummary, SpanMetrics};
+    use crate::record::{CacheTally, CongestionSummary, SpanMetrics, WorkerTally};
 
     fn record() -> RunRecord {
         RunRecord {
@@ -535,6 +629,15 @@ mod tests {
             rounds_saved: 12,
             wall_ms: 0,
             shards: 0,
+            jobs: 0,
+            cache: CacheTally {
+                tree_hits: 3,
+                tree_misses: 1,
+                latency_hits: 6,
+                latency_misses: 2,
+                rounds_saved: 12,
+            },
+            workers: WorkerTally::default(),
             spans: vec![
                 SpanMetrics {
                     path: "a".into(),
@@ -563,6 +666,8 @@ mod tests {
                 max_words_in_round: 12,
                 peak_round: 7,
                 queue_high_water: 3,
+                shard_imbalance_milli: 1200,
+                shard_words: vec![300, 250, 250, 200],
                 hot_links: vec![(0, 1, 99)],
             }],
             audit_margins: vec![crate::record::AuditMargin {
@@ -682,6 +787,78 @@ mod tests {
         let d = diff_records(&record(), &fresh, &DiffConfig::default());
         assert!(!d.has_regression(), "{}", d.render());
         assert_eq!(d.entries[0].status, DiffStatus::WithinTolerance);
+    }
+
+    #[test]
+    fn cache_hit_collapse_regresses() {
+        let mut fresh = record();
+        fresh.cache.tree_hits = 0;
+        let d = diff_records(&record(), &fresh, &DiffConfig::default());
+        assert!(d.has_regression(), "{}", d.render());
+        assert_eq!(d.entries.len(), 1);
+        assert_eq!(d.entries[0].section, "cache");
+        assert_eq!(d.entries[0].metric, "tree_hits");
+        assert_eq!(d.entries[0].status, DiffStatus::Regressed);
+    }
+
+    #[test]
+    fn cache_hit_increase_is_an_improvement() {
+        let mut fresh = record();
+        fresh.cache.latency_hits += 4;
+        let d = diff_records(&record(), &fresh, &DiffConfig::default());
+        assert!(!d.has_regression(), "{}", d.render());
+        assert_eq!(d.entries[0].metric, "latency_hits");
+        assert_eq!(d.entries[0].status, DiffStatus::Improved);
+    }
+
+    #[test]
+    fn cache_miss_increase_regresses() {
+        let mut fresh = record();
+        fresh.cache.tree_misses += 5;
+        let d = diff_records(&record(), &fresh, &DiffConfig::default());
+        assert!(d.has_regression(), "{}", d.render());
+        assert_eq!(d.entries[0].metric, "tree_misses");
+        assert_eq!(d.entries[0].status, DiffStatus::Regressed);
+    }
+
+    #[test]
+    fn shard_imbalance_and_word_drift_regress_with_culprit_shard() {
+        let mut fresh = record();
+        fresh.congestion[0].shard_imbalance_milli = 1400;
+        fresh.congestion[0].shard_words[2] = 260;
+        let d = diff_records(&record(), &fresh, &DiffConfig::default());
+        assert!(d.has_regression(), "{}", d.render());
+        assert_eq!(d.regression_count(), 2);
+        let report = d.render();
+        assert!(report.contains("shard_imbalance_milli"), "{report}");
+        assert!(report.contains("main[shard 2] shard_words"), "{report}");
+    }
+
+    #[test]
+    fn shard_count_drift_is_structural() {
+        let mut fresh = record();
+        fresh.congestion[0].shard_words.pop();
+        let d = diff_records(&record(), &fresh, &DiffConfig::default());
+        assert!(d.has_regression(), "{}", d.render());
+        assert!(d.render().contains("REMOVED"), "{}", d.render());
+        assert!(d.render().contains("shard_count"), "{}", d.render());
+    }
+
+    #[test]
+    fn informational_fields_are_never_compared() {
+        let mut fresh = record();
+        fresh.wall_ms = 991;
+        fresh.shards = 8;
+        fresh.jobs = 4;
+        fresh.workers = WorkerTally {
+            tasks_executed: 1000,
+            items_grafted: 500,
+            idle_joins: 3,
+            busy_ms: 77,
+        };
+        let d = diff_records(&record(), &fresh, &DiffConfig::default());
+        assert!(!d.has_regression(), "{}", d.render());
+        assert!(d.entries.is_empty(), "{}", d.render());
     }
 
     #[test]

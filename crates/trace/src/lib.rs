@@ -36,6 +36,7 @@
 pub mod audit;
 pub mod diff;
 pub mod json;
+pub mod metrics;
 pub mod record;
 
 use json::Json;
@@ -46,9 +47,10 @@ use std::path::PathBuf;
 
 pub use audit::{check_bound, AuditRecord, BoundInputs};
 pub use diff::{diff_records, DiffConfig, DiffEntry, DiffStatus, RunDiff, Tolerance};
+pub use metrics::{validate_openmetrics, MetricsRegistry};
 pub use record::{
-    audit_margins, AuditMargin, CongestionSummary, RunRecord, SpanMetrics, RUN_RECORD_SCHEMA,
-    RUN_RECORD_SCHEMA_V1,
+    audit_margins, AuditMargin, CacheTally, CongestionSummary, RunRecord, SpanMetrics, WorkerTally,
+    RUN_RECORD_SCHEMA, RUN_RECORD_SCHEMA_V1,
 };
 
 /// One closed span: a node of the trace tree.
@@ -143,6 +145,11 @@ pub struct TraceData {
     pub roots: Vec<SpanNode>,
     /// Audits recorded while no span was open.
     pub orphan_audits: Vec<AuditRecord>,
+    /// Phase-cache effectiveness summed over every cache scope that
+    /// closed during the session (see [`add_cache_stats`]). Session-level
+    /// rather than per-span because a cache scope outlives the spans that
+    /// ran under it.
+    pub cache: CacheTally,
     /// The JSONL event lines, in emission order (what a file sink would
     /// have written). Useful for schema/golden tests.
     pub events: Vec<String>,
@@ -212,7 +219,7 @@ impl TraceData {
     /// the manifest itself, not only via `trace_diff`.
     pub fn to_manifest(&self) -> Json {
         Json::obj([
-            ("schema", Json::str("mwc-trace-manifest/v3")),
+            ("schema", Json::str("mwc-trace-manifest/v4")),
             (
                 "total_rounds",
                 Json::U64(self.roots.iter().map(SpanNode::total_rounds).sum()),
@@ -225,6 +232,7 @@ impl TraceData {
                 "total_rounds_saved",
                 Json::U64(self.roots.iter().map(SpanNode::total_rounds_saved).sum()),
             ),
+            ("cache", self.cache.to_json()),
             (
                 "audit_margins",
                 Json::Arr(
@@ -338,6 +346,20 @@ impl Collector {
         }
     }
 
+    fn add_cache_tally(&mut self, tally: CacheTally) {
+        let line = Json::obj([
+            ("ev", Json::str("cache")),
+            ("tree_hits", Json::U64(tally.tree_hits)),
+            ("tree_misses", Json::U64(tally.tree_misses)),
+            ("latency_hits", Json::U64(tally.latency_hits)),
+            ("latency_misses", Json::U64(tally.latency_misses)),
+            ("rounds_saved", Json::U64(tally.rounds_saved)),
+        ])
+        .render();
+        self.emit(line);
+        self.data.cache.add(&tally);
+    }
+
     fn add_audit(&mut self, record: AuditRecord) {
         let line = record.to_event_json().render();
         self.emit(line);
@@ -377,6 +399,9 @@ impl Collector {
             let rewritten = rewrite_grafted_event(line, base, parent_seq);
             self.emit(rewritten);
         }
+        // Cache events (re-emitted above, untouched) carry the worker's
+        // tally; fold it into the session total like an inline run would.
+        self.data.cache.add(&data.cache);
         match self.stack.last_mut() {
             Some(top) => {
                 top.children.extend(data.roots);
@@ -513,6 +538,30 @@ pub fn add_cost(rounds: u64, words: u64, messages: u64) {
 /// disabled or no span is open.
 pub fn add_saved(rounds: u64) {
     with_collector(|c| c.add_saved(rounds));
+}
+
+/// Reports one closed phase-cache scope's hit/miss counters to the
+/// active trace: emits a `{"ev":"cache",...}` JSONL line and folds the
+/// counters into the session-level [`TraceData::cache`] tally. Called by
+/// `CacheScope::drop` in `mwc-congest`; a no-op when tracing is
+/// disabled. Session-level (not per-span) because the scope outlives
+/// the spans that ran under it.
+pub fn add_cache_stats(
+    tree_hits: u64,
+    tree_misses: u64,
+    latency_hits: u64,
+    latency_misses: u64,
+    rounds_saved: u64,
+) {
+    with_collector(|c| {
+        c.add_cache_tally(CacheTally {
+            tree_hits,
+            tree_misses,
+            latency_hits,
+            latency_misses,
+            rounds_saved,
+        })
+    });
 }
 
 pub(crate) fn record_audit(record: AuditRecord) {
@@ -703,9 +752,56 @@ mod tests {
         assert_eq!(f1, f2);
         assert_eq!(m1, m2);
         assert!(f1.contains("algo/phase"));
-        assert!(m1.contains("\"schema\": \"mwc-trace-manifest/v3\""));
+        assert!(m1.contains("\"schema\": \"mwc-trace-manifest/v4\""));
         assert!(m1.contains("\"total_rounds_saved\""));
+        assert!(m1.contains("\"cache\""));
         assert!(m1.contains("\"audit_margins\""));
+    }
+
+    #[test]
+    fn golden_cache_event_schema() {
+        // Like golden_jsonl_event_schema: the cache event bytes are a
+        // contract with external JSONL consumers.
+        let session = TraceSession::memory();
+        add_cache_stats(2, 1, 4, 3, 17);
+        let data = session.finish();
+        assert_eq!(
+            data.events,
+            vec![
+                "{\"ev\":\"cache\",\"tree_hits\":2,\"tree_misses\":1,\"latency_hits\":4,\
+                 \"latency_misses\":3,\"rounds_saved\":17}",
+            ]
+        );
+        assert_eq!(data.cache.tree_hits, 2);
+        assert_eq!(data.cache.rounds_saved, 17);
+    }
+
+    #[test]
+    fn cache_tallies_accumulate_and_graft_like_inline() {
+        let inline = {
+            let session = TraceSession::memory();
+            add_cache_stats(1, 1, 0, 0, 5);
+            add_cache_stats(2, 0, 1, 1, 7);
+            session.finish()
+        };
+        assert_eq!(inline.cache.tree_hits, 3);
+        assert_eq!(inline.cache.rounds_saved, 12);
+        let grafted = {
+            let session = TraceSession::memory();
+            for tally in [(1, 1, 0, 0, 5), (2, 0, 1, 1, 7)] {
+                let worker = TraceSession::memory();
+                let (th, tm, lh, lm, rs) = tally;
+                add_cache_stats(th, tm, lh, lm, rs);
+                graft(worker.finish());
+            }
+            session.finish()
+        };
+        assert_eq!(inline.events, grafted.events);
+        assert_eq!(inline.cache, grafted.cache);
+        assert_eq!(
+            inline.to_manifest().render_pretty(),
+            grafted.to_manifest().render_pretty()
+        );
     }
 
     /// The workload used by the graft equivalence tests: two spans with

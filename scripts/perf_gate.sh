@@ -14,8 +14,8 @@
 #
 # The bins run in a scratch directory (target/perf_gate) so the committed
 # full-size artifacts under results/ are never clobbered by the smaller
-# gate-size runs; only results/baselines/ (and, on refresh,
-# results/BENCH_trajectory.json) live in the repo.
+# gate-size runs; only results/baselines/ and the
+# results/BENCH_trajectory.json append-log live in the repo.
 #
 # The sizes below are the gate contract: records are only comparable when
 # name AND parameters match, so changing a size here requires a baseline
@@ -53,6 +53,16 @@ cargo run --manifest-path "$REPO/Cargo.toml" --release --offline \
   -p mwc-bench --bin trace_diff results/run_records "$REPO/results/baselines" \
   || DIFF_STATUS=$?
 
+# Aggregate the gated run's observability artifacts: the per-bin
+# shard-imbalance/cache-hit report, the combined OpenMetrics exposition
+# (validated by the in-tree checker), and one appended entry per bin in
+# the committed perf-trajectory log.
+run mwc_metrics report results/run_records
+run mwc_metrics check results/metrics.prom
+cargo run --manifest-path "$REPO/Cargo.toml" --release --offline \
+  -p mwc-bench --bin mwc_metrics append-trajectory results/run_records \
+  "$REPO/results/BENCH_trajectory.json" > /dev/null
+
 if [ "${1:-}" = refresh ]; then
   # Refreshing: regressions against the old baselines are being accepted
   # deliberately; only configuration errors (exit 2) still abort.
@@ -72,9 +82,10 @@ if [ "${1:-}" = refresh ]; then
     fi
   done
 
+  # The trajectory is NOT copied: it is an append-log that
+  # `mwc_metrics append-trajectory` already extended above.
   mkdir -p "$REPO/results/baselines"
   cp results/run_records/*.json "$REPO/results/baselines/"
-  cp results/BENCH_trajectory.json "$REPO/results/BENCH_trajectory.json"
   echo "baselines refreshed from $WORK/results/run_records/"
 else
   exit "$DIFF_STATUS"
