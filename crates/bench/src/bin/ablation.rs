@@ -36,7 +36,13 @@ fn overflow_count(ledger: &mwc_congest::Ledger) -> String {
         .unwrap_or_else(|| "0".into())
 }
 
+/// Count allocator traffic so this bin's run record and optional Chrome
+/// trace export carry allocation profile data alongside simulated rounds.
+#[global_allocator]
+static ALLOC: mwc_trace::profile::CountingAlloc = mwc_trace::profile::CountingAlloc;
+
 fn main() {
+    report::init_profiling();
     let n: usize = report::arg(1, 512);
     let mut rec = report::RunRecorder::start("ablation");
     rec.param("n", n);

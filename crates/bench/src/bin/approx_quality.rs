@@ -85,7 +85,13 @@ fn families(
     ]
 }
 
+/// Count allocator traffic so this bin's run record and optional Chrome
+/// trace export carry allocation profile data alongside simulated rounds.
+#[global_allocator]
+static ALLOC: mwc_trace::profile::CountingAlloc = mwc_trace::profile::CountingAlloc;
+
 fn main() {
+    report::init_profiling();
     let n: usize = report::arg(1, 96);
     let seeds: u64 = report::arg(2, 10);
     let mut rec = report::RunRecorder::start("approx_quality");

@@ -16,7 +16,13 @@ use mwc_graph::generators::{ring_with_chords, WeightRange};
 use mwc_graph::Orientation;
 use mwc_lowerbounds::{directed_gadget, Disjointness};
 
+/// Count allocator traffic so this bin's run record and optional Chrome
+/// trace export carry allocation profile data alongside simulated rounds.
+#[global_allocator]
+static ALLOC: mwc_trace::profile::CountingAlloc = mwc_trace::profile::CountingAlloc;
+
 fn main() {
+    report::init_profiling();
     let max_q: usize = report::arg(1, 48);
     let mut rec = report::RunRecorder::start("detection_rounds");
     rec.param("max_q", max_q);

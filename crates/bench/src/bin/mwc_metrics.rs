@@ -10,11 +10,16 @@
 //!   `results/metrics_report.txt`).
 //! - `check <prom_file>`: validates an existing exposition with the
 //!   in-tree OpenMetrics checker; exit 1 when it does not parse.
+//! - `check-trace <trace.json>`: structurally validates a Chrome Trace
+//!   Event Format export (`results/trace.perfetto.json`) with the
+//!   in-tree checker — balanced B/E nesting per track, monotone
+//!   timestamps; exit 1 when it does not validate.
 //! - `append-trajectory <records_dir> <trajectory.json>`: appends one
 //!   entry per record — bin, rounds, words, `rounds_saved`, `wall_ms`,
-//!   `shards`, `jobs` — to the `mwc-bench-trajectory/v2` append-log, so
-//!   every gated run extends the commit-over-commit perf trajectory. A
-//!   missing or pre-v2 file is replaced by a fresh log.
+//!   `peak_alloc_bytes`, `shards`, `jobs` — to the
+//!   `mwc-bench-trajectory/v2` append-log, so every gated run extends
+//!   the commit-over-commit perf trajectory. A missing or pre-v2 file is
+//!   replaced by a fresh log.
 //!
 //! Exit codes: `0` ok, `1` validation failure, `2` usage/configuration
 //! error (no records, unreadable files).
@@ -110,6 +115,23 @@ fn cmd_report(records_dir: &str) {
             c.latency_hits + c.latency_misses,
             hit_rate(c.latency_hits, c.latency_misses),
         );
+        // Host-side profile context: allocator traffic, the peak
+        // high-water mark, and worker utilization (pool busy-time over
+        // wall-clock × workers). All informational, like wall_ms.
+        let jobs = r.jobs.max(1);
+        let util = if r.wall_ms == 0 {
+            "-".into()
+        } else {
+            format!(
+                "{:.1}%",
+                100.0 * r.workers.busy_ms as f64 / (r.wall_ms * jobs) as f64
+            )
+        };
+        let _ = writeln!(
+            out,
+            "  profile: alloc {} B / {} allocs, peak {} B, worker util {} (busy {} ms / wall {} ms x {} job(s))",
+            r.alloc_bytes, r.alloc_count, r.peak_alloc_bytes, util, r.workers.busy_ms, r.wall_ms, jobs
+        );
         let worst = r
             .congestion
             .iter()
@@ -131,6 +153,24 @@ fn cmd_report(records_dir: &str) {
     }
     print!("{out}");
     report::save_artifact("metrics_report.txt", &out);
+}
+
+fn cmd_check_trace(trace_file: &str) {
+    let text = std::fs::read_to_string(trace_file).unwrap_or_else(|e| {
+        eprintln!("mwc_metrics: cannot read {trace_file}: {e}");
+        std::process::exit(2);
+    });
+    match mwc_trace::validate_chrome_trace(&text) {
+        Ok(s) => println!(
+            "mwc_metrics: {trace_file} is a valid Chrome trace \
+             ({} event(s), {} span(s), {} track(s))",
+            s.events, s.spans, s.tracks
+        ),
+        Err(e) => {
+            eprintln!("mwc_metrics: {trace_file} is invalid: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn cmd_check(prom_file: &str) {
@@ -175,6 +215,10 @@ fn cmd_append_trajectory(records_dir: &str, trajectory_path: &str) {
             ("words", Json::U64(r.words)),
             ("rounds_saved", Json::U64(r.rounds_saved)),
             ("wall_ms", Json::U64(r.wall_ms)),
+            // Additive v2 key: peak allocator high-water mark, recorded
+            // beside wall_ms so memory regressions are visible in the
+            // same commit-over-commit log as time regressions.
+            ("peak_alloc_bytes", Json::U64(r.peak_alloc_bytes)),
             ("shards", Json::U64(r.shards)),
             ("jobs", Json::U64(r.jobs)),
         ]));
@@ -203,6 +247,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: mwc_metrics report [records_dir]\n\
          \x20      mwc_metrics check <metrics.prom>\n\
+         \x20      mwc_metrics check-trace <trace.perfetto.json>\n\
          \x20      mwc_metrics append-trajectory <records_dir> <trajectory.json>"
     );
     std::process::exit(2);
@@ -221,6 +266,13 @@ fn main() {
                 usage();
             }
             cmd_check(&file);
+        }
+        "check-trace" => {
+            let file = report::arg_str(2, "");
+            if file.is_empty() {
+                usage();
+            }
+            cmd_check_trace(&file);
         }
         "append-trajectory" => {
             let dir = report::arg_str(2, "");

@@ -33,7 +33,13 @@ fn aggregate(ledger: &Ledger) -> BTreeMap<String, u64> {
     by_label
 }
 
+/// Count allocator traffic so this bin's run record and optional Chrome
+/// trace export carry allocation profile data alongside simulated rounds.
+#[global_allocator]
+static ALLOC: mwc_trace::profile::CountingAlloc = mwc_trace::profile::CountingAlloc;
+
 fn main() {
+    report::init_profiling();
     let algo = report::arg_str(1, "directed");
     let max_n: usize = report::arg(2, 512);
     let params = Params::lean().with_seed(42);

@@ -15,7 +15,13 @@ use mwc_core::{approx_mwc_directed_weighted, exact_mwc, two_approx_directed_mwc,
 use mwc_graph::generators::{connected_gnm, WeightRange};
 use mwc_graph::Orientation;
 
+/// Count allocator traffic so this bin's run record and optional Chrome
+/// trace export carry allocation profile data alongside simulated rounds.
+#[global_allocator]
+static ALLOC: mwc_trace::profile::CountingAlloc = mwc_trace::profile::CountingAlloc;
+
 fn main() {
+    report::init_profiling();
     report::init_shards();
     let max_n: usize = report::arg(1, 1024);
     let params = Params::lean().with_seed(42);

@@ -14,7 +14,13 @@ use mwc_core::{approx_girth, exact_mwc, Params};
 use mwc_graph::generators::{connected_gnm, WeightRange};
 use mwc_graph::Orientation;
 
+/// Count allocator traffic so this bin's run record and optional Chrome
+/// trace export carry allocation profile data alongside simulated rounds.
+#[global_allocator]
+static ALLOC: mwc_trace::profile::CountingAlloc = mwc_trace::profile::CountingAlloc;
+
 fn main() {
+    report::init_profiling();
     report::init_jobs();
     report::init_shards();
     let max_n: usize = report::arg(1, 4096);

@@ -23,7 +23,13 @@ fn word_bits(n: usize, w: u64) -> u64 {
     (n.max(2) as f64).log2().ceil() as u64 + (w.max(2) as f64).log2().ceil() as u64
 }
 
+/// Count allocator traffic so this bin's run record and optional Chrome
+/// trace export carry allocation profile data alongside simulated rounds.
+#[global_allocator]
+static ALLOC: mwc_trace::profile::CountingAlloc = mwc_trace::profile::CountingAlloc;
+
 fn main() {
+    report::init_profiling();
     let max_q: usize = report::arg(1, 48);
     let mut rec = report::RunRecorder::start("table1_lower_bounds");
     rec.param("max_q", max_q);

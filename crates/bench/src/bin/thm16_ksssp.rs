@@ -21,7 +21,13 @@ fn sources(n: usize, k: usize) -> Vec<NodeId> {
     (0..k).map(|i| i * n / k).collect()
 }
 
+/// Count allocator traffic so this bin's run record and optional Chrome
+/// trace export carry allocation profile data alongside simulated rounds.
+#[global_allocator]
+static ALLOC: mwc_trace::profile::CountingAlloc = mwc_trace::profile::CountingAlloc;
+
 fn main() {
+    report::init_profiling();
     let max_n: usize = report::arg(1, 2048);
     let params = Params::lean().with_seed(1616);
     let mut rec = report::RunRecorder::start("thm16_ksssp");

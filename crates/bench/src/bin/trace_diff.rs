@@ -8,10 +8,20 @@
 //! drift (spans appearing/disappearing, baselines without fresh records
 //! or vice versa) fails loudly so the gate cannot rot silently.
 //!
+//! On regression (or always with `--verbose`) the report ends with a
+//! **triage** section: the top-K span paths across all record pairs,
+//! ranked by their |delta| contribution to the regressed totals (rounds,
+//! words, and — for baselines that carry allocation data — bytes), plus
+//! the ready-to-run commands to reproduce the worst offender
+//! (`scripts/perf_gate.sh --bin <name>`) and to bisect it at message
+//! level (`mwc_replay bisect` over two `MWC_TRACE_EVENTS` captures).
+//!
 //! Artifacts (all under `results/`):
 //!
 //! - `trace_diff_report.txt` — the human report printed to stdout,
 //! - `trace_diff_report.json` — machine-readable per-pair entries,
+//! - `triage.json` — the ranked span triage (written on every run, empty
+//!   ranking when nothing moved),
 //! - `BENCH_trajectory.json` — per-record baseline vs fresh totals, the
 //!   commit-over-commit round-complexity trajectory.
 //!
@@ -21,10 +31,16 @@
 //!
 //! Usage: `trace_diff [fresh_dir] [base_dir] [rel_tolerance]`
 //! (defaults `results/run_records`, `results/baselines`, `0`).
+//! Flags (never shift the positionals):
+//!
+//! - `--only=NAME` — restrict pairing to one record name (for
+//!   `perf_gate.sh --bin`, where other baselines have no fresh record),
+//! - `--top=K` — triage ranking depth (default 5),
+//! - `--verbose` — print the triage section even without a regression.
 
 use mwc_bench::report;
 use mwc_bench::report::Json;
-use mwc_trace::{diff_records, DiffConfig, RunDiff, RunRecord};
+use mwc_trace::{diff_records, triage_spans, DiffConfig, RunDiff, RunRecord, TriageEntry};
 use std::collections::BTreeMap;
 use std::path::Path;
 
@@ -65,21 +81,83 @@ fn totals_json(r: &RunRecord) -> Json {
         ("words", Json::U64(r.words)),
         ("messages", Json::U64(r.messages)),
         ("rounds_saved", Json::U64(r.rounds_saved)),
-        // Informational only (never gated): the wall-clock trajectory and
-        // the parallelism knobs the record was produced under.
+        // Informational only (never gated): the wall-clock/allocation
+        // trajectory and the parallelism knobs the record was produced
+        // under. `alloc_*` IS gated in the default config, but the
+        // trajectory keeps it here too so sweeps stay attributable.
         ("wall_ms", Json::U64(r.wall_ms)),
+        ("alloc_bytes", Json::U64(r.alloc_bytes)),
+        ("alloc_count", Json::U64(r.alloc_count)),
+        ("peak_alloc_bytes", Json::U64(r.peak_alloc_bytes)),
         ("shards", Json::U64(r.shards)),
         ("jobs", Json::U64(r.jobs)),
     ])
 }
 
 /// One human-report line for the informational fields — printed, never
-/// gated, so the reader sees the wall-clock/parallelism context instead
-/// of the report silently dropping it.
+/// gated, so the reader sees the wall-clock/allocation/parallelism
+/// context instead of the report silently dropping it.
 fn info_line(base: &RunRecord, fresh: &RunRecord) -> String {
     format!(
-        "{:<16} wall_ms {} -> {}, shards {} -> {}, jobs {} -> {} (informational, never gated)\n",
-        "info", base.wall_ms, fresh.wall_ms, base.shards, fresh.shards, base.jobs, fresh.jobs
+        "{:<16} wall_ms {} -> {}, peak_alloc {} -> {}, shards {} -> {}, jobs {} -> {} \
+         (informational, never gated)\n",
+        "info",
+        base.wall_ms,
+        fresh.wall_ms,
+        base.peak_alloc_bytes,
+        fresh.peak_alloc_bytes,
+        base.shards,
+        fresh.shards,
+        base.jobs,
+        fresh.jobs
+    )
+}
+
+/// `--verbose` / `--top=K` / `--only=NAME`. Flags are filtered out of
+/// [`report::arg`]'s positional view by construction, so they never shift
+/// `[fresh_dir] [base_dir] [rel_tolerance]`.
+struct Flags {
+    verbose: bool,
+    top: usize,
+    only: Option<String>,
+}
+
+fn parse_flags() -> Flags {
+    let mut f = Flags {
+        verbose: false,
+        top: 5,
+        only: None,
+    };
+    for a in std::env::args().skip(1) {
+        if a == "--verbose" {
+            f.verbose = true;
+        } else if let Some(v) = a.strip_prefix("--top=") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                f.top = n.max(1);
+            }
+        } else if let Some(v) = a.strip_prefix("--only=") {
+            f.only = Some(v.trim().to_owned());
+        }
+    }
+    f
+}
+
+fn triage_entry_json(record: &str, e: &TriageEntry) -> Json {
+    let mut pairs = match e.to_json() {
+        Json::Obj(pairs) => pairs,
+        _ => unreachable!("TriageEntry::to_json returns an object"),
+    };
+    pairs.insert(0, ("record".to_owned(), Json::str(record)));
+    Json::Obj(pairs)
+}
+
+/// The ready-to-run message-level bisect recipe for a record name: two
+/// `MWC_TRACE_EVENTS` captures (baseline commit vs. working tree) fed to
+/// `mwc_replay bisect`, which prints the first divergent (round, link).
+fn bisect_hint(name: &str) -> String {
+    format!(
+        "cargo run --release -p mwc-bench --bin mwc_replay -- bisect \
+         results/{name}.base.events.jsonl results/{name}.fresh.events.jsonl"
     )
 }
 
@@ -87,6 +165,7 @@ fn main() {
     let fresh_dir = report::arg_str(1, &format!("results/{}", report::RUN_RECORD_DIR));
     let base_dir = report::arg_str(2, "results/baselines");
     let rel: f64 = report::arg(3, 0.0);
+    let flags = parse_flags();
     let cfg = if rel > 0.0 {
         DiffConfig::uniform_rel(rel)
     } else {
@@ -99,6 +178,13 @@ fn main() {
     let mut names: Vec<String> = names.into_iter().cloned().collect();
     names.sort();
     names.dedup();
+    if let Some(only) = &flags.only {
+        names.retain(|n| n == only);
+        if names.is_empty() {
+            eprintln!("trace_diff: --only={only} matches no record in {fresh_dir} or {base_dir}");
+            std::process::exit(2);
+        }
+    }
     if names.is_empty() {
         eprintln!("trace_diff: no records in {fresh_dir} or {base_dir}");
         std::process::exit(2);
@@ -107,6 +193,7 @@ fn main() {
     let mut diffs: Vec<RunDiff> = Vec::new();
     let mut trajectory: Vec<Json> = Vec::new();
     let mut info_lines: BTreeMap<String, String> = BTreeMap::new();
+    let mut pairs: Vec<(String, RunRecord, RunRecord)> = Vec::new();
     for name in &names {
         let diff = match (base.get(name), fresh.get(name)) {
             (Some(_), None) => incomparable(
@@ -128,7 +215,9 @@ fn main() {
                         ("fresh", totals_json(&f)),
                     ]));
                     info_lines.insert(name.clone(), info_line(&b, &f));
-                    diff_records(&b, &f, &cfg)
+                    let d = diff_records(&b, &f, &cfg);
+                    pairs.push((name.clone(), b, f));
+                    d
                 }
                 (Err(e), _) => incomparable(name, format!("baseline unparsable: {e}")),
                 (_, Err(e)) => incomparable(name, format!("fresh record unparsable: {e}")),
@@ -140,6 +229,24 @@ fn main() {
 
     let config_errors = diffs.iter().filter(|d| d.incomparable.is_some()).count();
     let regressions: usize = diffs.iter().map(RunDiff::regression_count).sum();
+
+    // Triage: every span path that moved, across all pairs, ranked by its
+    // |delta| contribution to the baseline totals. Computed on every run
+    // (the artifact always lands); printed on regression or --verbose.
+    let mut triage: Vec<(String, TriageEntry)> = Vec::new();
+    for (name, b, f) in &pairs {
+        for e in triage_spans(b, f) {
+            triage.push((name.clone(), e));
+        }
+    }
+    triage.sort_by(|a, b| {
+        b.1.score_milli
+            .cmp(&a.1.score_milli)
+            .then_with(|| a.0.cmp(&b.0))
+            .then_with(|| a.1.path.cmp(&b.1.path))
+    });
+    triage.truncate(flags.top);
+
     let mut human = String::new();
     for d in &diffs {
         human.push_str(&d.render());
@@ -152,6 +259,33 @@ fn main() {
         "trace_diff: {} record pair(s), {regressions} regression(s), {config_errors} config error(s)\n",
         names.len()
     ));
+    if !triage.is_empty() && (regressions > 0 || flags.verbose) {
+        human.push_str(&format!(
+            "\n== triage: top {} span path(s) by |delta| contribution ==\n",
+            triage.len()
+        ));
+        for (i, (name, e)) in triage.iter().enumerate() {
+            human.push_str(&format!(
+                "  {:>2}. {:<24} {:<40} score {}.{:03} (rounds {:+}, words {:+}, alloc {:+})\n",
+                i + 1,
+                name,
+                e.path,
+                e.score_milli / 1000,
+                e.score_milli % 1000,
+                e.rounds_delta,
+                e.words_delta,
+                e.alloc_delta
+            ));
+        }
+        if let Some((worst, _)) = triage.first() {
+            human.push_str(&format!("  rerun:  scripts/perf_gate.sh --bin {worst}\n"));
+            human.push_str(&format!(
+                "  bisect: capture MWC_TRACE_EVENTS=results/{worst}.base.events.jsonl (baseline \
+                 commit) and results/{worst}.fresh.events.jsonl (this tree), then:\n"
+            ));
+            human.push_str(&format!("          {}\n", bisect_hint(worst)));
+        }
+    }
     print!("{human}");
     report::save_artifact("trace_diff_report.txt", &human);
     report::save_json(
@@ -164,6 +298,39 @@ fn main() {
             (
                 "diffs",
                 Json::Arr(diffs.iter().map(RunDiff::to_json).collect()),
+            ),
+        ]),
+    );
+    let worst = triage.first();
+    report::save_json(
+        "triage.json",
+        &Json::obj([
+            ("schema", Json::str("mwc-triage/v1")),
+            ("regressed", Json::Bool(regressions > 0)),
+            ("top", Json::U64(flags.top as u64)),
+            (
+                "entries",
+                Json::Arr(
+                    triage
+                        .iter()
+                        .map(|(n, e)| triage_entry_json(n, e))
+                        .collect(),
+                ),
+            ),
+            (
+                "worst",
+                match worst {
+                    Some((name, e)) => Json::obj([
+                        ("record", Json::str(name)),
+                        ("path", Json::str(&e.path)),
+                        (
+                            "rerun",
+                            Json::Str(format!("scripts/perf_gate.sh --bin {name}")),
+                        ),
+                        ("bisect", Json::Str(bisect_hint(name))),
+                    ]),
+                    None => Json::Null,
+                },
             ),
         ]),
     );

@@ -25,8 +25,15 @@ use mwc_graph::seq::Direction;
 use mwc_graph::{NodeId, Orientation};
 use mwc_trace::{RunRecord, TraceSession};
 
+/// Count allocator traffic so spans carry `alloc_bytes`/`alloc_count` —
+/// the manifest and flamegraph ignore them (byte-determinism contract),
+/// but the run record and the Chrome trace export surface them.
+#[global_allocator]
+static ALLOC: mwc_trace::profile::CountingAlloc = mwc_trace::profile::CountingAlloc;
+
 fn main() {
     report::init_shards();
+    report::init_profiling();
     let n: usize = report::arg(1, 96);
     let params = Params::lean().with_seed(42);
 
@@ -97,10 +104,12 @@ fn main() {
     t.print();
 
     report::save_json("trace_manifest.json", &data.to_manifest());
+    report::save_chrome_trace(&data, "trace_report");
 
     let mut record =
         RunRecord::from_trace("trace_report", [("n".to_owned(), n.to_string())], &data);
     record.shards = mwc_par::shards() as u64;
+    record.peak_alloc_bytes = mwc_trace::profile::peak_alloc_bytes();
     report::save_metrics_exposition(&record);
     report::save_artifact(
         &format!("{}/trace_report.json", report::RUN_RECORD_DIR),

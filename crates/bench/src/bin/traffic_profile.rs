@@ -61,7 +61,13 @@ fn flood_with_delays(g: &mwc_graph::Graph, sources: &[NodeId], delays: &[u64], h
     ledger
 }
 
+/// Count allocator traffic so this bin's run record and optional Chrome
+/// trace export carry allocation profile data alongside simulated rounds.
+#[global_allocator]
+static ALLOC: mwc_trace::profile::CountingAlloc = mwc_trace::profile::CountingAlloc;
+
 fn main() {
+    report::init_profiling();
     let side: usize = report::arg(1, 24);
     let mut rec = report::RunRecorder::start("traffic_profile");
     rec.param("side", side);

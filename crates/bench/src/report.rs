@@ -77,6 +77,22 @@ pub fn init_shards() -> usize {
     mwc_par::shards()
 }
 
+/// Enables wall-clock and allocation profiling on the calling thread and
+/// zeroes the process-wide peak-allocation high-water mark, so the run's
+/// spans accumulate wall-nanoseconds and (when the bin installed
+/// [`mwc_trace::profile::CountingAlloc`] as its `#[global_allocator]`)
+/// allocator traffic. Bench bins call this once at startup, right after
+/// [`init_jobs`]/[`init_shards`].
+///
+/// [`RunRecorder::start`] deliberately does **not** call this: profiling
+/// stamps nanosecond wall-clock into span nodes, which would break
+/// callers (e.g. the perf-gate harness) that assert two recorder-built
+/// records render byte-identically.
+pub fn init_profiling() {
+    mwc_trace::profile::set_thread_profiling(true);
+    mwc_trace::profile::reset_peak_alloc();
+}
+
 /// Writes `contents` to `results/<relpath>`, creating directories as
 /// needed, and logs the destination to stderr.
 ///
@@ -164,9 +180,18 @@ impl RunRecorder {
     /// wall-clock since [`RunRecorder::start`] — the one intentionally
     /// non-deterministic field (informational only; `trace_diff` never
     /// compares it, and determinism tests zero it before comparing) —
-    /// and `shards`/`jobs`/`workers` (also informational: parallelism
-    /// knobs and pool counters never change a gated metric).
+    /// and `shards`/`jobs`/`workers`/`peak_alloc_bytes` (also
+    /// informational: parallelism knobs, pool counters, and the allocator
+    /// high-water mark never change a gated metric).
     pub fn into_record(self) -> RunRecord {
+        self.into_record_with_trace().0
+    }
+
+    /// [`RunRecorder::into_record`] but also returning the finished
+    /// [`mwc_trace::TraceData`], so callers can render derived artifacts
+    /// (the Chrome trace export) from the same session that produced the
+    /// record.
+    pub fn into_record_with_trace(self) -> (RunRecord, mwc_trace::TraceData) {
         let data = self.session.finish();
         let mut record = RunRecord::from_trace(&self.name, self.params, &data);
         for c in self.congestion {
@@ -175,6 +200,7 @@ impl RunRecorder {
         record.wall_ms = self.started.elapsed().as_millis() as u64;
         record.shards = mwc_par::shards() as u64;
         record.jobs = mwc_par::jobs() as u64;
+        record.peak_alloc_bytes = mwc_trace::profile::peak_alloc_bytes();
         let w = mwc_par::worker_counters();
         record.workers = mwc_trace::WorkerTally {
             tasks_executed: w.tasks_executed,
@@ -182,13 +208,16 @@ impl RunRecorder {
             idle_joins: w.idle_joins,
             busy_ms: w.busy_ns / 1_000_000,
         };
-        record
+        (record, data)
     }
 
     /// Finishes the trace and writes
     /// `results/run_records/<name>.json` plus the OpenMetrics exposition
     /// of the same record as `results/metrics.prom` (validated before it
-    /// lands — an unparsable exposition is a bug, not an artifact).
+    /// lands — an unparsable exposition is a bug, not an artifact). When
+    /// the `MWC_TRACE_EXPORT` environment variable is set (non-empty,
+    /// not `0`), also writes the run's Chrome Trace Event Format export
+    /// to `results/trace.perfetto.json` via [`save_chrome_trace`].
     ///
     /// # Panics
     ///
@@ -196,10 +225,35 @@ impl RunRecorder {
     /// exposition fails [`mwc_trace::validate_openmetrics`].
     pub fn finish(self) -> PathBuf {
         let relpath = format!("{RUN_RECORD_DIR}/{}.json", self.name);
-        let record = self.into_record();
+        let name = self.name.clone();
+        let (record, data) = self.into_record_with_trace();
         save_metrics_exposition(&record);
+        if trace_export_requested() {
+            save_chrome_trace(&data, &name);
+        }
         save_artifact(&relpath, &record.render())
     }
+}
+
+/// Whether `MWC_TRACE_EXPORT` asks for a Chrome trace export (set to
+/// anything non-empty except `0`).
+pub fn trace_export_requested() -> bool {
+    std::env::var("MWC_TRACE_EXPORT").is_ok_and(|v| !v.trim().is_empty() && v.trim() != "0")
+}
+
+/// Renders `data` as Chrome Trace Event Format JSON and writes it to
+/// `results/trace.perfetto.json` — load it in Perfetto (ui.perfetto.dev)
+/// or `chrome://tracing`. The export is validated structurally before it
+/// lands, like the OpenMetrics exposition.
+///
+/// # Panics
+///
+/// Panics on I/O errors, like [`save_artifact`], or when the rendered
+/// trace fails [`mwc_trace::validate_chrome_trace`].
+pub fn save_chrome_trace(data: &mwc_trace::TraceData, label: &str) -> PathBuf {
+    let trace = mwc_trace::chrome_trace(data, label);
+    mwc_trace::validate_chrome_trace(&trace.render_pretty()).expect("chrome trace validates");
+    save_json("trace.perfetto.json", &trace)
 }
 
 /// Renders `record` as an OpenMetrics exposition and writes it to

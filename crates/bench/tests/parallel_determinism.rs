@@ -23,6 +23,16 @@ const INFORMATIONAL_FIELDS: &[&str] = &[
     "\"items_grafted\":",
     "\"idle_joins\":",
     "\"busy_ms\":",
+    // Profile fields (v6): wall-clock is machine-dependent everywhere;
+    // allocation attribution is deterministic only in the sequential
+    // unsharded config (spawned shard tasks run unprofiled, so per-span
+    // alloc shifts with the schedule) — which is exactly why trace_diff
+    // gates alloc only at jobs<=1 && shards<=1. Across this matrix all
+    // four are informational and normalized.
+    "\"wall_ns\":",
+    "\"alloc_bytes\":",
+    "\"alloc_count\":",
+    "\"peak_alloc_bytes\":",
 ];
 
 /// Runs `bin` with `MWC_JOBS=jobs` and `MWC_SHARDS=shards` in a scratch
@@ -74,9 +84,13 @@ fn run_bin(
         .collect::<Vec<_>>()
         .join("\n");
     let prom = std::fs::read_to_string(scratch.join("results/metrics.prom")).unwrap();
+    // Drop the run-dependent `mwc_info_` samples AND every `mwc_alloc_`
+    // line: the gated alloc counters (samples *and* their # TYPE/# HELP
+    // declarations) exist only in the sequential unsharded config, where
+    // allocation attribution is deterministic.
     let prom = prom
         .lines()
-        .filter(|l| !l.starts_with("mwc_info_"))
+        .filter(|l| !l.starts_with("mwc_info_") && !l.contains("mwc_alloc_"))
         .collect::<Vec<_>>()
         .join("\n");
     (String::from_utf8_lossy(&out.stdout).into_owned(), rec, prom)
@@ -103,6 +117,7 @@ fn assert_parallelism_invariant(bin: &str, arg: &str, record: &str, case: &str) 
         "\"shards\": 0",
         "\"jobs\": 0",
         "\"tasks_executed\": 0",
+        "\"peak_alloc_bytes\": 0",
     ] {
         assert!(
             rec_base.contains(field),

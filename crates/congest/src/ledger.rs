@@ -101,6 +101,17 @@ impl Ledger {
 
     /// Adds the cost of a finished phase simulated on `net`.
     ///
+    /// The `mwc_trace::add_cost` call below charges the phase's simulated
+    /// rounds/words/messages to the **innermost open span** on this
+    /// thread. Wall-clock and allocation profiling in `mwc-trace` use the
+    /// same attribution model: interval marks at every span open/close
+    /// charge the elapsed wall-nanoseconds and allocator traffic since
+    /// the last boundary to the innermost span, so a span's self-cost in
+    /// all five metrics means "what happened while this span was the
+    /// deepest one open". The difference is only *when* the charge lands:
+    /// simulated cost arrives in one lump here at absorb time, while
+    /// wall/alloc accrue continuously at span boundaries.
+    ///
     /// # Panics
     ///
     /// Panics if `net` was built over a different topology than earlier

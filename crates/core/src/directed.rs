@@ -617,7 +617,15 @@ fn short_cycles_restricted_bfs(
     // Lines 25–26: close cycles found by the restricted BFS — at node y
     // holding d(v, y) with an out-edge (y, v).
     for y in 0..n {
-        for (&src, rec) in reached[y].iter() {
+        // Sorted source order: the `cand >= b` pruning depends on how
+        // early `best` improves, so HashMap's per-process iteration order
+        // would make the work done (and the profiled allocator traffic,
+        // gated in the default configuration) nondeterministic — the
+        // cycle weight itself is order-invariant.
+        let mut srcs: Vec<u32> = reached[y].keys().copied().collect();
+        srcs.sort_unstable();
+        for src in srcs {
+            let rec = &reached[y][&src];
             let v = src as usize;
             if !g.has_edge(y, v) {
                 continue;

@@ -279,8 +279,17 @@ fn girth_core_parts(
     // neighbors' detections of a common source v.
     for z in 0..n {
         // Per source: the two best (stretched dist + edge stretch, neighbor).
+        // Both maps here are iterated in sorted key order: the `cand >= b`
+        // pruning below depends on the order offers improve `best`, so
+        // HashMap's per-process iteration order would make the *work done*
+        // (and with it the profiled allocator traffic, a gated metric in
+        // the default configuration) nondeterministic even though the
+        // final cycle weight is order-invariant.
         let mut two_best: HashMap<NodeId, [(Weight, NodeId); 2]> = HashMap::new();
-        for (&x, xlist) in &nbr_lists[z] {
+        let mut nbrs: Vec<NodeId> = nbr_lists[z].keys().copied().collect();
+        nbrs.sort_unstable();
+        for x in nbrs {
+            let xlist = &nbr_lists[z][&x];
             let Some(eid) = g.edge_id(z, x) else { continue };
             let ell = latency.map_or(1, |l| l[eid].max(1));
             for &(v, d, _) in xlist.iter() {
@@ -298,8 +307,10 @@ fn girth_core_parts(
                 }
             }
         }
-        for (&v, slot) in &two_best {
-            let [(d0, x), (d1, y)] = *slot;
+        let mut sources: Vec<NodeId> = two_best.keys().copied().collect();
+        sources.sort_unstable();
+        for v in sources {
+            let [(d0, x), (d1, y)] = two_best[&v];
             if d1 == INF || x == y {
                 continue;
             }

@@ -193,12 +193,25 @@ where
         IDLE_JOINS.fetch_add(1, Ordering::Relaxed);
     }
     let f = &f;
+    // Busy-time of the *spawned* task bodies. The inline task runs on the
+    // calling thread under whatever span is open there, so the caller's
+    // interval marks already cover it; spawned workers run where no span
+    // is open and their wall-time would otherwise vanish from profiles.
+    // Folding the sum back via `add_span_wall` charges it to the span
+    // that forked them (a no-op unless the caller thread is profiling).
+    let spawned_ns = AtomicU64::new(0);
+    let spawned_ns = &spawned_ns;
     std::thread::scope(|s| {
         for t in iter {
-            s.spawn(move || f(t));
+            s.spawn(move || {
+                let t0 = Instant::now();
+                f(t);
+                spawned_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            });
         }
         f(first);
     });
+    mwc_trace::add_span_wall(spawned_ns.load(Ordering::Relaxed));
     BUSY_NS.fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
 }
 
@@ -243,20 +256,28 @@ where
     let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
+    // Thread profiling is a thread-local opt-in, so fresh worker threads
+    // start with it off. Propagate the caller's flag so spans a worker
+    // opens under its own memory session (the capture-and-graft pattern)
+    // carry wall/alloc profile data whenever the coordinator's do.
+    let prof = mwc_trace::profile::thread_profiling_enabled();
     std::thread::scope(|s| {
         for _ in 0..jobs.min(n) {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            s.spawn(|| {
+                mwc_trace::profile::set_thread_profiling(prof);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = slots[i]
+                        .lock()
+                        .expect("slot lock")
+                        .take()
+                        .expect("each index is claimed exactly once");
+                    let r = f(item);
+                    *results[i].lock().expect("result lock") = Some(r);
                 }
-                let item = slots[i]
-                    .lock()
-                    .expect("slot lock")
-                    .take()
-                    .expect("each index is claimed exactly once");
-                let r = f(item);
-                *results[i].lock().expect("result lock") = Some(r);
             });
         }
     });
@@ -388,6 +409,53 @@ mod tests {
         assert!(after.tasks_executed >= before.tasks_executed + 4);
         // The singleton fork_join and the singleton map both stay inline.
         assert!(after.idle_joins >= before.idle_joins + 2);
+    }
+
+    #[test]
+    fn fork_join_folds_spawned_wall_into_open_span() {
+        let session = mwc_trace::TraceSession::memory();
+        mwc_trace::profile::set_thread_profiling(true);
+        {
+            let _g = mwc_trace::span("fork");
+            fork_join(vec![0usize, 1, 2], |_| {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            });
+        }
+        mwc_trace::profile::set_thread_profiling(false);
+        let data = session.finish();
+        let fork = &data.roots[0];
+        assert_eq!(fork.label, "fork");
+        // Two spawned tasks slept ≥ 2 ms each; their busy-time must land
+        // on the span that forked them (the inline task's time arrives
+        // via the caller's interval marks on top of this floor).
+        assert!(
+            fork.wall_ns >= 4_000_000,
+            "spawned wall not folded: {} ns",
+            fork.wall_ns
+        );
+    }
+
+    #[test]
+    fn fork_join_without_profiling_leaves_spans_zeroed() {
+        let session = mwc_trace::TraceSession::memory();
+        {
+            let _g = mwc_trace::span("fork");
+            fork_join(vec![0usize, 1], |_| {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            });
+        }
+        let data = session.finish();
+        assert_eq!(data.roots[0].wall_ns, 0);
+    }
+
+    #[test]
+    fn ordered_map_workers_inherit_profiling_flag() {
+        mwc_trace::profile::set_thread_profiling(true);
+        let flags = ordered_map_jobs((0..4u8).collect(), 4, |_| {
+            mwc_trace::profile::thread_profiling_enabled()
+        });
+        mwc_trace::profile::set_thread_profiling(false);
+        assert_eq!(flags, vec![true; 4]);
     }
 
     #[test]

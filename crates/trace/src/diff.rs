@@ -58,6 +58,11 @@ pub struct DiffConfig {
     pub messages: Tolerance,
     /// Tolerance on audit `max_ratio` margins.
     pub ratio: Tolerance,
+    /// Tolerance on allocation counters (`alloc_bytes` / `alloc_count`).
+    /// Only consulted when the alloc gate applies — both records ran the
+    /// default `jobs ≤ 1, shards ≤ 1` configuration and the baseline
+    /// carries nonzero alloc data.
+    pub allocs: Tolerance,
 }
 
 impl DiffConfig {
@@ -68,6 +73,7 @@ impl DiffConfig {
             words: Tolerance::rel(rel),
             messages: Tolerance::rel(rel),
             ratio: Tolerance::rel(rel),
+            allocs: Tolerance::rel(rel),
         }
     }
 }
@@ -402,6 +408,36 @@ pub fn diff_records(base: &RunRecord, fresh: &RunRecord, cfg: &DiffConfig) -> Ru
         fresh.rounds_saved,
     );
 
+    // Allocation counters are deterministic only when both runs executed
+    // the default single-threaded configuration (`jobs ≤ 1, shards ≤ 1`
+    // covers 0 = not recorded and 1 = explicit default): any parallel
+    // schedule moves allocations onto worker threads and the counts
+    // become schedule noise. They are also skipped against baselines
+    // with no alloc data (pre-v6, or recorded without the counting
+    // allocator) — a zero-vs-nonzero diff there would gate on
+    // instrumentation coverage, not on performance. `wall_ns` and
+    // `peak_alloc_bytes` are never compared (the `wall_ms` convention).
+    let default_config = base.shards <= 1 && fresh.shards <= 1 && base.jobs <= 1 && fresh.jobs <= 1;
+    let gate_allocs = default_config && (base.alloc_bytes > 0 || base.alloc_count > 0);
+    if gate_allocs {
+        d.metric(
+            "total",
+            "",
+            "alloc_bytes",
+            cfg.allocs,
+            base.alloc_bytes as f64,
+            fresh.alloc_bytes as f64,
+        );
+        d.metric(
+            "total",
+            "",
+            "alloc_count",
+            cfg.allocs,
+            base.alloc_count as f64,
+            fresh.alloc_count as f64,
+        );
+    }
+
     // Cache effectiveness (deterministic, gated). Hits share
     // `rounds_saved`'s inverted polarity; misses are plain cost counters.
     // `wall_ms`, `shards`, `jobs`, and `workers` are informational and
@@ -452,6 +488,24 @@ pub fn diff_records(base: &RunRecord, fresh: &RunRecord, cfg: &DiffConfig) -> Ru
                     (f.rounds, f.words, f.messages),
                 );
                 d.saved_metric("span", path, "rounds_saved", b.rounds_saved, f.rounds_saved);
+                if gate_allocs {
+                    d.metric(
+                        "span",
+                        path,
+                        "alloc_bytes",
+                        cfg.allocs,
+                        b.alloc_bytes as f64,
+                        f.alloc_bytes as f64,
+                    );
+                    d.metric(
+                        "span",
+                        path,
+                        "alloc_count",
+                        cfg.allocs,
+                        b.alloc_count as f64,
+                        f.alloc_count as f64,
+                    );
+                }
                 d.metric(
                     "span",
                     path,
@@ -614,6 +668,96 @@ pub fn diff_records(base: &RunRecord, fresh: &RunRecord, cfg: &DiffConfig) -> Ru
     }
 }
 
+/// One span path's contribution to the divergence between two records —
+/// the unit `trace_diff --top` ranks and `results/triage.json` stores.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TriageEntry {
+    /// The span path ([`crate::record::PATH_SEP`]-joined).
+    pub path: String,
+    /// Ranking score in integer milli-units: for each metric (rounds,
+    /// words, and allocated bytes when the baseline has alloc data), the
+    /// span's |delta| as a fraction of the *baseline record total*,
+    /// summed and scaled by 1000. 1000 ≈ "this span alone moved one
+    /// whole metric by the entire baseline total". Integer so ranking is
+    /// deterministic.
+    pub score_milli: u64,
+    /// Fresh minus baseline self rounds.
+    pub rounds_delta: i64,
+    /// Fresh minus baseline self words.
+    pub words_delta: i64,
+    /// Fresh minus baseline self allocated bytes.
+    pub alloc_delta: i64,
+}
+
+impl TriageEntry {
+    /// Renders as a JSON object (insertion-ordered keys).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("path", Json::str(&self.path)),
+            ("score_milli", Json::U64(self.score_milli)),
+            ("rounds_delta", Json::I64(self.rounds_delta)),
+            ("words_delta", Json::I64(self.words_delta)),
+            ("alloc_delta", Json::I64(self.alloc_delta)),
+        ])
+    }
+}
+
+/// Ranks every span path by its |delta| contribution between `base` and
+/// `fresh` (union of paths; a path missing on one side counts as zero).
+/// Alloc deltas contribute to the score only when the baseline record
+/// carries nonzero alloc data, mirroring the diff gate. Paths with no
+/// movement are omitted. Sorted by score descending, ties by path — so
+/// the first entry is the worst offender `trace_diff` points its
+/// `mwc_replay bisect` hint at.
+pub fn triage_spans(base: &RunRecord, fresh: &RunRecord) -> Vec<TriageEntry> {
+    let score_allocs = base.alloc_bytes > 0;
+    let mut paths: Vec<&str> = base
+        .spans
+        .iter()
+        .chain(fresh.spans.iter())
+        .map(|s| s.path.as_str())
+        .collect();
+    paths.sort_unstable();
+    paths.dedup();
+
+    // |delta| · 1000 / max(baseline record total, 1), in integer math.
+    let contribution =
+        |delta: i64, total: u64| -> u64 { (delta.unsigned_abs() * 1000) / total.max(1) };
+
+    let mut out = Vec::new();
+    for path in paths {
+        let b = base.spans.iter().find(|s| s.path == path);
+        let f = fresh.spans.iter().find(|s| s.path == path);
+        let field = |get: fn(&crate::record::SpanMetrics) -> u64| -> i64 {
+            f.map_or(0, |s| get(s) as i64) - b.map_or(0, |s| get(s) as i64)
+        };
+        let rounds_delta = field(|s| s.rounds);
+        let words_delta = field(|s| s.words);
+        let alloc_delta = field(|s| s.alloc_bytes);
+        let mut score =
+            contribution(rounds_delta, base.rounds) + contribution(words_delta, base.words);
+        if score_allocs {
+            score += contribution(alloc_delta, base.alloc_bytes);
+        }
+        if rounds_delta == 0 && words_delta == 0 && (!score_allocs || alloc_delta == 0) {
+            continue;
+        }
+        out.push(TriageEntry {
+            path: path.to_owned(),
+            score_milli: score,
+            rounds_delta,
+            words_delta,
+            alloc_delta,
+        });
+    }
+    out.sort_by(|a, b| {
+        b.score_milli
+            .cmp(&a.score_milli)
+            .then_with(|| a.path.cmp(&b.path))
+    });
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -630,6 +774,9 @@ mod tests {
             wall_ms: 0,
             shards: 0,
             jobs: 0,
+            alloc_bytes: 10_000,
+            alloc_count: 40,
+            peak_alloc_bytes: 5_000,
             cache: CacheTally {
                 tree_hits: 3,
                 tree_misses: 1,
@@ -646,6 +793,9 @@ mod tests {
                     words: 600,
                     messages: 30,
                     rounds_saved: 12,
+                    wall_ns: 0,
+                    alloc_bytes: 6_000,
+                    alloc_count: 25,
                 },
                 SpanMetrics {
                     path: "a > b".into(),
@@ -654,6 +804,9 @@ mod tests {
                     words: 400,
                     messages: 20,
                     rounds_saved: 0,
+                    wall_ns: 0,
+                    alloc_bytes: 4_000,
+                    alloc_count: 15,
                 },
             ],
             congestion: vec![CongestionSummary {
@@ -738,7 +891,7 @@ mod tests {
             rounds: 1,
             words: 1,
             messages: 1,
-            rounds_saved: 0,
+            ..SpanMetrics::default()
         });
         let d = diff_records(&record(), &fresh, &DiffConfig::default());
         assert!(d.has_regression());
@@ -859,6 +1012,136 @@ mod tests {
         let d = diff_records(&record(), &fresh, &DiffConfig::default());
         assert!(!d.has_regression(), "{}", d.render());
         assert!(d.entries.is_empty(), "{}", d.render());
+    }
+
+    #[test]
+    fn alloc_regression_gates_in_default_config() {
+        let mut fresh = record();
+        fresh.alloc_bytes += 500;
+        fresh.spans[1].alloc_bytes += 500;
+        let d = diff_records(&record(), &fresh, &DiffConfig::default());
+        assert!(d.has_regression(), "{}", d.render());
+        assert_eq!(d.regression_count(), 2); // total + span "a > b"
+        assert!(d
+            .entries
+            .iter()
+            .all(|e| e.metric == "alloc_bytes" && e.status == DiffStatus::Regressed));
+        assert!(d.render().contains("a > b"), "{}", d.render());
+    }
+
+    #[test]
+    fn alloc_is_informational_in_parallel_configs() {
+        // Same alloc regression, but one side ran sharded/jobs>1: the
+        // counts are schedule noise there and must not gate.
+        for (shards, jobs) in [(4, 1), (1, 4), (0, 2), (8, 8)] {
+            let mut fresh = record();
+            fresh.alloc_bytes += 500;
+            fresh.spans[1].alloc_bytes += 500;
+            fresh.shards = shards;
+            fresh.jobs = jobs;
+            let d = diff_records(&record(), &fresh, &DiffConfig::default());
+            if shards <= 1 && jobs <= 1 {
+                assert!(d.has_regression());
+            } else {
+                assert!(
+                    !d.has_regression(),
+                    "shards={shards} jobs={jobs}: {}",
+                    d.render()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alloc_is_skipped_against_baselines_without_alloc_data() {
+        // Pre-v6 baseline (or no counting allocator): alloc fields parse
+        // as 0; a fresh profiled record must diff clean against it.
+        let mut base = record();
+        base.alloc_bytes = 0;
+        base.alloc_count = 0;
+        for s in &mut base.spans {
+            s.alloc_bytes = 0;
+            s.alloc_count = 0;
+        }
+        let d = diff_records(&base, &record(), &DiffConfig::default());
+        assert!(!d.has_regression(), "{}", d.render());
+        assert!(d.entries.is_empty(), "{}", d.render());
+    }
+
+    #[test]
+    fn wall_and_peak_are_never_compared() {
+        let mut fresh = record();
+        fresh.peak_alloc_bytes = 999_999;
+        fresh.spans[0].wall_ns = 123_456_789;
+        let d = diff_records(&record(), &fresh, &DiffConfig::default());
+        assert!(!d.has_regression(), "{}", d.render());
+        assert!(d.entries.is_empty(), "{}", d.render());
+    }
+
+    #[test]
+    fn triage_ranks_injected_regression_first() {
+        let mut fresh = record();
+        fresh.spans[1].rounds += 20; // "a > b": 20/100 rounds = 200 milli
+        fresh.spans[0].words += 30; // "a": 30/1000 words = 30 milli
+        let entries = triage_spans(&record(), &fresh);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].path, "a > b");
+        assert_eq!(entries[0].score_milli, 200);
+        assert_eq!(entries[0].rounds_delta, 20);
+        assert_eq!(entries[1].path, "a");
+        assert_eq!(entries[1].score_milli, 30);
+        assert_eq!(entries[1].words_delta, 30);
+    }
+
+    #[test]
+    fn triage_counts_alloc_only_with_alloc_baseline() {
+        let mut fresh = record();
+        fresh.spans[0].alloc_bytes += 5_000; // 5000/10000 = 500 milli
+        let entries = triage_spans(&record(), &fresh);
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].path, "a");
+        assert_eq!(entries[0].score_milli, 500);
+        assert_eq!(entries[0].alloc_delta, 5_000);
+
+        // Zero-alloc baseline: the same byte movement scores nothing and
+        // produces no entry (no other metric moved).
+        let mut base = record();
+        base.alloc_bytes = 0;
+        for s in &mut base.spans {
+            s.alloc_bytes = 0;
+        }
+        let mut fresh = base.clone();
+        fresh.spans[0].alloc_bytes = 5_000;
+        assert!(triage_spans(&base, &fresh).is_empty());
+    }
+
+    #[test]
+    fn triage_handles_added_and_removed_paths() {
+        let mut fresh = record();
+        fresh.spans.remove(1); // "a > b" disappears: full self-cost delta
+        fresh.spans.push(SpanMetrics {
+            path: "new".into(),
+            count: 1,
+            rounds: 100,
+            words: 0,
+            messages: 0,
+            ..SpanMetrics::default()
+        });
+        let entries = triage_spans(&record(), &fresh);
+        // "a > b" removal contributes 40/100 rounds + 400/1000 words +
+        // 4000/10000 bytes = 1200 milli, outranking "new" at 100/100
+        // rounds = 1000 milli.
+        assert_eq!(entries[0].path, "a > b");
+        assert_eq!(entries[0].rounds_delta, -40);
+        assert_eq!(entries[0].score_milli, 400 + 400 + 400);
+        let added = entries.iter().find(|e| e.path == "new").unwrap();
+        assert_eq!(added.score_milli, 1000);
+        assert_eq!(added.rounds_delta, 100);
+    }
+
+    #[test]
+    fn triage_is_empty_for_identical_records() {
+        assert!(triage_spans(&record(), &record()).is_empty());
     }
 
     #[test]

@@ -1,0 +1,376 @@
+//! Chrome Trace Event Format export for span trees.
+//!
+//! [`chrome_trace`] renders a finished [`TraceData`] as the JSON object
+//! format consumed by Perfetto (<https://ui.perfetto.dev>) and
+//! `chrome://tracing`: an array of duration events (`ph: "B"`/`"E"`) on
+//! two process tracks:
+//!
+//! - **pid 1 — simulated rounds**: one timestamp unit per simulated
+//!   CONGEST round, laid out by packing each span's children
+//!   back-to-back from the span's start (spans have no recorded start
+//!   offsets — the tree only stores per-span totals — so the layout is a
+//!   canonical flamegraph, not a timeline). This track is byte-
+//!   deterministic across runs.
+//! - **pid 2 — wall clock**: the same forest with microsecond durations
+//!   from each span's profiled `wall_ns` (see [`crate::profile`]).
+//!   Omitted entirely when no span carries wall data. Machine-dependent
+//!   by nature; determinism tests drop this track before comparing.
+//!
+//! Every `B` event carries the span's full metric set (`rounds`,
+//! `words`, `messages`, `rounds_saved`, `wall_ns`, `alloc_bytes`,
+//! `alloc_count`, inclusive totals) in `args`, so either track can be
+//! inspected in the Perfetto UI without cross-referencing run records.
+//!
+//! [`validate_chrome_trace`] is the in-tree structural validator CI runs
+//! over exported files: balanced `B`/`E` pairs with matching names per
+//! `(pid, tid)` track, non-decreasing timestamps in emission order, and
+//! every stack empty at end of input.
+//!
+//! Child packing keeps nesting well-formed on both tracks: a child's
+//! duration in track units never exceeds the remaining span of its
+//! parent because `floor` is superadditive (`Σ floor(tᵢ/1000) ≤
+//! floor(Σ tᵢ/1000)` for the microsecond track; the rounds track is
+//! exact).
+
+use crate::json::Json;
+use crate::{SpanNode, TraceData};
+
+/// Renders `data` as a Chrome Trace Event Format JSON object. `label`
+/// names the run (it becomes the process names and `otherData.run`).
+pub fn chrome_trace(data: &TraceData, label: &str) -> Json {
+    let mut events = Vec::new();
+    events.push(process_name_event(
+        1,
+        &format!("simulated rounds — {label}"),
+    ));
+    let has_wall = data.roots.iter().any(|r| r.total_wall_ns() > 0);
+    if has_wall {
+        events.push(process_name_event(2, &format!("wall clock — {label}")));
+    }
+
+    let mut cursor = 0u64;
+    for root in &data.roots {
+        cursor = emit_span(root, cursor, 1, SpanNode::total_rounds, &mut events);
+    }
+    if has_wall {
+        let mut cursor = 0u64;
+        for root in &data.roots {
+            cursor = emit_span(root, cursor, 2, wall_us, &mut events);
+        }
+    }
+
+    Json::obj([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::str("ms")),
+        (
+            "otherData",
+            Json::obj([
+                ("generator", Json::str("mwc-trace")),
+                ("run", Json::str(label)),
+            ]),
+        ),
+    ])
+}
+
+fn wall_us(node: &SpanNode) -> u64 {
+    node.total_wall_ns() / 1000
+}
+
+fn process_name_event(pid: u64, name: &str) -> Json {
+    Json::obj([
+        ("ph", Json::str("M")),
+        ("pid", Json::U64(pid)),
+        ("tid", Json::U64(0)),
+        ("name", Json::str("process_name")),
+        ("args", Json::obj([("name", Json::str(name))])),
+    ])
+}
+
+/// Emits the `B`/`E` pair for `node` (and, recursively, its children
+/// packed back-to-back from `start`) on track `pid`, where `total` maps a
+/// span to its inclusive duration in track units. Returns the end
+/// timestamp `start + total(node)`.
+fn emit_span(
+    node: &SpanNode,
+    start: u64,
+    pid: u64,
+    total: fn(&SpanNode) -> u64,
+    out: &mut Vec<Json>,
+) -> u64 {
+    let end = start + total(node);
+    out.push(Json::obj([
+        ("ph", Json::str("B")),
+        ("pid", Json::U64(pid)),
+        ("tid", Json::U64(1)),
+        ("ts", Json::U64(start)),
+        ("name", Json::str(&node.label)),
+        ("cat", Json::str("span")),
+        (
+            "args",
+            Json::obj([
+                ("rounds", Json::U64(node.rounds)),
+                ("words", Json::U64(node.words)),
+                ("messages", Json::U64(node.messages)),
+                ("rounds_saved", Json::U64(node.rounds_saved)),
+                ("wall_ns", Json::U64(node.wall_ns)),
+                ("alloc_bytes", Json::U64(node.alloc_bytes)),
+                ("alloc_count", Json::U64(node.alloc_count)),
+                ("total_rounds", Json::U64(node.total_rounds())),
+                ("total_wall_ns", Json::U64(node.total_wall_ns())),
+                ("total_alloc_bytes", Json::U64(node.total_alloc_bytes())),
+            ]),
+        ),
+    ]));
+    let mut cursor = start;
+    for child in &node.children {
+        cursor = emit_span(child, cursor, pid, total, out);
+    }
+    debug_assert!(cursor <= end, "children overflow parent span");
+    out.push(Json::obj([
+        ("ph", Json::str("E")),
+        ("pid", Json::U64(pid)),
+        ("tid", Json::U64(1)),
+        ("ts", Json::U64(end)),
+        ("name", Json::str(&node.label)),
+    ]));
+    end
+}
+
+/// What [`validate_chrome_trace`] measured while walking a trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total events, including metadata (`M`) events.
+    pub events: usize,
+    /// Matched `B`/`E` span pairs.
+    pub spans: usize,
+    /// Distinct `(pid, tid)` tracks that carried span events.
+    pub tracks: usize,
+}
+
+/// Structurally validates a Chrome Trace Event Format document: per
+/// `(pid, tid)` track, `B`/`E` events must nest (matching names, LIFO),
+/// timestamps must be non-decreasing in emission order, and every span
+/// opened must be closed. Metadata (`M`) events are skipped.
+///
+/// # Errors
+///
+/// A description of the first structural violation (or JSON parse
+/// failure), prefixed with the offending event index.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
+    let doc = Json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+
+    // (pid, tid) -> (open-name stack, last timestamp seen)
+    let mut tracks: Vec<((u64, u64), Vec<String>, u64)> = Vec::new();
+    let mut summary = TraceSummary {
+        events: events.len(),
+        ..TraceSummary::default()
+    };
+
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        if ph == "M" {
+            continue;
+        }
+        if ph != "B" && ph != "E" {
+            return Err(format!("event {i}: unsupported phase {ph:?}"));
+        }
+        let pid = ev
+            .get("pid")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("event {i}: missing pid"))?;
+        let tid = ev
+            .get("tid")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("event {i}: missing tid"))?;
+        let ts = ev
+            .get("ts")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("event {i}: missing ts"))?;
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing name"))?;
+
+        let track = match tracks.iter_mut().find(|(k, _, _)| *k == (pid, tid)) {
+            Some(t) => t,
+            None => {
+                tracks.push(((pid, tid), Vec::new(), 0));
+                tracks.last_mut().expect("just pushed")
+            }
+        };
+        if ts < track.2 {
+            return Err(format!(
+                "event {i}: ts {ts} decreases on track ({pid},{tid}) after {}",
+                track.2
+            ));
+        }
+        track.2 = ts;
+        match ph {
+            "B" => track.1.push(name.to_owned()),
+            _ => match track.1.pop() {
+                Some(open) if open == name => summary.spans += 1,
+                Some(open) => {
+                    return Err(format!(
+                        "event {i}: E {name:?} closes span opened as {open:?}"
+                    ));
+                }
+                None => {
+                    return Err(format!(
+                        "event {i}: E {name:?} with no open span on track ({pid},{tid})"
+                    ));
+                }
+            },
+        }
+    }
+
+    for ((pid, tid), stack, _) in &tracks {
+        if let Some(open) = stack.last() {
+            return Err(format!(
+                "span {open:?} left open at end of trace on track ({pid},{tid})"
+            ));
+        }
+    }
+    summary.tracks = tracks.len();
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{add_cost, profile, span, TraceSession};
+
+    fn sample_data() -> TraceData {
+        let session = TraceSession::memory();
+        {
+            let _a = span("alg");
+            add_cost(5, 50, 2);
+            {
+                let _p = span("alg/phase1");
+                add_cost(3, 30, 1);
+            }
+            {
+                let _p = span("alg/phase2");
+                add_cost(7, 70, 4);
+            }
+        }
+        {
+            let _b = span("oracle");
+            add_cost(2, 4, 1);
+        }
+        session.finish()
+    }
+
+    #[test]
+    fn export_validates_and_is_deterministic() {
+        let render = || chrome_trace(&sample_data(), "unit").render_pretty();
+        let (a, b) = (render(), render());
+        assert_eq!(a, b);
+        let summary = validate_chrome_trace(&a).unwrap();
+        assert_eq!(summary.spans, 4);
+        assert_eq!(summary.tracks, 1, "no wall data ⇒ rounds track only");
+        assert!(a.contains("simulated rounds — unit"));
+        assert!(!a.contains("wall clock — unit"));
+    }
+
+    #[test]
+    fn children_pack_inside_parent_on_rounds_track() {
+        let doc = chrome_trace(&sample_data(), "t");
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let ts_of = |ph: &str, name: &str| {
+            events
+                .iter()
+                .find(|e| {
+                    e.get("ph").and_then(Json::as_str) == Some(ph)
+                        && e.get("name").and_then(Json::as_str) == Some(name)
+                })
+                .and_then(|e| e.get("ts"))
+                .and_then(Json::as_u64)
+                .unwrap()
+        };
+        // alg: total 15 at [0, 15); phase1 [0, 3); phase2 [3, 10);
+        // oracle follows at [15, 17).
+        assert_eq!(ts_of("B", "alg"), 0);
+        assert_eq!(ts_of("E", "alg"), 15);
+        assert_eq!(ts_of("B", "alg/phase1"), 0);
+        assert_eq!(ts_of("E", "alg/phase1"), 3);
+        assert_eq!(ts_of("B", "alg/phase2"), 3);
+        assert_eq!(ts_of("E", "alg/phase2"), 10);
+        assert_eq!(ts_of("B", "oracle"), 15);
+        assert_eq!(ts_of("E", "oracle"), 17);
+    }
+
+    #[test]
+    fn wall_track_appears_when_profiled() {
+        profile::set_thread_profiling(true);
+        let session = TraceSession::memory();
+        {
+            let _a = span("profiled");
+            add_cost(1, 1, 1);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let data = session.finish();
+        profile::set_thread_profiling(false);
+        let text = chrome_trace(&data, "p").render_pretty();
+        let summary = validate_chrome_trace(&text).unwrap();
+        assert_eq!(summary.tracks, 2);
+        assert_eq!(summary.spans, 2, "each track carries the span once");
+        assert!(text.contains("wall clock — p"));
+    }
+
+    #[test]
+    fn validator_rejects_structural_violations() {
+        let evs = |body: &str| format!("{{\"traceEvents\":[{body}]}}");
+        let b = r#"{"ph":"B","pid":1,"tid":1,"ts":0,"name":"x"}"#;
+        let cases = [
+            (evs(b), "left open"),
+            (
+                evs(r#"{"ph":"E","pid":1,"tid":1,"ts":0,"name":"x"}"#),
+                "no open span",
+            ),
+            (
+                evs(&format!(
+                    "{b},{}",
+                    r#"{"ph":"E","pid":1,"tid":1,"ts":1,"name":"y"}"#
+                )),
+                "closes span opened as",
+            ),
+            (
+                evs(&format!(
+                    "{b},{},{},{}",
+                    r#"{"ph":"B","pid":1,"tid":1,"ts":5,"name":"y"}"#,
+                    r#"{"ph":"E","pid":1,"tid":1,"ts":4,"name":"y"}"#,
+                    r#"{"ph":"E","pid":1,"tid":1,"ts":6,"name":"x"}"#
+                )),
+                "decreases",
+            ),
+            ("not json".to_owned(), "not valid JSON"),
+            ("{}".to_owned(), "missing traceEvents"),
+        ];
+        for (text, want) in cases {
+            let err = validate_chrome_trace(&text).unwrap_err();
+            assert!(err.contains(want), "{want:?} not in {err:?}");
+        }
+    }
+
+    #[test]
+    fn validator_tracks_are_independent() {
+        // Timestamps restart per (pid, tid): two tracks may each start
+        // at 0 without tripping monotonicity.
+        let text = r#"{"traceEvents":[
+            {"ph":"B","pid":1,"tid":1,"ts":0,"name":"a"},
+            {"ph":"E","pid":1,"tid":1,"ts":9,"name":"a"},
+            {"ph":"B","pid":2,"tid":1,"ts":0,"name":"a"},
+            {"ph":"E","pid":2,"tid":1,"ts":3,"name":"a"}
+        ]}"#;
+        let summary = validate_chrome_trace(text).unwrap();
+        assert_eq!(summary.spans, 2);
+        assert_eq!(summary.tracks, 2);
+    }
+}

@@ -30,13 +30,18 @@
 //!
 //! All state is thread-local: parallel test threads trace independently.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one sanctioned exception is the
+// counting `GlobalAlloc` pass-through in [`profile`], which carries a
+// module-local `#[allow(unsafe_code)]` next to its safety argument.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod audit;
 pub mod diff;
+pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod record;
 
 use json::Json;
@@ -46,7 +51,10 @@ use std::io::{BufWriter, Write as _};
 use std::path::PathBuf;
 
 pub use audit::{check_bound, AuditRecord, BoundInputs};
-pub use diff::{diff_records, DiffConfig, DiffEntry, DiffStatus, RunDiff, Tolerance};
+pub use diff::{
+    diff_records, triage_spans, DiffConfig, DiffEntry, DiffStatus, RunDiff, Tolerance, TriageEntry,
+};
+pub use export::{chrome_trace, validate_chrome_trace, TraceSummary};
 pub use metrics::{validate_openmetrics, MetricsRegistry};
 pub use record::{
     audit_margins, AuditMargin, CacheTally, CongestionSummary, RunRecord, SpanMetrics, WorkerTally,
@@ -73,6 +81,19 @@ pub struct SpanNode {
     /// innermost (see `Ledger::credit_cached` in `mwc-congest`). Not part
     /// of `rounds` — an audit trail of what reuse saved.
     pub rounds_saved: u64,
+    /// Host wall-nanoseconds attributed to this span while it was
+    /// innermost (plus any `mwc-par` worker busy-time folded in via
+    /// [`add_span_wall`]). Zero unless
+    /// [`profile::set_thread_profiling`] enabled profiling; always
+    /// machine-dependent, never in the JSONL events or the manifest.
+    pub wall_ns: u64,
+    /// Heap bytes allocated on this thread while this span was innermost
+    /// (gross allocation, not churn-adjusted). Zero unless profiling is
+    /// enabled *and* a [`profile::CountingAlloc`] is installed.
+    pub alloc_bytes: u64,
+    /// Heap allocations performed while this span was innermost. Same
+    /// preconditions as [`SpanNode::alloc_bytes`].
+    pub alloc_count: u64,
     /// Bound audits recorded while this span was innermost.
     pub audits: Vec<AuditRecord>,
     /// Child spans in open order.
@@ -112,6 +133,36 @@ impl SpanNode {
                 .children
                 .iter()
                 .map(SpanNode::total_rounds_saved)
+                .sum::<u64>()
+    }
+
+    /// Wall-nanoseconds of this span plus all descendants.
+    pub fn total_wall_ns(&self) -> u64 {
+        self.wall_ns
+            + self
+                .children
+                .iter()
+                .map(SpanNode::total_wall_ns)
+                .sum::<u64>()
+    }
+
+    /// Allocated bytes of this span plus all descendants.
+    pub fn total_alloc_bytes(&self) -> u64 {
+        self.alloc_bytes
+            + self
+                .children
+                .iter()
+                .map(SpanNode::total_alloc_bytes)
+                .sum::<u64>()
+    }
+
+    /// Allocation count of this span plus all descendants.
+    pub fn total_alloc_count(&self) -> u64 {
+        self.alloc_count
+            + self
+                .children
+                .iter()
+                .map(SpanNode::total_alloc_count)
                 .sum::<u64>()
     }
 
@@ -269,6 +320,11 @@ struct Collector {
     stack: Vec<SpanNode>,
     data: TraceData,
     next_seq: u64,
+    /// Last profiling checkpoint, when thread profiling is enabled. The
+    /// interval between consecutive span boundaries is charged to the
+    /// span that was innermost *during* that interval — the same
+    /// attribution model `Ledger::absorb` uses for rounds.
+    prof: Option<profile::Mark>,
 }
 
 impl Collector {
@@ -278,7 +334,27 @@ impl Collector {
             stack: Vec::new(),
             data: TraceData::default(),
             next_seq: 0,
+            prof: None,
         }
+    }
+
+    /// Takes a profiling checkpoint at a span boundary, charging the
+    /// wall/alloc delta since the previous checkpoint to the innermost
+    /// open span. No-op (and checkpoint reset) when thread profiling is
+    /// off, so untraced intervals are never misattributed after a
+    /// disable/enable cycle.
+    fn profile_mark(&mut self) {
+        if !profile::thread_profiling_enabled() {
+            self.prof = None;
+            return;
+        }
+        let now = profile::Mark::now();
+        if let (Some(prev), Some(top)) = (&self.prof, self.stack.last_mut()) {
+            top.wall_ns += now.at.duration_since(prev.at).as_nanos() as u64;
+            top.alloc_bytes += now.bytes.wrapping_sub(prev.bytes);
+            top.alloc_count += now.count.wrapping_sub(prev.count);
+        }
+        self.prof = Some(now);
     }
 
     fn emit(&mut self, line: String) {
@@ -291,6 +367,7 @@ impl Collector {
     }
 
     fn open(&mut self, label: String) {
+        self.profile_mark();
         let seq = self.next_seq;
         self.next_seq += 1;
         self.stack.push(SpanNode {
@@ -301,6 +378,7 @@ impl Collector {
     }
 
     fn close(&mut self) {
+        self.profile_mark();
         // A guard can outlive its session (the session finished first and
         // the guard now closes against whatever tracer was restored); in
         // that case there is nothing to close here.
@@ -343,6 +421,12 @@ impl Collector {
     fn add_saved(&mut self, rounds: u64) {
         if let Some(top) = self.stack.last_mut() {
             top.rounds_saved += rounds;
+        }
+    }
+
+    fn add_wall(&mut self, ns: u64) {
+        if let Some(top) = self.stack.last_mut() {
+            top.wall_ns += ns;
         }
     }
 
@@ -538,6 +622,19 @@ pub fn add_cost(rounds: u64, words: u64, messages: u64) {
 /// disabled or no span is open.
 pub fn add_saved(rounds: u64) {
     with_collector(|c| c.add_saved(rounds));
+}
+
+/// Folds externally measured wall-nanoseconds into the innermost open
+/// span. Called by `mwc-par` after a fork-join to charge the busy-time of
+/// its *spawned* workers to the span that spawned them (the caller-thread
+/// task is already covered by the interval marks). A no-op when tracing
+/// or thread profiling is disabled, or no span is open — so the disabled
+/// path stays free and untraced builds never link profiling state.
+pub fn add_span_wall(ns: u64) {
+    if !profile::thread_profiling_enabled() {
+        return;
+    }
+    with_collector(|c| c.add_wall(ns));
 }
 
 /// Reports one closed phase-cache scope's hit/miss counters to the
@@ -877,6 +974,73 @@ mod tests {
         assert_eq!(inline.events, grafted.events);
         assert_eq!(grafted.roots.len(), 1);
         assert_eq!(grafted.roots[0].children[0].label, "work/7");
+    }
+
+    #[test]
+    fn profiling_attributes_wall_and_alloc_to_innermost_span() {
+        profile::set_thread_profiling(true);
+        let session = TraceSession::memory();
+        {
+            let _o = span("outer");
+            profile::note_alloc(100);
+            {
+                let _i = span("inner");
+                profile::note_alloc(30);
+                profile::note_alloc(10);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            profile::note_alloc(7);
+        }
+        let data = session.finish();
+        profile::set_thread_profiling(false);
+        let outer = &data.roots[0];
+        let inner = &outer.children[0];
+        assert_eq!(outer.alloc_bytes, 107);
+        assert_eq!(outer.alloc_count, 2);
+        assert_eq!(inner.alloc_bytes, 40);
+        assert_eq!(inner.alloc_count, 2);
+        assert_eq!(outer.total_alloc_bytes(), 147);
+        assert_eq!(outer.total_alloc_count(), 4);
+        assert!(inner.wall_ns >= 2_000_000, "sleep lands in inner span");
+        assert!(outer.total_wall_ns() >= inner.wall_ns);
+        // Profile samples must never leak into the deterministic
+        // artifacts: events and manifest carry no wall/alloc fields.
+        for ev in &data.events {
+            assert!(!ev.contains("wall"), "event leaked wall data: {ev}");
+            assert!(!ev.contains("alloc"), "event leaked alloc data: {ev}");
+        }
+        let manifest = data.to_manifest().render();
+        assert!(!manifest.contains("wall_ns"));
+        assert!(!manifest.contains("alloc_bytes"));
+    }
+
+    #[test]
+    fn profiling_disabled_leaves_spans_zeroed() {
+        let session = TraceSession::memory();
+        {
+            let _o = span("outer");
+            profile::note_alloc(512);
+            add_span_wall(1234);
+        }
+        let data = session.finish();
+        let outer = &data.roots[0];
+        assert_eq!(outer.wall_ns, 0);
+        assert_eq!(outer.alloc_bytes, 0);
+        assert_eq!(outer.alloc_count, 0);
+    }
+
+    #[test]
+    fn add_span_wall_folds_into_innermost_span() {
+        profile::set_thread_profiling(true);
+        let session = TraceSession::memory();
+        {
+            let _o = span("spawner");
+            add_span_wall(5_000);
+            add_span_wall(2_000);
+        }
+        let data = session.finish();
+        profile::set_thread_profiling(false);
+        assert!(data.roots[0].wall_ns >= 7_000);
     }
 
     #[test]

@@ -110,6 +110,16 @@ const FAMILIES: &[(&str, &str, &str)] = &[
         "Words moved per canonical reference shard.",
     ),
     (
+        "mwc_alloc_bytes",
+        "counter",
+        "Heap bytes allocated during the run. Gated: emitted only for the default jobs=1, shards=1 configuration, where the allocation sequence is deterministic.",
+    ),
+    (
+        "mwc_alloc_allocations",
+        "counter",
+        "Heap allocations performed during the run. Gated like mwc_alloc_bytes.",
+    ),
+    (
         "mwc_info_wall_ms",
         "gauge",
         "Host wall-clock of the run in milliseconds. Informational: machine-dependent, never gated.",
@@ -143,6 +153,21 @@ const FAMILIES: &[(&str, &str, &str)] = &[
         "mwc_info_worker_busy_ms",
         "gauge",
         "Coordinator wall-time inside the worker pool, milliseconds. Informational.",
+    ),
+    (
+        "mwc_info_alloc_bytes",
+        "gauge",
+        "Heap bytes allocated during the run. Informational view, emitted for every configuration (schedule-dependent under parallelism).",
+    ),
+    (
+        "mwc_info_alloc_allocations",
+        "gauge",
+        "Heap allocations performed during the run. Informational view, emitted for every configuration.",
+    ),
+    (
+        "mwc_info_peak_alloc_bytes",
+        "gauge",
+        "Process-wide live-heap high-water mark in bytes. Informational: allocator- and schedule-dependent.",
     ),
 ];
 
@@ -253,6 +278,18 @@ impl MetricsRegistry {
                 self.sample("mwc_shard_words", format!("{labels},shard=\"{i}\""), w);
             }
         }
+        // Allocation counters are deterministic only in the default
+        // single-threaded configuration; there they sample as gated
+        // counters. The `mwc_info_` gauges carry them (and the peak) in
+        // every configuration, so parallel sweeps still get a profile —
+        // just one that byte-comparisons strip.
+        if r.jobs <= 1 && r.shards <= 1 {
+            self.sample("mwc_alloc_bytes", bin.clone(), r.alloc_bytes);
+            self.sample("mwc_alloc_allocations", bin.clone(), r.alloc_count);
+        }
+        self.sample("mwc_info_alloc_bytes", bin.clone(), r.alloc_bytes);
+        self.sample("mwc_info_alloc_allocations", bin.clone(), r.alloc_count);
+        self.sample("mwc_info_peak_alloc_bytes", bin.clone(), r.peak_alloc_bytes);
         self.sample("mwc_info_wall_ms", bin.clone(), r.wall_ms);
         self.sample("mwc_info_shards", bin.clone(), r.shards);
         self.sample("mwc_info_jobs", bin.clone(), r.jobs);
@@ -541,6 +578,45 @@ mod tests {
         };
         assert_ne!(reg_a.render(), reg_b.render());
         assert_eq!(strip(&reg_a.render()), strip(&reg_b.render()));
+    }
+
+    #[test]
+    fn alloc_samples_route_by_configuration() {
+        // Default configuration: gated counters AND info gauges.
+        let mut r = sample_record();
+        r.shards = 1;
+        r.jobs = 1;
+        r.alloc_bytes = 4096;
+        r.alloc_count = 7;
+        r.peak_alloc_bytes = 2048;
+        let mut reg = MetricsRegistry::new();
+        reg.add(&r);
+        let text = reg.render();
+        validate_openmetrics(&text).unwrap();
+        assert!(
+            text.contains("mwc_alloc_bytes_total{bin=\"table1_girth\"} 4096"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mwc_alloc_allocations_total{bin=\"table1_girth\"} 7"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mwc_info_peak_alloc_bytes{bin=\"table1_girth\"} 2048"),
+            "{text}"
+        );
+
+        // Parallel configuration: info gauges only.
+        r.jobs = 8;
+        let mut reg = MetricsRegistry::new();
+        reg.add(&r);
+        let text = reg.render();
+        validate_openmetrics(&text).unwrap();
+        assert!(!text.contains("mwc_alloc_bytes_total"), "{text}");
+        assert!(
+            text.contains("mwc_info_alloc_bytes{bin=\"table1_girth\"} 4096"),
+            "{text}"
+        );
     }
 
     #[test]
