@@ -34,6 +34,7 @@ static ALLOC: mwc_trace::profile::CountingAlloc = mwc_trace::profile::CountingAl
 fn main() {
     report::init_shards();
     report::init_profiling();
+    report::init_flood_kernel();
     let n: usize = report::arg(1, 96);
     let params = Params::lean().with_seed(42);
 
@@ -109,6 +110,7 @@ fn main() {
     let mut record =
         RunRecord::from_trace("trace_report", [("n".to_owned(), n.to_string())], &data);
     record.shards = mwc_par::shards() as u64;
+    record.flood_kernel = mwc_congest::flood_kernel().name().to_owned();
     record.peak_alloc_bytes = mwc_trace::profile::peak_alloc_bytes();
     report::save_metrics_exposition(&record);
     report::save_artifact(

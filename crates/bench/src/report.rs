@@ -77,6 +77,26 @@ pub fn init_shards() -> usize {
     mwc_par::shards()
 }
 
+/// Resolves the unweighted-flood kernel for this bin and installs it
+/// process-wide: a `--flood-kernel=NAME` flag (`scalar` or `bitset`)
+/// wins over the `MWC_FLOOD_KERNEL` environment variable (default
+/// `bitset`). Returns the effective kernel. Call once at bin startup,
+/// alongside [`init_jobs`]/[`init_shards`].
+///
+/// Like the shard count, the kernel name **is** stamped on run records
+/// (the informational `flood_kernel` field) so sweeps are attributable —
+/// but it is never diffed: both kernels charge model-faithful rounds
+/// through the same ledger path, so every gated metric is byte-identical
+/// for either kernel (pinned by the flood-kernel differential suite).
+pub fn init_flood_kernel() -> mwc_congest::FloodKernel {
+    if let Some(flag) = std::env::args().find(|a| a.starts_with("--flood-kernel=")) {
+        if let Some(k) = mwc_congest::FloodKernel::parse(flag["--flood-kernel=".len()..].trim()) {
+            mwc_congest::set_flood_kernel(k);
+        }
+    }
+    mwc_congest::flood_kernel()
+}
+
 /// Enables wall-clock and allocation profiling on the calling thread and
 /// zeroes the process-wide peak-allocation high-water mark, so the run's
 /// spans accumulate wall-nanoseconds and (when the bin installed
@@ -200,6 +220,7 @@ impl RunRecorder {
         record.wall_ms = self.started.elapsed().as_millis() as u64;
         record.shards = mwc_par::shards() as u64;
         record.jobs = mwc_par::jobs() as u64;
+        record.flood_kernel = mwc_congest::flood_kernel().name().to_owned();
         record.peak_alloc_bytes = mwc_trace::profile::peak_alloc_bytes();
         let w = mwc_par::worker_counters();
         record.workers = mwc_trace::WorkerTally {

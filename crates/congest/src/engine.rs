@@ -752,6 +752,59 @@ impl<M> Network<M> {
         true
     }
 
+    /// Charges one round of a **unit-latency flood** without touching the
+    /// queue machinery: `links` are the links that each carry exactly one
+    /// one-word message this round, in send order (a link may appear at
+    /// most once — in the flood primitives each directed link has a single
+    /// sender, and a node forwards at most one announcement per round).
+    ///
+    /// Reproduces, stat for stat and event for event, what
+    /// [`Network::send_on_link`] followed by [`Network::step_into`] would
+    /// record for that traffic pattern: round/word/message totals,
+    /// per-link words, queue high-waters (each queue's depth peaks at
+    /// exactly one), the active-round histogram, peak-round tracking
+    /// (first-reach tie-break), the optional per-round history, and
+    /// message events in delivery order. This is what lets the bitset
+    /// flood kernel ([`crate::flood`]) bypass per-message queueing while
+    /// staying byte-identical to the engine-stepped scalar kernel in every
+    /// ledger count, congestion profile, and event log. An empty `links`
+    /// slice advances the round and records nothing, exactly like a
+    /// [`Network::step_into`] with no active link (source detection
+    /// charges such rounds when every popped announcement is filtered by
+    /// the distance budget).
+    pub(crate) fn charge_flood_round(&mut self, links: &[u32]) {
+        self.round += 1;
+        let transferred = links.len() as u64;
+        if transferred == 0 {
+            return;
+        }
+        self.stats.active_rounds += 1;
+        self.stats.round_histogram[hist_bucket(transferred)] += 1;
+        if transferred > self.stats.max_words_in_round {
+            self.stats.max_words_in_round = transferred;
+            self.stats.peak_round = self.round;
+        }
+        if self.history {
+            self.stats.words_per_round.push((self.round, transferred));
+        }
+        self.stats.words += transferred;
+        self.stats.messages += transferred;
+        if self.stats.queue_high_water < 1 {
+            self.stats.queue_high_water = 1;
+        }
+        for &l in links {
+            let l = l as usize;
+            if self.stats.per_link_queue_high[l] < 1 {
+                self.stats.per_link_queue_high[l] = 1;
+            }
+            self.stats.per_link_words[l] += 1;
+            if let Some(net) = self.events_net {
+                let (from, to) = self.link_ends[l];
+                crate::events::emit_msg(net, self.round, from, to, 1);
+            }
+        }
+    }
+
     /// [`Network::step_fast`] plus **bulk link transfer**: when no
     /// delivery, transit expiry, or wakeup can fire before round `r + k`,
     /// the engine advances every active link `k - 1` words in one pass —

@@ -1,0 +1,427 @@
+//! Shared flood-kernel machinery for the unweighted primitives: the
+//! precomputed traversal-edge CSR ([`FloodPlan`]), the u64-bitset frontier
+//! ([`BitFrontier`]) behind the bit-parallel kernel, and the
+//! [`FloodKernel`] selection knob (`MWC_FLOOD_KERNEL`).
+//!
+//! # Two kernels, one schedule
+//!
+//! The pipelined flood primitives ([`crate::multi_source_bfs`] and
+//! [`crate::source_detection`]) have two interchangeable inner loops:
+//!
+//! - **Scalar**: the reference implementation — per-node `BinaryHeap`
+//!   outboxes, every announcement enqueued on a [`Network`] link and moved
+//!   by `step_into`, stale heap entries skipped lazily at pop time.
+//! - **Bitset**: frontiers are distance-bucketed u64 words, 64 source rows
+//!   per word, maintained *eagerly* (an improved or evicted announcement is
+//!   cleared with one AND-NOT instead of lingering as a stale heap entry),
+//!   and the engine's queue machinery is bypassed entirely — each round's
+//!   sends are delivered directly and charged in one pass through
+//!   [`Network::charge_flood_round`].
+//!
+//! Both kernels execute the *same schedule*: the pop order of a
+//! [`BitFrontier`] is exactly the `(distance, source row)` heap order, and
+//! eager removal is observationally identical to lazy stale-skipping (a
+//! stale entry is popped and discarded for free; an eagerly-removed entry
+//! is simply never popped). The ledger keeps charging model-faithful
+//! rounds/words — bitset packing is an implementation detail, not a model
+//! change — so every run record, congestion profile, event log, and
+//! distance-table digest is byte-identical across kernels. The
+//! differential suites (`crates/congest/tests/flood_kernel_differential.rs`
+//! and the `MWC_FLOOD_KERNEL=scalar` CI perf-gate leg) pin that.
+//!
+//! The bitset kernel only applies to **unit-latency** floods (every
+//! traversal edge crosses in one round — plain BFS, or stretched searches
+//! whose latencies are all ≤ 1, which includes zero-weight edges);
+//! latency-stretched floods keep in-flight state the charge API does not
+//! model and always take the scalar path.
+//!
+//! Kernel resolution, highest priority first (the [`mwc_par::shards`]
+//! convention): [`set_flood_kernel`] → the `MWC_FLOOD_KERNEL` environment
+//! variable (`scalar` | `bitset`) → [`FloodKernel::Bitset`]. Bitset is the
+//! default because it is byte-identical by construction and strictly
+//! faster; `scalar` is the escape hatch and the differential anchor.
+
+use crate::engine::Network;
+use mwc_graph::seq::Direction;
+use mwc_graph::{Graph, NodeId, Weight};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Which inner loop the unit-latency flood primitives run. See the
+/// [module docs](self) for the contract: the choice is invisible to every
+/// gated metric — only wall-clock moves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FloodKernel {
+    /// Engine-stepped reference loop (heap outboxes, per-link queues).
+    Scalar,
+    /// Bit-parallel loop (u64 frontier words, direct delivery, rounds
+    /// charged in bulk via [`Network::charge_flood_round`]).
+    Bitset,
+}
+
+impl FloodKernel {
+    /// Parses a knob value (`"scalar"` / `"bitset"`, case-insensitive).
+    pub fn parse(s: &str) -> Option<FloodKernel> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(FloodKernel::Scalar),
+            "bitset" => Some(FloodKernel::Bitset),
+            _ => None,
+        }
+    }
+
+    /// The knob spelling of this kernel (what run records stamp).
+    pub fn name(self) -> &'static str {
+        match self {
+            FloodKernel::Scalar => "scalar",
+            FloodKernel::Bitset => "bitset",
+        }
+    }
+}
+
+/// Process-wide override set by [`set_flood_kernel`]; `0` = unset,
+/// `1` = scalar, `2` = bitset.
+static FLOOD_KERNEL_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the flood kernel for the whole process. Bench bins call this
+/// when given a `--flood-kernel=NAME` flag; it wins over
+/// `MWC_FLOOD_KERNEL`.
+pub fn set_flood_kernel(k: FloodKernel) {
+    let v = match k {
+        FloodKernel::Scalar => 1,
+        FloodKernel::Bitset => 2,
+    };
+    FLOOD_KERNEL_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// The effective flood kernel: [`set_flood_kernel`] override, else
+/// `MWC_FLOOD_KERNEL`, else [`FloodKernel::Bitset`] (unrecognized values
+/// fall through to the default, the lenient env-knob convention).
+pub fn flood_kernel() -> FloodKernel {
+    match FLOOD_KERNEL_OVERRIDE.load(Ordering::Relaxed) {
+        1 => return FloodKernel::Scalar,
+        2 => return FloodKernel::Bitset,
+        _ => {}
+    }
+    std::env::var("MWC_FLOOD_KERNEL")
+        .ok()
+        .as_deref()
+        .and_then(FloodKernel::parse)
+        .unwrap_or(FloodKernel::Bitset)
+}
+
+/// Per traversal edge, everything a flood's inner loop needs: the link to
+/// occupy, the receiving node, the announced distance increment, and the
+/// extra delivery latency. Distance and travel time are decoupled so
+/// zero-weight edges (the paper allows `w = 0`) stay exact: they add 0 to
+/// the distance but still take one round to cross.
+#[derive(Clone, Copy, Debug)]
+pub struct FloodHop {
+    /// Link id ([`Network::link_id`]) the announcement occupies.
+    pub link: u32,
+    /// The node at the receiving end of the link.
+    pub to: u32,
+    /// Announced distance increment (may be 0 for zero-weight edges).
+    pub dist_add: Weight,
+    /// Extra delivery latency in rounds: `stretch − 1`, where the stretch
+    /// of an edge is `max(weight, 1)` — even a zero-weight edge takes one
+    /// round to cross, so `latency == 0` means unit travel time.
+    pub latency: u64,
+}
+
+/// Precomputed CSR over a graph's traversal edges. Resolving link ids,
+/// receiver nodes, and latency-table entries once up front keeps the
+/// per-announcement loops free of adjacency searches — it matters at
+/// millions of announcements per run. Built per flood (direction and
+/// latency table are parameters); shared by the flood primitives here and
+/// the restricted-BFS phase loop in `mwc-core`.
+pub struct FloodPlan {
+    /// CSR offsets: node `v`'s hops are `hops[start[v]..start[v + 1]]`.
+    start: Vec<u32>,
+    /// One [`FloodHop`] per traversal edge, grouped by sending node.
+    hops: Vec<FloodHop>,
+    /// Largest hop latency — 0 means every edge crosses in one round and
+    /// the bitset kernel applies.
+    max_latency: u64,
+}
+
+impl FloodPlan {
+    /// Distance contribution of an edge (the *announced* weight — may be
+    /// 0). `None` means all-unit (plain BFS).
+    pub(crate) fn dist_add(latency: Option<&[Weight]>, edge: usize) -> Weight {
+        latency.map_or(1, |l| l[edge])
+    }
+
+    /// Travel time of an edge in rounds (≥ 1: even a zero-weight edge
+    /// takes a round to cross).
+    pub(crate) fn stretch(latency: Option<&[Weight]>, edge: usize) -> Weight {
+        latency.map_or(1, |l| l[edge].max(1))
+    }
+
+    /// Builds the plan for `direction`-traversal of `g` with the given
+    /// per-edge latency table (`None` = all-unit). The network is only
+    /// consulted for link ids, so any message type works.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a traversal edge is not a communication link of `net`,
+    /// or if the edge count does not fit `u32`.
+    pub fn build<M>(
+        g: &Graph,
+        net: &Network<M>,
+        direction: Direction,
+        latency: Option<&[Weight]>,
+    ) -> FloodPlan {
+        let n = g.n();
+        let mut start = Vec::with_capacity(n + 1);
+        let mut hops = Vec::new();
+        let mut max_latency = 0;
+        start.push(0);
+        for v in 0..n {
+            for a in direction.adj(g, v) {
+                let l = net
+                    .link_id(v, a.to)
+                    .expect("traversal edges are communication links");
+                let lat = Self::stretch(latency, a.edge) - 1;
+                max_latency = max_latency.max(lat);
+                hops.push(FloodHop {
+                    link: l as u32,
+                    to: a.to as u32,
+                    dist_add: Self::dist_add(latency, a.edge),
+                    latency: lat,
+                });
+            }
+            start.push(u32::try_from(hops.len()).expect("edge count fits u32"));
+        }
+        FloodPlan {
+            start,
+            hops,
+            max_latency,
+        }
+    }
+
+    /// Node `v`'s outgoing traversal hops.
+    pub fn of(&self, v: NodeId) -> &[FloodHop] {
+        &self.hops[self.start[v] as usize..self.start[v + 1] as usize]
+    }
+
+    /// `true` when every hop crosses in one round (all latencies 0) — the
+    /// case the bitset kernel handles.
+    pub fn unit_latency(&self) -> bool {
+        self.max_latency == 0
+    }
+}
+
+/// Validates a flood's source list against the documented panic contract,
+/// shared by [`crate::multi_source_bfs`] and [`crate::source_detection`].
+///
+/// # Panics
+///
+/// Panics if a source id is out of range or repeated.
+pub(crate) fn validate_sources(n: usize, sources: &[NodeId]) {
+    let mut seen = vec![false; n];
+    for &s in sources {
+        assert!(s < n, "source {s} out of range for {n} nodes");
+        assert!(!seen[s], "source {s} repeated");
+        seen[s] = true;
+    }
+}
+
+/// A node's flood frontier as distance-bucketed u64 bitset words: entry
+/// `(d, w, bits)` holds the fresh announcements at distance `d` for source
+/// rows `64w .. 64w + 63` (bit `i` ⇔ row `64w + i`). Entries are sorted by
+/// `(d, w)` and never empty, so the minimum announcement is the lowest set
+/// bit of the first entry — `(d, row)` heap order by construction — and
+/// one AND-NOT retires any of a word's 64 rows. Unlike the scalar heap,
+/// the frontier is maintained eagerly: improvements and top-σ evictions
+/// *move bits* (into a companion *ghost* frontier) instead of leaving
+/// stale entries to skip at pop time, which is what makes pops
+/// unconditional (always fresh) in the bitset kernel's inner loop.
+///
+/// The ghost frontier exists purely for schedule fidelity: the scalar
+/// heap keeps superseded entries until a pop walks past them, and a
+/// node re-enters the pending list while *any* entry remains — stale or
+/// not. That re-pend timing feeds the next round's send order, which
+/// the event log and ledger histories observe. So the bitset kernel
+/// mirrors it: retired bits land in the ghost, [`BitFrontier::drain_below`]
+/// replays the pop-until-fresh walk (stale entries below the fresh
+/// minimum get consumed), and "outbox or ghost nonempty" is the re-pend
+/// test — byte-identical scheduling at bitset speed.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct BitFrontier {
+    /// Sorted, deduplicated by `(dist, word)`; every `bits` is nonzero.
+    entries: Vec<(Weight, u32, u64)>,
+}
+
+impl BitFrontier {
+    /// Marks source row `row` fresh at distance `d` (idempotent).
+    pub(crate) fn insert(&mut self, d: Weight, row: u32) {
+        let (w, bit) = (row / 64, 1u64 << (row % 64));
+        match self.entries.binary_search_by_key(&(d, w), |e| (e.0, e.1)) {
+            Ok(i) => self.entries[i].2 |= bit,
+            Err(i) => self.entries.insert(i, (d, w, bit)),
+        }
+    }
+
+    /// Clears row `row` at distance `d` if present (tolerant: the row may
+    /// already have been popped and forwarded). Returns whether the bit
+    /// was present — the caller moves removed bits into its ghost
+    /// frontier, and an already-forwarded row has no scalar heap entry
+    /// to ghost.
+    pub(crate) fn remove(&mut self, d: Weight, row: u32) -> bool {
+        let (w, bit) = (row / 64, 1u64 << (row % 64));
+        if let Ok(i) = self.entries.binary_search_by_key(&(d, w), |e| (e.0, e.1)) {
+            if self.entries[i].2 & bit != 0 {
+                self.entries[i].2 &= !bit;
+                if self.entries[i].2 == 0 {
+                    self.entries.remove(i);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Drops every announcement strictly below `(d, row)` in pop order —
+    /// the ghost-frontier replay of the scalar heap's pop-until-fresh
+    /// walk, which consumes exactly the stale entries ahead of the fresh
+    /// minimum.
+    pub(crate) fn drain_below(&mut self, d: Weight, row: u32) {
+        let w = row / 64;
+        // Whole entries with (dist, word) < (d, w) are entirely below.
+        let cut = self.entries.partition_point(|e| (e.0, e.1) < (d, w));
+        self.entries.drain(..cut);
+        // A surviving (d, w) entry may still hold bits below `row`.
+        if let Some(first) = self.entries.first_mut() {
+            if (first.0, first.1) == (d, w) {
+                first.2 &= !((1u64 << (row % 64)) - 1);
+                if first.2 == 0 {
+                    self.entries.remove(0);
+                }
+            }
+        }
+    }
+
+    /// Drops everything — the scalar heap's "no fresh entry found, heap
+    /// fully drained" outcome.
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Pops the minimum announcement in `(distance, source row)` order.
+    pub(crate) fn pop_min(&mut self) -> Option<(Weight, u32)> {
+        let &mut (d, w, ref mut bits) = self.entries.first_mut()?;
+        let tz = bits.trailing_zeros();
+        *bits &= *bits - 1; // clear the lowest set bit
+        if *bits == 0 {
+            self.entries.remove(0);
+        }
+        Some((d, w * 64 + tz))
+    }
+
+    /// `true` when no fresh announcement is pending.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_frontier_pops_in_dist_then_row_order() {
+        let mut f = BitFrontier::default();
+        for (d, row) in [(3, 7), (1, 200), (1, 3), (3, 6), (2, 0), (1, 64)] {
+            f.insert(d, row);
+        }
+        let mut got = Vec::new();
+        while let Some(p) = f.pop_min() {
+            got.push(p);
+        }
+        assert_eq!(got, vec![(1, 3), (1, 64), (1, 200), (2, 0), (3, 6), (3, 7)]);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn bit_frontier_insert_is_idempotent_and_remove_is_tolerant() {
+        let mut f = BitFrontier::default();
+        f.insert(5, 10);
+        f.insert(5, 10);
+        f.remove(5, 11); // absent row in a present word
+        f.remove(4, 10); // absent word
+        assert_eq!(f.pop_min(), Some((5, 10)));
+        assert_eq!(f.pop_min(), None);
+    }
+
+    #[test]
+    fn bit_frontier_remove_retires_moved_announcements() {
+        let mut f = BitFrontier::default();
+        f.insert(9, 65);
+        f.insert(9, 66);
+        // Row 65 improves to 4: the eager move of the bitset kernel.
+        f.remove(9, 65);
+        f.insert(4, 65);
+        assert_eq!(f.pop_min(), Some((4, 65)));
+        assert_eq!(f.pop_min(), Some((9, 66)));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn bit_frontier_remove_reports_presence() {
+        let mut f = BitFrontier::default();
+        f.insert(5, 10);
+        assert!(f.remove(5, 10));
+        assert!(!f.remove(5, 10), "second removal finds nothing");
+        assert!(!f.remove(7, 3), "absent word finds nothing");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn bit_frontier_drain_below_consumes_strictly_smaller() {
+        let mut f = BitFrontier::default();
+        for (d, row) in [(1, 3), (1, 64), (2, 0), (2, 5), (2, 70), (3, 1)] {
+            f.insert(d, row);
+        }
+        // The scalar pop walk reaching fresh minimum (2, 5): everything
+        // strictly below is consumed, (2, 5) itself and above survive.
+        f.drain_below(2, 5);
+        let mut got = Vec::new();
+        while let Some(p) = f.pop_min() {
+            got.push(p);
+        }
+        assert_eq!(got, vec![(2, 5), (2, 70), (3, 1)]);
+        // Draining below a word-aligned row keeps bit 0 of that word.
+        let mut g = BitFrontier::default();
+        g.insert(4, 64);
+        g.insert(4, 63);
+        g.drain_below(4, 64);
+        assert_eq!(g.pop_min(), Some((4, 64)));
+        assert_eq!(g.pop_min(), None);
+    }
+
+    #[test]
+    fn kernel_parse_and_names_round_trip() {
+        assert_eq!(FloodKernel::parse("scalar"), Some(FloodKernel::Scalar));
+        assert_eq!(FloodKernel::parse(" BitSet "), Some(FloodKernel::Bitset));
+        assert_eq!(FloodKernel::parse("simd"), None);
+        assert_eq!(
+            FloodKernel::parse(FloodKernel::Scalar.name()),
+            Some(FloodKernel::Scalar)
+        );
+        assert_eq!(
+            FloodKernel::parse(FloodKernel::Bitset.name()),
+            Some(FloodKernel::Bitset)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "source 3 repeated")]
+    fn validate_sources_rejects_duplicates() {
+        validate_sources(5, &[1, 3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn validate_sources_rejects_out_of_range() {
+        validate_sources(5, &[5]);
+    }
+}

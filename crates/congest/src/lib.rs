@@ -46,6 +46,7 @@ mod cache;
 mod distmat;
 mod engine;
 pub mod events;
+mod flood;
 mod ledger;
 mod multibfs;
 mod profile;
@@ -60,6 +61,7 @@ pub use cache::{
 pub use distmat::{DistMatrix, INF};
 pub use engine::{hist_bucket, Delivery, NetStats, Network, RoundOutput, SendError, HIST_BUCKETS};
 pub use events::EventCapture;
+pub use flood::{flood_kernel, set_flood_kernel, FloodHop, FloodKernel, FloodPlan};
 pub use ledger::{Ledger, Phase};
 pub use multibfs::{multi_source_bfs, source_detection, Detection, DetectionLists, MultiBfsSpec};
 pub use profile::{top_links, CongestionProfile, PROFILE_HOT_LINKS};

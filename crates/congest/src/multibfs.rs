@@ -13,9 +13,18 @@
 //! by `ℓ` rounds and adds `ℓ` to the announced distance, which is exactly a
 //! BFS on the stretched graph where each weighted edge becomes a path of
 //! `ℓ` unit edges simulated at its endpoint.
+//!
+//! Each primitive has two interchangeable inner loops selected by
+//! [`crate::flood::flood_kernel`]: the engine-stepped **scalar** reference
+//! and the bit-parallel **bitset** kernel (u64 frontier words, direct
+//! delivery, rounds charged via `Network::charge_flood_round`). The bitset
+//! kernel applies to unit-latency floods only and is byte-identical to the
+//! scalar one in every ledger count, event, and output — see the
+//! [`crate::flood`] module docs for the equivalence argument.
 
 use crate::distmat::{DistMatrix, INF};
 use crate::engine::{Network, RoundOutput};
+use crate::flood::{flood_kernel, validate_sources, BitFrontier, FloodKernel, FloodPlan};
 use crate::ledger::Ledger;
 use mwc_graph::seq::Direction;
 use mwc_graph::{Graph, NodeId, Weight};
@@ -49,60 +58,16 @@ impl Default for MultiBfsSpec<'_> {
 /// A BFS announcement: `(source row, distance at the receiver)`.
 type Announce = (u32, Weight);
 
-/// Distance contribution of an edge (the *announced* weight — may be 0).
-fn dist_add(latency: Option<&[Weight]>, edge: usize) -> Weight {
-    latency.map_or(1, |l| l[edge])
-}
-
-/// Travel time of an edge in rounds (≥ 1: even a zero-weight edge takes a
-/// round to cross).
-fn stretch(latency: Option<&[Weight]>, edge: usize) -> Weight {
-    latency.map_or(1, |l| l[edge].max(1))
-}
-
-/// Per traversal edge, everything the flood's inner loop needs: the link
-/// to occupy, the announced distance increment, and the extra delivery
-/// latency. Distance and travel time are decoupled so zero-weight edges
-/// (the paper allows `w = 0`) stay exact: they add 0 to the distance but
-/// still take one round to cross. Resolving link ids and latency-table
-/// entries once up front keeps the per-announcement loop free of adjacency
-/// searches — it matters at millions of announcements per run.
-struct FloodPlan {
-    /// CSR offsets: node `v`'s hops are `hops[start[v]..start[v + 1]]`.
-    start: Vec<u32>,
-    /// `(link id, dist_add, latency = stretch − 1)` per traversal edge.
-    hops: Vec<(u32, Weight, u64)>,
-}
-
-impl FloodPlan {
-    fn build<M>(
-        g: &Graph,
-        net: &Network<M>,
-        direction: Direction,
-        latency: Option<&[Weight]>,
-    ) -> FloodPlan {
-        let n = g.n();
-        let mut start = Vec::with_capacity(n + 1);
-        let mut hops = Vec::new();
-        start.push(0);
-        for v in 0..n {
-            for a in direction.adj(g, v) {
-                let l = net
-                    .link_id(v, a.to)
-                    .expect("traversal edges are communication links");
-                hops.push((
-                    l as u32,
-                    dist_add(latency, a.edge),
-                    stretch(latency, a.edge) - 1,
-                ));
-            }
-            start.push(u32::try_from(hops.len()).expect("edge count fits u32"));
-        }
-        FloodPlan { start, hops }
-    }
-
-    fn of(&self, v: NodeId) -> &[(u32, Weight, u64)] {
-        &self.hops[self.start[v] as usize..self.start[v + 1] as usize]
+/// Adds an edge's announced weight to a distance, panicking when the sum
+/// saturates into the [`INF`] sentinel: a genuine huge distance aliasing
+/// to "unreachable" would silently flip the reachable-vs-unreachable
+/// distinction for every `DistMatrix` / detection consumer, so it is a
+/// contract violation rather than a value. (Real distances are bounded by
+/// `n · max latency`, so this fires only on pathological latency tables.)
+fn add_dist(d: Weight, add: Weight) -> Weight {
+    match d.checked_add(add) {
+        Some(c) if c < INF => c,
+        _ => panic!("flood distance {d} + {add} saturates into the INF sentinel"),
     }
 }
 
@@ -112,8 +77,9 @@ impl FloodPlan {
 ///
 /// # Panics
 ///
-/// Panics if a source id is out of range or repeated, or if
-/// `spec.latency` is provided with fewer entries than the graph has edges.
+/// Panics if a source id is out of range or repeated, if `spec.latency`
+/// is provided with fewer entries than the graph has edges, or if an
+/// announced distance would saturate into the [`INF`] sentinel.
 pub fn multi_source_bfs(
     g: &Graph,
     sources: &[NodeId],
@@ -124,12 +90,48 @@ pub fn multi_source_bfs(
     if let Some(l) = spec.latency {
         assert!(l.len() >= g.m(), "latency table must cover all edges");
     }
+    validate_sources(g.n(), sources);
     let _span = mwc_trace::span_owned(|| format!("multibfs/{label}"));
     let n = g.n();
     let mut mat = DistMatrix::new(n, sources.to_vec());
     let mut net: Network<Announce> = Network::new_auto(g);
     let plan = FloodPlan::build(g, &net, spec.direction, spec.latency);
 
+    if plan.unit_latency() && flood_kernel() == FloodKernel::Bitset {
+        bfs_kernel_bitset(sources, spec.max_dist, &plan, &mut net, &mut mat);
+    } else {
+        bfs_kernel_scalar(n, sources, spec.max_dist, &plan, &mut net, &mut mat);
+    }
+
+    ledger.absorb(label, &net);
+    mwc_trace::check_bound(
+        "congest/multibfs",
+        mwc_trace::BoundInputs::n(n)
+            .h(crate::bounds::effective_hops(
+                n,
+                spec.max_dist,
+                spec.latency,
+                g.m(),
+            ))
+            .k(sources.len() as u64),
+        net.round(),
+        crate::bounds::multibfs,
+    );
+    mat
+}
+
+/// The engine-stepped scalar BFS loop: heap outboxes with lazy
+/// stale-skipping, every announcement moved through the [`Network`]'s
+/// per-link queues (and, for stretched edges, its transit heap). The
+/// reference semantics; the only kernel that handles latencies.
+fn bfs_kernel_scalar(
+    n: usize,
+    sources: &[NodeId],
+    max_dist: Weight,
+    plan: &FloodPlan,
+    net: &mut Network<Announce>,
+    mat: &mut DistMatrix,
+) {
     // outbox[v]: fresh announcements not yet forwarded, smallest first.
     let mut outbox: Vec<BinaryHeap<Reverse<Announce2>>> =
         (0..n).map(|_| BinaryHeap::new()).collect();
@@ -165,9 +167,9 @@ pub fn multi_source_bfs(
                 }
             };
             let Some((d, row)) = fresh else { continue };
-            for &(l, add, lat) in plan.of(v) {
-                let cand = d.saturating_add(add);
-                if cand > spec.max_dist {
+            for hop in plan.of(v) {
+                let cand = add_dist(d, hop.dist_add);
+                if cand > max_dist {
                     continue;
                 }
                 // Receiver-side pruning happens on delivery; sender-side we
@@ -175,7 +177,7 @@ pub fn multi_source_bfs(
                 // sender) to be closer — we cannot know that locally, so
                 // no such check: CONGEST nodes only know their own state.
                 any_sent = true;
-                net.send_on_link(l as usize, (row, cand), 1, lat);
+                net.send_on_link(hop.link as usize, (row, cand), 1, hop.latency);
             }
             if !outbox[v].is_empty() && !pending_flag[v] {
                 pending_flag[v] = true;
@@ -215,21 +217,103 @@ pub fn multi_source_bfs(
             }
         }
     }
-    ledger.absorb(label, &net);
-    mwc_trace::check_bound(
-        "congest/multibfs",
-        mwc_trace::BoundInputs::n(n)
-            .h(crate::bounds::effective_hops(
-                n,
-                spec.max_dist,
-                spec.latency,
-                g.m(),
-            ))
-            .k(sources.len() as u64),
-        net.round(),
-        crate::bounds::multibfs,
-    );
-    mat
+}
+
+/// The bit-parallel BFS loop for unit-latency floods: per-node
+/// [`BitFrontier`] outboxes (64 source rows per word, maintained eagerly
+/// so every pop is fresh), deliveries applied directly in send order, and
+/// each round's traffic charged in one [`Network::charge_flood_round`]
+/// pass. Executes the exact scalar schedule — same pops, same sends, same
+/// delivery order, same predecessor tie-breaks — without the per-message
+/// queue machinery.
+///
+/// Superseded announcements move into a per-node *ghost* frontier rather
+/// than vanishing: the scalar heap keeps stale entries until a pop walks
+/// past them, and "heap nonempty" is its re-pend test — so ghost
+/// occupancy must feed the bitset re-pend test too, or nodes would enter
+/// the pending list at different positions and the send order (observed
+/// by the event log) would drift.
+fn bfs_kernel_bitset(
+    sources: &[NodeId],
+    max_dist: Weight,
+    plan: &FloodPlan,
+    net: &mut Network<Announce>,
+    mat: &mut DistMatrix,
+) {
+    let mut outbox: Vec<BitFrontier> = vec![BitFrontier::default(); mat.n()];
+    let mut ghost: Vec<BitFrontier> = vec![BitFrontier::default(); mat.n()];
+    let mut pending: Vec<NodeId> = Vec::new();
+    let mut pending_flag = vec![false; mat.n()];
+
+    for (row, &s) in sources.iter().enumerate() {
+        mat.set_row(row, s, 0, None);
+        outbox[s].insert(0, row as u32);
+        if !pending_flag[s] {
+            pending_flag[s] = true;
+            pending.push(s);
+        }
+    }
+
+    // This round's traffic: the links charged and the deliveries they
+    // carry as `(to, row, dist, from)`, both in send order.
+    let mut links: Vec<u32> = Vec::new();
+    let mut deliv: Vec<(u32, u32, Weight, u32)> = Vec::new();
+    loop {
+        let acting = std::mem::take(&mut pending);
+        links.clear();
+        deliv.clear();
+        for v in acting {
+            pending_flag[v] = false;
+            // Eager maintenance means no stale entries: the first pop is
+            // the smallest fresh announcement. The scalar pop walk would
+            // have consumed the stale (ghost) entries ahead of it — or
+            // the whole heap when nothing fresh remains.
+            let Some((d, row)) = outbox[v].pop_min() else {
+                ghost[v].clear();
+                continue;
+            };
+            ghost[v].drain_below(d, row);
+            for hop in plan.of(v) {
+                let cand = add_dist(d, hop.dist_add);
+                if cand > max_dist {
+                    continue;
+                }
+                links.push(hop.link);
+                deliv.push((hop.to, row, cand, v as u32));
+            }
+            if (!outbox[v].is_empty() || !ghost[v].is_empty()) && !pending_flag[v] {
+                pending_flag[v] = true;
+                pending.push(v);
+            }
+        }
+
+        if links.is_empty() {
+            if !pending.is_empty() {
+                // Entirely-filtered pops: no traffic, no round charged.
+                continue;
+            }
+            break;
+        }
+        net.charge_flood_round(&links);
+        for &(to, row, cand, from) in &deliv {
+            let v = to as usize;
+            let old = mat.get_row(row as usize, v);
+            if cand < old {
+                if old != INF && outbox[v].remove(old, row) {
+                    // The eager move: the superseded announcement becomes
+                    // a ghost (the scalar heap would keep it as a stale
+                    // entry). Already-forwarded rows have no bit to move.
+                    ghost[v].insert(old, row);
+                }
+                mat.set_row(row as usize, v, cand, Some(from as usize));
+                outbox[v].insert(cand, row);
+                if !pending_flag[v] {
+                    pending_flag[v] = true;
+                    pending.push(v);
+                }
+            }
+        }
+    }
 }
 
 /// `(dist, src)` ordering helper — distance first, then source row for a
@@ -276,6 +360,59 @@ impl Detection {
     }
 }
 
+/// Per-node detection state shared by both kernels: current best
+/// `(distance, pred)` per source row and the top-`σ` set the truncation
+/// discipline maintains.
+struct DetectState {
+    best: Vec<HashMap<u32, (Weight, NodeId)>>,
+    top: Vec<BTreeSet<(Weight, u32)>>,
+    sigma: usize,
+}
+
+impl DetectState {
+    fn new(n: usize, sigma: usize) -> DetectState {
+        DetectState {
+            best: (0..n).map(|_| HashMap::new()).collect(),
+            top: (0..n).map(|_| BTreeSet::new()).collect(),
+            sigma,
+        }
+    }
+
+    /// Offers `(d, src_row)` arriving at `v` from `pred`. Updates the
+    /// best/top structures and returns whether the entry survived
+    /// truncation (= should be forwarded). `retire` is called for every
+    /// announcement this displaces — the superseded distance on an
+    /// improvement, and each truncation eviction — which is how the
+    /// bitset kernel keeps its frontier eagerly fresh (the scalar kernel
+    /// passes a no-op and skips stale heap entries lazily at pop time).
+    fn admit(
+        &mut self,
+        v: NodeId,
+        src_row: u32,
+        d: Weight,
+        pred: NodeId,
+        mut retire: impl FnMut(Weight, u32),
+    ) -> bool {
+        match self.best[v].get(&src_row) {
+            Some(&(old, _)) if old <= d => return false,
+            Some(&(old, _)) => {
+                self.top[v].remove(&(old, src_row));
+                retire(old, src_row);
+            }
+            None => {}
+        }
+        self.best[v].insert(src_row, (d, pred));
+        self.top[v].insert((d, src_row));
+        while self.top[v].len() > self.sigma {
+            let worst = *self.top[v].iter().next_back().expect("nonempty");
+            self.top[v].remove(&worst);
+            retire(worst.0, worst.1);
+        }
+        // Forward only if the entry survived truncation.
+        self.top[v].contains(&(d, src_row))
+    }
+}
+
 /// `(S, h, σ)` source detection \[37\]: every node learns the `σ`
 /// lexicographically-smallest `(distance, source)` pairs among sources
 /// within distance `h`. Costs `O(h + σ)` rounds for unit latencies.
@@ -285,6 +422,12 @@ impl Detection {
 /// makes the girth algorithm's `√n`-neighborhood computation affordable
 /// (paper §4). With `latency` set, distances are measured in the
 /// stretched metric (paper §4's stretched graphs).
+///
+/// # Panics
+///
+/// Panics if a source id is out of range or repeated, if `latency` is
+/// provided with fewer entries than the graph has edges, or if an
+/// announced distance would saturate into the [`INF`] sentinel.
 #[allow(clippy::too_many_arguments)] // mirrors the primitive's full (S, h, σ) signature
 pub fn source_detection(
     g: &Graph,
@@ -299,52 +442,75 @@ pub fn source_detection(
     if let Some(l) = latency {
         assert!(l.len() >= g.m(), "latency table must cover all edges");
     }
+    validate_sources(g.n(), sources);
     let _span = mwc_trace::span_owned(|| format!("detect/{label}"));
     let n = g.n();
     let mut net: Network<(u32, Weight)> = Network::new_auto(g);
     let plan = FloodPlan::build(g, &net, direction, latency);
 
-    // Per node: current best (distance, pred) per source, the top-σ set,
-    // and the outbox of fresh entries.
-    let mut best: Vec<HashMap<u32, (Weight, NodeId)>> = (0..n).map(|_| HashMap::new()).collect();
-    let mut top: Vec<BTreeSet<(Weight, u32)>> = (0..n).map(|_| BTreeSet::new()).collect();
+    // Sort sources so "source row" order matches id order (consistent
+    // tie-breaking is what makes truncated detection exact).
+    let mut srcs: Vec<NodeId> = sources.to_vec();
+    srcs.sort_unstable();
+
+    let mut state = DetectState::new(n, sigma);
+    if plan.unit_latency() && flood_kernel() == FloodKernel::Bitset {
+        detect_kernel_bitset(&srcs, h, &plan, &mut net, &mut state);
+    } else {
+        detect_kernel_scalar(n, &srcs, h, &plan, &mut net, &mut state);
+    }
+    ledger.absorb(label, &net);
+    mwc_trace::check_bound(
+        "congest/source_detection",
+        mwc_trace::BoundInputs::n(n)
+            .h(crate::bounds::effective_hops(n, h, latency, g.m()))
+            .k(sigma.min(srcs.len()) as u64),
+        net.round(),
+        crate::bounds::source_detection,
+    );
+
+    let lists: DetectionLists = (0..n)
+        .map(|v| {
+            state.top[v]
+                .iter()
+                .map(|&(d, row)| (d, srcs[row as usize]))
+                .collect()
+        })
+        .collect();
+    let best_by_id: Vec<HashMap<NodeId, (Weight, NodeId)>> = state
+        .best
+        .into_iter()
+        .map(|m| {
+            m.into_iter()
+                .map(|(row, dp)| (srcs[row as usize], dp))
+                .collect()
+        })
+        .collect();
+    Detection {
+        lists,
+        best: best_by_id,
+    }
+}
+
+/// The engine-stepped scalar detection loop (reference semantics; the
+/// only kernel that handles latencies). Heap outboxes hold entries that
+/// may go stale — superseded by a closer announcement or evicted from the
+/// top-`σ` set — and are skipped lazily at pop time.
+fn detect_kernel_scalar(
+    n: usize,
+    srcs: &[NodeId],
+    h: Weight,
+    plan: &FloodPlan,
+    net: &mut Network<(u32, Weight)>,
+    state: &mut DetectState,
+) {
     let mut outbox: Vec<BinaryHeap<Reverse<(Weight, u32)>>> =
         (0..n).map(|_| BinaryHeap::new()).collect();
     let mut pending: Vec<NodeId> = Vec::new();
     let mut pending_flag = vec![false; n];
 
-    // Sort sources so "source row" order matches id order (consistent
-    // tie-breaking is what makes truncated detection exact).
-    let mut srcs: Vec<NodeId> = sources.to_vec();
-    srcs.sort_unstable();
-    srcs.dedup();
-
-    let admit = |v: NodeId,
-                 src_row: u32,
-                 d: Weight,
-                 pred: NodeId,
-                 best: &mut Vec<HashMap<u32, (Weight, NodeId)>>,
-                 top: &mut Vec<BTreeSet<(Weight, u32)>>|
-     -> bool {
-        match best[v].get(&src_row) {
-            Some(&(old, _)) if old <= d => return false,
-            Some(&(old, _)) => {
-                top[v].remove(&(old, src_row));
-            }
-            None => {}
-        }
-        best[v].insert(src_row, (d, pred));
-        top[v].insert((d, src_row));
-        while top[v].len() > sigma {
-            let worst = *top[v].iter().next_back().expect("nonempty");
-            top[v].remove(&worst);
-        }
-        // Forward only if the entry survived truncation.
-        top[v].contains(&(d, src_row))
-    };
-
     for (row, &s) in srcs.iter().enumerate() {
-        if admit(s, row as u32, 0, s, &mut best, &mut top) {
+        if state.admit(s, row as u32, 0, s, |_, _| {}) {
             outbox[s].push(Reverse((0, row as u32)));
             if !pending_flag[s] {
                 pending_flag[s] = true;
@@ -363,8 +529,8 @@ pub fn source_detection(
                 match outbox[v].pop() {
                     Some(Reverse((d, row))) => {
                         // Fresh = still our best and still within top-σ.
-                        if best[v].get(&row).map(|&(bd, _)| bd) == Some(d)
-                            && top[v].contains(&(d, row))
+                        if state.best[v].get(&row).map(|&(bd, _)| bd) == Some(d)
+                            && state.top[v].contains(&(d, row))
                         {
                             break Some((d, row));
                         }
@@ -374,12 +540,12 @@ pub fn source_detection(
             };
             let Some((d, row)) = fresh else { continue };
             any_action = true;
-            for &(l, add, lat) in plan.of(v) {
-                let cand = d.saturating_add(add);
+            for hop in plan.of(v) {
+                let cand = add_dist(d, hop.dist_add);
                 if cand > h {
                     continue;
                 }
-                net.send_on_link(l as usize, (row, cand), 1, lat);
+                net.send_on_link(hop.link as usize, (row, cand), 1, hop.latency);
             }
             if !outbox[v].is_empty() && !pending_flag[v] {
                 pending_flag[v] = true;
@@ -402,7 +568,7 @@ pub fn source_detection(
         for dmsg in out.deliveries.drain(..) {
             let (row, cand) = dmsg.payload;
             let v = dmsg.to;
-            if admit(v, row, cand, dmsg.from, &mut best, &mut top) {
+            if state.admit(v, row, cand, dmsg.from, |_, _| {}) {
                 outbox[v].push(Reverse((cand, row)));
                 if !pending_flag[v] {
                     pending_flag[v] = true;
@@ -411,35 +577,98 @@ pub fn source_detection(
             }
         }
     }
-    ledger.absorb(label, &net);
-    mwc_trace::check_bound(
-        "congest/source_detection",
-        mwc_trace::BoundInputs::n(n)
-            .h(crate::bounds::effective_hops(n, h, latency, g.m()))
-            .k(sigma.min(srcs.len()) as u64),
-        net.round(),
-        crate::bounds::source_detection,
-    );
+}
 
-    let lists: DetectionLists = (0..n)
-        .map(|v| {
-            top[v]
-                .iter()
-                .map(|&(d, row)| (d, srcs[row as usize]))
-                .collect()
-        })
-        .collect();
-    let best_by_id: Vec<HashMap<NodeId, (Weight, NodeId)>> = best
-        .into_iter()
-        .map(|m| {
-            m.into_iter()
-                .map(|(row, dp)| (srcs[row as usize], dp))
-                .collect()
-        })
-        .collect();
-    Detection {
-        lists,
-        best: best_by_id,
+/// The bit-parallel detection loop for unit-latency floods: frontier
+/// words maintained eagerly through `DetectState::admit`'s retire hook
+/// (improvements and top-`σ` evictions clear bits on the spot), direct
+/// delivery in send order, rounds charged via
+/// [`Network::charge_flood_round`]. Note the round-control contract it
+/// mirrors from the scalar loop: a round is charged whenever any node
+/// popped a fresh announcement, even if the distance budget then filtered
+/// every send (an empty charge advances the round like an idle
+/// `step_into`).
+fn detect_kernel_bitset(
+    srcs: &[NodeId],
+    h: Weight,
+    plan: &FloodPlan,
+    net: &mut Network<(u32, Weight)>,
+    state: &mut DetectState,
+) {
+    let n = state.best.len();
+    let mut outbox: Vec<BitFrontier> = vec![BitFrontier::default(); n];
+    let mut ghost: Vec<BitFrontier> = vec![BitFrontier::default(); n];
+    let mut pending: Vec<NodeId> = Vec::new();
+    let mut pending_flag = vec![false; n];
+
+    for (row, &s) in srcs.iter().enumerate() {
+        let (ob, gh) = (&mut outbox[s], &mut ghost[s]);
+        let retire = |d, r| {
+            if ob.remove(d, r) {
+                gh.insert(d, r);
+            }
+        };
+        if state.admit(s, row as u32, 0, s, retire) {
+            outbox[s].insert(0, row as u32);
+            if !pending_flag[s] {
+                pending_flag[s] = true;
+                pending.push(s);
+            }
+        }
+    }
+
+    let mut links: Vec<u32> = Vec::new();
+    let mut deliv: Vec<(u32, u32, Weight, u32)> = Vec::new();
+    loop {
+        let acting = std::mem::take(&mut pending);
+        links.clear();
+        deliv.clear();
+        let mut any_action = false;
+        for v in acting {
+            pending_flag[v] = false;
+            // As in the BFS kernel: replay the scalar pop walk's ghost
+            // consumption so the re-pend test below matches its "heap
+            // nonempty, stale entries included" semantics.
+            let Some((d, row)) = outbox[v].pop_min() else {
+                ghost[v].clear();
+                continue;
+            };
+            ghost[v].drain_below(d, row);
+            any_action = true;
+            for hop in plan.of(v) {
+                let cand = add_dist(d, hop.dist_add);
+                if cand > h {
+                    continue;
+                }
+                links.push(hop.link);
+                deliv.push((hop.to, row, cand, v as u32));
+            }
+            if (!outbox[v].is_empty() || !ghost[v].is_empty()) && !pending_flag[v] {
+                pending_flag[v] = true;
+                pending.push(v);
+            }
+        }
+
+        if !any_action {
+            break;
+        }
+        net.charge_flood_round(&links);
+        for &(to, row, cand, from) in &deliv {
+            let v = to as usize;
+            let (ob, gh) = (&mut outbox[v], &mut ghost[v]);
+            let retire = |d, r| {
+                if ob.remove(d, r) {
+                    gh.insert(d, r);
+                }
+            };
+            if state.admit(v, row, cand, from as usize, retire) {
+                outbox[v].insert(cand, row);
+                if !pending_flag[v] {
+                    pending_flag[v] = true;
+                    pending.push(v);
+                }
+            }
+        }
     }
 }
 
@@ -449,6 +678,27 @@ mod tests {
     use mwc_graph::generators::{connected_gnm, grid, WeightRange};
     use mwc_graph::seq::{bellman_ford_hops, bfs, HOP_INF};
     use mwc_graph::Orientation;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Serializes tests that flip the process-global flood kernel and
+    /// restores the default on drop.
+    static KERNEL_GLOBAL: Mutex<()> = Mutex::new(());
+
+    struct KernelGuard {
+        _guard: MutexGuard<'static, ()>,
+    }
+
+    fn with_kernel(k: FloodKernel) -> KernelGuard {
+        let guard = KERNEL_GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+        crate::flood::set_flood_kernel(k);
+        KernelGuard { _guard: guard }
+    }
+
+    impl Drop for KernelGuard {
+        fn drop(&mut self) {
+            crate::flood::set_flood_kernel(FloodKernel::Bitset);
+        }
+    }
 
     fn assert_matches_bfs(g: &Graph, sources: &[NodeId], h: Weight, dir: Direction) {
         let mut ledger = Ledger::new();
@@ -654,6 +904,79 @@ mod tests {
         assert!(ledger.rounds >= 3);
     }
 
+    #[test]
+    fn zero_weight_edges_identical_across_kernels() {
+        // `dist_add = 0` with `stretch = 1` must cost one round and add
+        // zero distance in BOTH kernels. All weights ≤ 1, so the flood is
+        // unit-latency and the bitset kernel actually engages (a mixed
+        // graph with stretch > 1 edges would fall back to scalar).
+        let g = Graph::from_edges(
+            6,
+            Orientation::Directed,
+            [
+                (0, 1, 0),
+                (1, 2, 1),
+                (2, 3, 0),
+                (3, 4, 0),
+                (4, 5, 1),
+                (0, 5, 1),
+                (5, 2, 0),
+            ],
+        )
+        .unwrap();
+        let lat: Vec<Weight> = g.edges().iter().map(|e| e.weight).collect();
+        let spec = MultiBfsSpec {
+            max_dist: INF,
+            direction: Direction::Forward,
+            latency: Some(&lat),
+        };
+        let mut results = Vec::new();
+        for kernel in [FloodKernel::Scalar, FloodKernel::Bitset] {
+            let _k = with_kernel(kernel);
+            let mut ledger = Ledger::new();
+            let mat = multi_source_bfs(&g, &[0, 3], &spec, "zw", &mut ledger);
+            // Zero-weight edges added no distance…
+            assert_eq!(mat.get_row(0, 1), 0, "{kernel:?}");
+            assert_eq!(mat.get_row(1, 4), 0, "{kernel:?}");
+            // …but still cost a round each to cross.
+            assert!(ledger.rounds >= 3, "{kernel:?}: {} rounds", ledger.rounds);
+            results.push((mat.digest(), ledger.rounds, ledger.words, ledger.messages));
+        }
+        assert_eq!(results[0], results[1], "kernels disagree on w = 0 flood");
+    }
+
+    #[test]
+    #[should_panic(expected = "source 60 out of range")]
+    fn multibfs_rejects_out_of_range_source() {
+        let g = connected_gnm(60, 90, Orientation::Undirected, WeightRange::unit(), 5);
+        let mut ledger = Ledger::new();
+        let _ = multi_source_bfs(&g, &[60], &MultiBfsSpec::default(), "t", &mut ledger);
+    }
+
+    #[test]
+    #[should_panic(expected = "source 7 repeated")]
+    fn multibfs_rejects_repeated_source() {
+        let g = connected_gnm(60, 90, Orientation::Undirected, WeightRange::unit(), 5);
+        let mut ledger = Ledger::new();
+        let _ = multi_source_bfs(&g, &[0, 7, 7], &MultiBfsSpec::default(), "t", &mut ledger);
+    }
+
+    #[test]
+    #[should_panic(expected = "saturates into the INF sentinel")]
+    fn multibfs_rejects_distance_saturation() {
+        // A pathological latency table: one edge "adds" INF, which the
+        // old saturating_add silently aliased to unreachable.
+        let g = Graph::from_edges(2, Orientation::Undirected, [(0, 1, 1)]).unwrap();
+        let lat = vec![INF];
+        let spec = MultiBfsSpec {
+            max_dist: INF,
+            direction: Direction::Forward,
+            latency: Some(&lat),
+        };
+        let mut ledger = Ledger::new();
+        let _ = multi_source_bfs(&g, &[0], &spec, "sat", &mut ledger);
+    }
+
     fn detection_oracle(g: &Graph, sources: &[NodeId], h: Weight, sigma: usize) -> DetectionLists {
         let mut lists: DetectionLists = vec![Vec::new(); g.n()];
         let mut srcs = sources.to_vec();
@@ -812,5 +1135,83 @@ mod tests {
             l.truncate(3);
         }
         assert_eq!(got, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "source 30 out of range")]
+    fn detection_rejects_out_of_range_source() {
+        let g = connected_gnm(30, 80, Orientation::Directed, WeightRange::unit(), 8);
+        let mut ledger = Ledger::new();
+        let _ = source_detection(
+            &g,
+            &[0, 30],
+            5,
+            3,
+            Direction::Forward,
+            None,
+            "sd",
+            &mut ledger,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "source 4 repeated")]
+    fn detection_rejects_repeated_source() {
+        let g = connected_gnm(30, 80, Orientation::Directed, WeightRange::unit(), 8);
+        let mut ledger = Ledger::new();
+        let _ = source_detection(
+            &g,
+            &[4, 2, 4],
+            5,
+            3,
+            Direction::Forward,
+            None,
+            "sd",
+            &mut ledger,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "saturates into the INF sentinel")]
+    fn detection_rejects_distance_saturation() {
+        let g = Graph::from_edges(2, Orientation::Undirected, [(0, 1, 1)]).unwrap();
+        let lat = vec![INF];
+        let mut ledger = Ledger::new();
+        let _ = source_detection(
+            &g,
+            &[0],
+            INF,
+            2,
+            Direction::Forward,
+            Some(&lat),
+            "sat",
+            &mut ledger,
+        );
+    }
+
+    #[test]
+    fn detection_identical_across_kernels() {
+        // Unit-weight flood: the bitset kernel engages by default; pin
+        // that the scalar fallback produces identical lists, paths, and
+        // ledger counts.
+        let g = connected_gnm(48, 70, Orientation::Undirected, WeightRange::unit(), 33);
+        let sources: Vec<NodeId> = (0..48).step_by(3).collect();
+        let mut results = Vec::new();
+        for kernel in [FloodKernel::Scalar, FloodKernel::Bitset] {
+            let _k = with_kernel(kernel);
+            let mut ledger = Ledger::new();
+            let det = source_detection(
+                &g,
+                &sources,
+                6,
+                4,
+                Direction::Forward,
+                None,
+                "sd",
+                &mut ledger,
+            );
+            results.push((det.lists, ledger.rounds, ledger.words, ledger.messages));
+        }
+        assert_eq!(results[0], results[1], "kernels disagree on detection");
     }
 }

@@ -1,0 +1,219 @@
+//! Flood-kernel differential suite: the bitset inner loop of
+//! [`multi_source_bfs`] / [`source_detection`] is purely an execution
+//! strategy, so *everything observable* must be byte-identical between
+//! `MWC_FLOOD_KERNEL=scalar` and the default `bitset` kernel. On the
+//! three workload families the Table-1 experiments sweep — unit-weight
+//! girth graphs, weighted graphs run both plain and latency-stretched,
+//! and directed graphs in both traversal directions — an identical
+//! pipeline runs once per kernel and the suite compares, against the
+//! scalar run:
+//!
+//! - the rendered [`RunRecord`] (params, spans, totals, congestion
+//!   summaries — the exact bytes `trace_diff` gates on; the
+//!   informational `flood_kernel` stamp is absent in records built
+//!   straight from a trace, so the bytes really must match),
+//! - the ledger's hot links and round/word/message totals,
+//! - the [`DistMatrix`] digest (distances AND predecessors) and the
+//!   full detection lists,
+//! - the `MWC_TRACE_EVENTS` event log, line for line.
+//!
+//! The kernel knob is a process global, so runs take a lock and restore
+//! the default on drop. Zero-weight edges ride along in the stretched
+//! family: a `w = 0` edge stays unit-latency (one round to cross, zero
+//! distance added), which is exactly the aliasing case the bitset
+//! frontier's distance buckets must get right.
+
+use std::sync::{Mutex, MutexGuard};
+
+use mwc_congest::{
+    multi_source_bfs, set_flood_kernel, source_detection, DetectionLists, EventCapture,
+    FloodKernel, Ledger, MultiBfsSpec,
+};
+use mwc_graph::generators::{connected_gnm, ring_with_chords, WeightRange};
+use mwc_graph::seq::Direction;
+use mwc_graph::{Graph, NodeId, Orientation, Weight};
+use mwc_trace::{RunRecord, TraceSession};
+
+static KERNEL_GLOBAL: Mutex<()> = Mutex::new(());
+
+/// Holds the process-global kernel selection for one observed run:
+/// takes the lock (the knob is shared by every test thread), installs
+/// the kernel, and restores the bitset default on drop.
+struct KernelConfig {
+    _guard: MutexGuard<'static, ()>,
+}
+
+fn with_kernel(k: FloodKernel) -> KernelConfig {
+    let guard = KERNEL_GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    set_flood_kernel(k);
+    KernelConfig { _guard: guard }
+}
+
+impl Drop for KernelConfig {
+    fn drop(&mut self) {
+        set_flood_kernel(FloodKernel::Bitset);
+    }
+}
+
+/// Everything a run exposes to the outside world. Two [`Observed`]
+/// values comparing equal means no artifact — record bytes, ledger,
+/// tables, event log — could distinguish the kernels.
+#[derive(Debug, PartialEq, Eq)]
+struct Observed {
+    record: String,
+    events: Vec<String>,
+    unit_digest: u64,
+    stretched_digest: u64,
+    detection: DetectionLists,
+    hot_links: Vec<((NodeId, NodeId), u64)>,
+    totals: (u64, u64, u64),
+}
+
+/// Runs the unweighted-primitive pipeline on `g` under `kernel` and
+/// captures every observable artifact: a plain multi-source BFS (the
+/// bitset fast path when the kernel allows), a latency-stretched BFS
+/// over the edge weights (always the scalar fallback — the kernel knob
+/// must be invisible there too), and a source detection.
+fn observe(g: &Graph, direction: Direction, latency: &[Weight], kernel: FloodKernel) -> Observed {
+    let _cfg = with_kernel(kernel);
+    let cap = EventCapture::memory();
+    let session = TraceSession::memory();
+    let mut ledger = Ledger::new();
+
+    let sources: Vec<NodeId> = (0..g.n()).step_by(2).collect();
+    let unit_spec = MultiBfsSpec {
+        direction,
+        ..MultiBfsSpec::default()
+    };
+    let unit = multi_source_bfs(g, &sources, &unit_spec, "probe/unit", &mut ledger);
+    let stretched_spec = MultiBfsSpec {
+        direction,
+        latency: Some(latency),
+        ..MultiBfsSpec::default()
+    };
+    let stretched = multi_source_bfs(g, &sources, &stretched_spec, "probe/stretched", &mut ledger);
+    let det = source_detection(g, &sources, 64, 3, direction, None, "probe", &mut ledger);
+
+    let mut record = RunRecord::from_trace(
+        "kernel_probe",
+        vec![("n".into(), g.n().to_string())],
+        &session.finish(),
+    );
+    record.push_congestion(ledger.congestion_summary("pipeline"));
+
+    Observed {
+        record: record.render(),
+        events: cap.finish(),
+        unit_digest: unit.digest(),
+        stretched_digest: stretched.digest(),
+        detection: det.lists,
+        hot_links: ledger.hot_links(8),
+        totals: (ledger.rounds, ledger.words, ledger.messages),
+    }
+}
+
+/// Stretch table over `g`'s edge weights: `ℓ(e) = max(w(e), 1)`, so a
+/// unit-weight graph stays unit-latency and a weighted one exercises
+/// the transit slab (and the scalar fallback under the bitset kernel).
+fn weight_latency(g: &Graph) -> Vec<Weight> {
+    g.edges().iter().map(|e| e.weight.max(1)).collect()
+}
+
+/// Raw edge weights as the latency table, 0 entries included: a `w = 0`
+/// edge then adds zero distance but still takes one round to cross
+/// (`FloodPlan` clamps travel time, not distance), and the whole flood
+/// stays unit-latency when no weight exceeds 1 — so the *bitset* kernel
+/// handles the zero-distance aliasing, not the scalar fallback.
+fn raw_weight_latency(g: &Graph) -> Vec<Weight> {
+    g.edges().iter().map(|e| e.weight).collect()
+}
+
+fn assert_kernel_invariant(g: &Graph, direction: Direction, latency: &[Weight], family: &str) {
+    let scalar = observe(g, direction, latency, FloodKernel::Scalar);
+    assert!(
+        scalar.totals.0 > 0 && scalar.totals.1 > 0,
+        "{family}: the pipeline must move traffic"
+    );
+    let bitset = observe(g, direction, latency, FloodKernel::Bitset);
+    assert_eq!(
+        bitset.record, scalar.record,
+        "{family}: RunRecord bytes diverge between kernels"
+    );
+    assert_eq!(
+        bitset.events, scalar.events,
+        "{family}: event log diverges between kernels"
+    );
+    assert_eq!(
+        bitset, scalar,
+        "{family}: observable state diverges between kernels"
+    );
+}
+
+#[test]
+fn girth_family_is_kernel_invariant() {
+    for seed in 0..3 {
+        let g = connected_gnm(40, 90, Orientation::Undirected, WeightRange::unit(), seed);
+        let lat = weight_latency(&g);
+        assert_kernel_invariant(&g, Direction::Forward, &lat, "girth/connected_gnm");
+    }
+}
+
+#[test]
+fn weighted_family_is_kernel_invariant() {
+    for seed in [2, 9] {
+        let g = ring_with_chords(
+            30,
+            10,
+            Orientation::Undirected,
+            WeightRange::uniform(1, 9),
+            seed,
+        );
+        let lat = weight_latency(&g);
+        assert_kernel_invariant(&g, Direction::Forward, &lat, "weighted/ring_with_chords");
+    }
+}
+
+#[test]
+fn directed_family_is_kernel_invariant() {
+    for seed in [3, 11] {
+        let g = connected_gnm(
+            28,
+            70,
+            Orientation::Directed,
+            WeightRange::uniform(1, 6),
+            seed,
+        );
+        let lat = weight_latency(&g);
+        assert_kernel_invariant(&g, Direction::Forward, &lat, "directed/connected_gnm");
+        assert_kernel_invariant(
+            &g,
+            Direction::Reverse,
+            &lat,
+            "directed-reverse/connected_gnm",
+        );
+    }
+}
+
+/// Zero-weight edges: a `{0, 1}`-weight graph run with its raw weights
+/// as the latency table stays unit-latency, so the bitset kernel really
+/// executes a flood where some hops add `dist_add = 0` — the aliasing
+/// case for the frontier's distance buckets (one round crossed, zero
+/// distance gained). Both kernels must agree byte-for-byte.
+#[test]
+fn zero_weight_family_is_kernel_invariant() {
+    for seed in [1, 7] {
+        let g = connected_gnm(
+            32,
+            80,
+            Orientation::Directed,
+            WeightRange::uniform(0, 1),
+            seed,
+        );
+        let lat = raw_weight_latency(&g);
+        assert!(
+            lat.contains(&0) && lat.iter().all(|&l| l <= 1),
+            "family must mix zero- and unit-weight edges"
+        );
+        assert_kernel_invariant(&g, Direction::Forward, &lat, "zero-weight/connected_gnm");
+    }
+}

@@ -28,8 +28,8 @@ use crate::outcome::{BestCycle, MwcOutcome};
 use crate::params::Params;
 use crate::util::{sample_vertices, simplify_path};
 use mwc_congest::{
-    broadcast, convergecast_min, multi_source_bfs, Ledger, MultiBfsSpec, Network, PhaseCache,
-    RoundOutput, INF,
+    broadcast, convergecast_min, multi_source_bfs, FloodPlan, Ledger, MultiBfsSpec, Network,
+    PhaseCache, RoundOutput, INF,
 };
 use mwc_graph::seq::Direction;
 use mwc_graph::{CycleWitness, Graph, NodeId, Weight};
@@ -493,22 +493,40 @@ fn short_cycles_restricted_bfs(
     let mut future: Vec<Vec<(NodeId, NodeId, BfsMsg)>> = vec![Vec::new(); window];
     let mut bfs_net: Network<()> = Network::new_auto(g); // round accounting only
     let mut phase_rounds_total = 0u64;
+    // Traversal-edge CSR: link ids and stretches resolved once, so the
+    // phase loop's send and arrival-scheduling paths do no adjacency or
+    // edge-id searches. In this mode-unit world an edge's length is its
+    // stretch (`hop.latency + 1`), used for BOTH the announced distance
+    // and the arrival delay — unlike `multi_source_bfs`, where a
+    // zero-weight edge adds 0 distance but still takes a round.
+    let plan = FloodPlan::build(
+        g,
+        &bfs_net,
+        Direction::Forward,
+        match mode {
+            Mode::Unweighted => None,
+            Mode::Stretched { latency, .. } => Some(latency),
+        },
+    );
 
     for phase in 1..=max_phase {
-        // Initiations at δ_v (line 15–17).
-        let mut sends: Vec<(NodeId, NodeId, BfsMsg)> = Vec::new();
+        // Initiations at δ_v (line 15–17). Sends carry their resolved
+        // `(link, ell)` so charging and scheduling below stay lookup-free.
+        let mut sends: Vec<(NodeId, NodeId, u32, u64, BfsMsg)> = Vec::new();
         if phase <= rho {
             for v in 0..n {
                 if delays[v] == phase && !overflow[v] {
                     let q = Arc::clone(&rset[v]);
-                    for a in g.out_adj(v) {
-                        let ell = mode.stretch_of(a.edge);
+                    for hop in plan.of(v) {
+                        let ell = hop.latency + 1;
                         if ell > budget {
                             continue;
                         }
                         sends.push((
                             v,
-                            a.to,
+                            hop.to as usize,
+                            hop.link,
+                            ell,
                             BfsMsg {
                                 src: v as u32,
                                 dist: ell,
@@ -562,16 +580,18 @@ fn short_cycles_restricted_bfs(
                 continue;
             }
             for (src, dist, _pred, q) in std::mem::take(&mut fresh[v]) {
-                for a in g.out_adj(v) {
-                    let ell = mode.stretch_of(a.edge);
+                for hop in plan.of(v) {
+                    let ell = hop.latency + 1;
                     let cand = dist.saturating_add(ell);
                     if cand > budget {
                         continue;
                     }
-                    if forward_test(v, a.to, cand, &q) {
+                    if forward_test(v, hop.to as usize, cand, &q) {
                         sends.push((
                             v,
-                            a.to,
+                            hop.to as usize,
+                            hop.link,
+                            ell,
                             BfsMsg {
                                 src,
                                 dist: cand,
@@ -587,24 +607,15 @@ fn short_cycles_restricted_bfs(
             continue; // quiet phase: zero rounds.
         }
         // Charge this phase's rounds: drain all sends through the engine.
-        for (from, to, msg) in &sends {
-            bfs_net
-                .send(*from, *to, (), msg.words())
-                .expect("traversal edges are communication links");
+        for (_, _, link, _, msg) in &sends {
+            bfs_net.send_on_link(*link as usize, (), msg.words(), 0);
         }
         let mut drained = RoundOutput::default();
         while bfs_net.step_bulk_into(&mut drained) {}
         phase_rounds_total = bfs_net.round();
-        // Schedule arrivals: entry phase + stretch.
-        for (from, to, msg) in sends {
-            let ell = match mode {
-                Mode::Unweighted => 1u64,
-                Mode::Stretched { latency, .. } => {
-                    // Stretch of the edge used; recover via edge lookup.
-                    let eid = g.edge_id(from, to).expect("send along a real edge");
-                    latency[eid].max(1)
-                }
-            };
+        // Schedule arrivals at entry phase + stretch, read off the plan
+        // hop — no edge-id recovery.
+        for (from, to, _, ell, msg) in sends {
             let arrive = phase + ell;
             if arrive <= max_phase {
                 future[(arrive as usize) % window].push((from, to, msg));

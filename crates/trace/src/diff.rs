@@ -415,10 +415,20 @@ pub fn diff_records(base: &RunRecord, fresh: &RunRecord, cfg: &DiffConfig) -> Ru
     // become schedule noise. They are also skipped against baselines
     // with no alloc data (pre-v6, or recorded without the counting
     // allocator) — a zero-vs-nonzero diff there would gate on
-    // instrumentation coverage, not on performance. `wall_ns` and
-    // `peak_alloc_bytes` are never compared (the `wall_ms` convention).
+    // instrumentation coverage, not on performance — and when the two
+    // records ran different flood kernels: the kernels must agree on
+    // every simulated-cost metric, but their host allocation profiles
+    // legitimately differ (the whole point of the bitset kernel), so a
+    // cross-kernel pair compares like a cross-jobs pair. An empty stamp
+    // (pre-v7 record) matches anything, keeping the alloc gate armed
+    // for default-vs-default runs against older baselines. `wall_ns`
+    // and `peak_alloc_bytes` are never compared (`wall_ms` convention).
+    let same_kernel = base.flood_kernel.is_empty()
+        || fresh.flood_kernel.is_empty()
+        || base.flood_kernel == fresh.flood_kernel;
     let default_config = base.shards <= 1 && fresh.shards <= 1 && base.jobs <= 1 && fresh.jobs <= 1;
-    let gate_allocs = default_config && (base.alloc_bytes > 0 || base.alloc_count > 0);
+    let gate_allocs =
+        default_config && same_kernel && (base.alloc_bytes > 0 || base.alloc_count > 0);
     if gate_allocs {
         d.metric(
             "total",
@@ -774,6 +784,7 @@ mod tests {
             wall_ms: 0,
             shards: 0,
             jobs: 0,
+            flood_kernel: String::new(),
             alloc_bytes: 10_000,
             alloc_count: 40,
             peak_alloc_bytes: 5_000,
@@ -1050,6 +1061,46 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn alloc_is_informational_across_kernels() {
+        // Same alloc regression, but the two records ran different flood
+        // kernels: allocation profiles legitimately differ between
+        // kernels, so the pair compares like a cross-jobs pair. An empty
+        // stamp (pre-v7 baseline) matches anything and keeps the gate
+        // armed; every simulated-cost metric still gates regardless.
+        for (base_k, fresh_k, should_gate) in [
+            ("bitset", "scalar", false),
+            ("scalar", "bitset", false),
+            ("", "bitset", true),
+            ("bitset", "", true),
+            ("bitset", "bitset", true),
+            ("scalar", "scalar", true),
+        ] {
+            let mut base = record();
+            base.flood_kernel = base_k.to_owned();
+            let mut fresh = record();
+            fresh.flood_kernel = fresh_k.to_owned();
+            fresh.alloc_bytes += 500;
+            fresh.spans[1].alloc_bytes += 500;
+            let d = diff_records(&base, &fresh, &DiffConfig::default());
+            assert_eq!(
+                d.has_regression(),
+                should_gate,
+                "base={base_k:?} fresh={fresh_k:?}: {}",
+                d.render()
+            );
+        }
+        // A rounds regression still gates across kernels — only the host
+        // alloc metrics become informational.
+        let mut base = record();
+        base.flood_kernel = "bitset".to_owned();
+        let mut fresh = record();
+        fresh.flood_kernel = "scalar".to_owned();
+        fresh.rounds += 1;
+        let d = diff_records(&base, &fresh, &DiffConfig::default());
+        assert!(d.has_regression(), "{}", d.render());
     }
 
     #[test]
