@@ -6,8 +6,8 @@
 //! - `report [records_dir]` (default `results/run_records`): parses every
 //!   run record, renders the combined OpenMetrics exposition as
 //!   `results/metrics.prom` (validated before it lands), and prints a
-//!   per-bin shard-imbalance and cache-hit-rate report (also saved as
-//!   `results/metrics_report.txt`).
+//!   per-bin shard-imbalance, cache-hit-rate, and flood-kernel-engagement
+//!   report (also saved as `results/metrics_report.txt`).
 //! - `check <prom_file>`: validates an existing exposition with the
 //!   in-tree OpenMetrics checker; exit 1 when it does not parse.
 //! - `check-trace <trace.json>`: structurally validates a Chrome Trace
@@ -131,6 +131,20 @@ fn cmd_report(records_dir: &str) {
             out,
             "  profile: alloc {} B / {} allocs, peak {} B, worker util {} (busy {} ms / wall {} ms x {} job(s))",
             r.alloc_bytes, r.alloc_count, r.peak_alloc_bytes, util, r.workers.busy_ms, r.wall_ms, jobs
+        );
+        // Flood-kernel engagement: how many flood primitives this run
+        // dispatched to a bitset kernel (unit-latency or calendar-queue
+        // stretched) vs. the scalar reference. Informational, like the
+        // `flood_kernel` knob stamp; pre-v8 records read as 0/0.
+        let knob = if r.flood_kernel.is_empty() {
+            "-"
+        } else {
+            r.flood_kernel.as_str()
+        };
+        let _ = writeln!(
+            out,
+            "  floods: {} bitset / {} scalar (kernel knob {knob})",
+            r.floods_bitset, r.floods_scalar
         );
         let worst = r
             .congestion

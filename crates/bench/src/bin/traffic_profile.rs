@@ -14,7 +14,7 @@
 
 use mwc_bench::plot::{downsample_max, sparkline_scaled};
 use mwc_bench::{report, Table};
-use mwc_congest::{Ledger, Network};
+use mwc_congest::{flood_engagement, Ledger, Network};
 use mwc_graph::generators::{grid, WeightRange};
 use mwc_graph::{NodeId, Orientation};
 use mwc_rng::StdRng;
@@ -147,5 +147,11 @@ fn main() {
         "\nrandom delays trade a longer makespan for a flat profile — the property\n\
          that lets Algorithm 3 cap per-phase messages at Θ(log n) and bound |Z|."
     );
+    // Kernel-engagement tally for this run (exported as the informational
+    // `mwc_info_floods_*` gauges and stamped on the run record): the
+    // delayed flood above is hand-rolled on the Network, so a nonzero
+    // count here would mean a flood primitive sneaked into the pipeline.
+    let (bitset, scalar) = flood_engagement();
+    println!("flood-kernel engagement this run: {bitset} bitset / {scalar} scalar");
     rec.finish();
 }

@@ -773,34 +773,155 @@ impl<M> Network<M> {
     /// charges such rounds when every popped announcement is filtered by
     /// the distance budget).
     pub(crate) fn charge_flood_round(&mut self, links: &[u32]) {
-        self.round += 1;
+        let round = self.round + 1;
+        self.charge_stretched_flood_round(round, links, links);
+    }
+
+    /// The latency-stretched generalization of
+    /// [`Network::charge_flood_round`]: charges round `round` (which may
+    /// jump ahead over quiet rounds, like [`Network::step_fast_into`])
+    /// where `links` each carry one one-word *transfer* this round (send
+    /// order) and `delivered` are the links whose messages *arrive* this
+    /// round (delivery order). On a unit-latency flood the two coincide;
+    /// on a stretched flood a send with latency `ℓ` transfers now but
+    /// arrives `ℓ` rounds later, so the calendar-queue kernel
+    /// ([`crate::flood::CalendarRing`]) passes this round's sends as
+    /// `links` and this round's calendar expiries (plus the zero-latency
+    /// sends, first, in send order — the scalar engine delivers same-round
+    /// completions before transit expiries) as `delivered`.
+    ///
+    /// Reproduces exactly what [`Network::send_on_link`] +
+    /// [`Network::step_into`]/[`Network::step_fast_into`] would record:
+    /// transfer stats (words, per-link words, active-round histogram,
+    /// first-reach peak tracking, optional history, queue high-waters at
+    /// depth 1) are charged only when `links` is nonempty — a pure-arrival
+    /// round is a quiet round that moves no words, matching an engine step
+    /// whose active set is empty — while the message count and the event
+    /// log follow `delivered`.
+    pub(crate) fn charge_stretched_flood_round(
+        &mut self,
+        round: u64,
+        links: &[u32],
+        delivered: &[u32],
+    ) {
+        debug_assert!(round > self.round, "flood rounds advance monotonically");
+        self.round = round;
         let transferred = links.len() as u64;
-        if transferred == 0 {
+        if transferred > 0 {
+            self.stats.active_rounds += 1;
+            self.stats.round_histogram[hist_bucket(transferred)] += 1;
+            if transferred > self.stats.max_words_in_round {
+                self.stats.max_words_in_round = transferred;
+                self.stats.peak_round = self.round;
+            }
+            if self.history {
+                self.stats.words_per_round.push((self.round, transferred));
+            }
+            self.stats.words += transferred;
+            if self.stats.queue_high_water < 1 {
+                self.stats.queue_high_water = 1;
+            }
+            for &l in links {
+                let l = l as usize;
+                if self.stats.per_link_queue_high[l] < 1 {
+                    self.stats.per_link_queue_high[l] = 1;
+                }
+                self.stats.per_link_words[l] += 1;
+            }
+        }
+        self.stats.messages += delivered.len() as u64;
+        if let Some(net) = self.events_net {
+            for &l in delivered {
+                let (from, to) = self.link_ends[l as usize];
+                crate::events::emit_msg(net, self.round, from, to, 1);
+            }
+        }
+    }
+
+    /// Charges a complete **pipelined tree downcast** in closed form: the
+    /// root streams `m` messages of `w` words each down every tree edge,
+    /// and every internal node forwards each message to its children the
+    /// round it arrives (the [`crate::broadcast`] downcast loop). The
+    /// schedule is fully determined: the pipeline saturates, so the link
+    /// into a depth-`d` node transfers continuously during rounds
+    /// `w·(d-1)+1 ..= w·(d+m-1)` and delivers message `i` at round
+    /// `w·(i+d)`.
+    ///
+    /// `links` are the tree links as `(link id, depth of the child
+    /// endpoint)` in **BFS order** (depth ascending, siblings in
+    /// `children[]` order) — exactly the order the engine-stepped loop's
+    /// active list settles into, so the event log comes out in the same
+    /// order. Reproduces what per-message [`Network::send`] +
+    /// [`Network::step_bulk_into`] would record, stat for stat: depth-1
+    /// queues peak at `m` (the root enqueues everything up front), deeper
+    /// queues at 1 (pop and re-push in the same round), every per-round
+    /// transfer count, the first-reach peak round, the optional history,
+    /// and one message event per delivery. A no-op when `m == 0` or
+    /// `links` is empty, matching an engine run with nothing to send.
+    pub(crate) fn charge_pipelined_downcast(&mut self, links: &[(u32, u32)], m: u64, w: u64) {
+        debug_assert_eq!(self.round, 0, "downcast runs on a fresh network");
+        if m == 0 || links.is_empty() {
             return;
         }
-        self.stats.active_rounds += 1;
-        self.stats.round_histogram[hist_bucket(transferred)] += 1;
-        if transferred > self.stats.max_words_in_round {
-            self.stats.max_words_in_round = transferred;
-            self.stats.peak_round = self.round;
-        }
-        if self.history {
-            self.stats.words_per_round.push((self.round, transferred));
-        }
-        self.stats.words += transferred;
-        self.stats.messages += transferred;
-        if self.stats.queue_high_water < 1 {
-            self.stats.queue_high_water = 1;
-        }
-        for &l in links {
+        let w = w.max(1);
+        let height = links.iter().map(|&(_, d)| d).max().expect("nonempty") as u64;
+        debug_assert!(links.windows(2).all(|p| p[0].1 <= p[1].1), "BFS order");
+        // Per-link totals and queue high-waters, plus nodes-per-depth for
+        // the per-round transfer counts below.
+        let mut cnt = vec![0u64; height as usize + 1];
+        for &(l, d) in links {
             let l = l as usize;
-            if self.stats.per_link_queue_high[l] < 1 {
-                self.stats.per_link_queue_high[l] = 1;
+            cnt[d as usize] += 1;
+            self.stats.per_link_words[l] += m * w;
+            let peak = if d == 1 { m } else { 1 };
+            if self.stats.per_link_queue_high[l] < peak {
+                self.stats.per_link_queue_high[l] = peak;
             }
-            self.stats.per_link_words[l] += 1;
-            if let Some(net) = self.events_net {
-                let (from, to) = self.link_ends[l];
-                crate::events::emit_msg(net, self.round, from, to, 1);
+        }
+        if self.stats.queue_high_water < m {
+            self.stats.queue_high_water = m;
+        }
+        let mut prefix = vec![0u64; height as usize + 1];
+        for d in 1..=height as usize {
+            prefix[d] = prefix[d - 1] + cnt[d];
+        }
+        // Transfer stats round by round: at round r the busy links are
+        // those whose transfer window covers r, i.e. child depths in
+        // [ceil(r/w) - (m-1), (r-1)/w + 1] clipped to [1, height].
+        let total_rounds = w * (height + m - 1);
+        for r in 1..=total_rounds {
+            let d_max = ((r - 1) / w + 1).min(height) as usize;
+            let d_min = (r.div_ceil(w).saturating_sub(m - 1)).max(1) as usize;
+            let transferred = prefix[d_max] - prefix[d_min - 1];
+            debug_assert!(transferred > 0, "the pipeline never idles mid-stream");
+            self.stats.active_rounds += 1;
+            self.stats.round_histogram[hist_bucket(transferred)] += 1;
+            if transferred > self.stats.max_words_in_round {
+                self.stats.max_words_in_round = transferred;
+                self.stats.peak_round = r;
+            }
+            if self.history {
+                self.stats.words_per_round.push((r, transferred));
+            }
+            self.stats.words += transferred;
+        }
+        self.round = total_rounds;
+        self.stats.messages += m * links.len() as u64;
+        if let Some(net) = self.events_net {
+            // Delivery rounds are the multiples of `w`: at r = w·t the
+            // links with child depth in [t-m+1, t] each deliver one
+            // message, in BFS order (depth-ascending, the engine's
+            // active-list order).
+            for t in 1..=(height + m - 1) {
+                let d_max = t.min(height);
+                let d_min = t.saturating_sub(m - 1).max(1);
+                for &(l, d) in links {
+                    let d = d as u64;
+                    if d >= d_min && d <= d_max {
+                        let (from, to) = self.link_ends[l as usize];
+                        crate::events::emit_msg(net, w * t, from, to, w);
+                    }
+                }
             }
         }
     }

@@ -1,7 +1,8 @@
-//! Shared flood-kernel machinery for the unweighted primitives: the
+//! Shared flood-kernel machinery for the flood primitives: the
 //! precomputed traversal-edge CSR ([`FloodPlan`]), the u64-bitset frontier
-//! ([`BitFrontier`]) behind the bit-parallel kernel, and the
-//! [`FloodKernel`] selection knob (`MWC_FLOOD_KERNEL`).
+//! ([`BitFrontier`]) behind the bit-parallel kernel, the arrival-round
+//! calendar queue ([`CalendarRing`]) behind its latency-stretched variant,
+//! and the [`FloodKernel`] selection knob (`MWC_FLOOD_KERNEL`).
 //!
 //! # Two kernels, one schedule
 //!
@@ -29,11 +30,21 @@
 //! differential suites (`crates/congest/tests/flood_kernel_differential.rs`
 //! and the `MWC_FLOOD_KERNEL=scalar` CI perf-gate leg) pin that.
 //!
-//! The bitset kernel only applies to **unit-latency** floods (every
-//! traversal edge crosses in one round — plain BFS, or stretched searches
-//! whose latencies are all ≤ 1, which includes zero-weight edges);
-//! latency-stretched floods keep in-flight state the charge API does not
-//! model and always take the scalar path.
+//! Unit-latency floods (every traversal edge crosses in one round — plain
+//! BFS, or stretched searches whose latencies are all ≤ 1, which includes
+//! zero-weight edges) run the distance-bucketed kernel above.
+//! **Latency-stretched** floods run a calendar-queue variant: in-flight
+//! announcements live in a [`CalendarRing`] of `max_latency + 1`
+//! arrival-round buckets, a send over an edge with stretch `ℓ` lands `ℓ`
+//! buckets ahead, and each round is charged in one pass through
+//! `Network::charge_stretched_flood_round` (this round's sends as the
+//! transfers, this round's calendar expiries as the arrivals) — the exact
+//! per-round stats, in-flight occupancy, and event log the scalar engine's
+//! transit heap would have produced. The stretched kernel engages when
+//! `FloodPlan::max_latency() <= MWC_FLOOD_RING_MAX` (default
+//! [`FLOOD_RING_MAX_DEFAULT`], generous); a pathological latency table
+//! beyond the cap falls back to the scalar path rather than allocate an
+//! oversized ring.
 //!
 //! Kernel resolution, highest priority first (the [`mwc_par::shards`]
 //! convention): [`set_flood_kernel`] → the `MWC_FLOOD_KERNEL` environment
@@ -44,7 +55,7 @@
 use crate::engine::Network;
 use mwc_graph::seq::Direction;
 use mwc_graph::{Graph, NodeId, Weight};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Which inner loop the unit-latency flood primitives run. See the
 /// [module docs](self) for the contract: the choice is invisible to every
@@ -106,6 +117,54 @@ pub fn flood_kernel() -> FloodKernel {
         .as_deref()
         .and_then(FloodKernel::parse)
         .unwrap_or(FloodKernel::Bitset)
+}
+
+/// Default cap on [`FloodPlan::max_latency`] for the stretched bitset
+/// kernel: the calendar ring allocates `max_latency + 1` buckets, so the
+/// cap bounds that allocation. 65 536 buckets ≈ 1.5 MiB of empty `Vec`
+/// headers — generous enough that every latency table the workloads
+/// produce qualifies, small enough that a pathological table cannot
+/// balloon the ring.
+pub const FLOOD_RING_MAX_DEFAULT: u64 = 65_536;
+
+/// The effective calendar-ring cap: `MWC_FLOOD_RING_MAX`, else
+/// [`FLOOD_RING_MAX_DEFAULT`] (unparseable values fall through to the
+/// default, the lenient env-knob convention). A stretched flood whose
+/// [`FloodPlan::max_latency`] exceeds this runs the scalar path.
+pub fn flood_ring_max() -> u64 {
+    std::env::var("MWC_FLOOD_RING_MAX")
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .unwrap_or(FLOOD_RING_MAX_DEFAULT)
+}
+
+/// Process-cumulative count of floods dispatched to a bitset kernel
+/// (unit-latency or calendar-queue).
+static FLOODS_BITSET: AtomicU64 = AtomicU64::new(0);
+/// Process-cumulative count of floods dispatched to the scalar fallback.
+static FLOODS_SCALAR: AtomicU64 = AtomicU64::new(0);
+
+/// Process-cumulative kernel engagement: how many floods (one
+/// [`crate::multi_source_bfs`] or [`crate::source_detection`] call each)
+/// dispatched to a bitset kernel vs. the scalar fallback, as
+/// `(bitset, scalar)`. Bench bins snapshot this at run start and stamp the
+/// delta on the run record as the informational `floods_bitset` /
+/// `floods_scalar` fields.
+pub fn flood_engagement() -> (u64, u64) {
+    (
+        FLOODS_BITSET.load(Ordering::Relaxed),
+        FLOODS_SCALAR.load(Ordering::Relaxed),
+    )
+}
+
+/// Tallies one flood dispatch for [`flood_engagement`].
+pub(crate) fn note_flood_engagement(bitset: bool) {
+    let ctr = if bitset {
+        &FLOODS_BITSET
+    } else {
+        &FLOODS_SCALAR
+    };
+    ctr.fetch_add(1, Ordering::Relaxed);
 }
 
 /// Per traversal edge, everything a flood's inner loop needs: the link to
@@ -204,9 +263,109 @@ impl FloodPlan {
     }
 
     /// `true` when every hop crosses in one round (all latencies 0) — the
-    /// case the bitset kernel handles.
+    /// case the distance-bucketed bitset kernel handles without a
+    /// calendar ring.
     pub fn unit_latency(&self) -> bool {
         self.max_latency == 0
+    }
+
+    /// Largest hop latency in the plan. The stretched bitset kernel sizes
+    /// its [`CalendarRing`] as `max_latency + 1` buckets and engages only
+    /// when this is at most [`flood_ring_max`].
+    pub fn max_latency(&self) -> u64 {
+        self.max_latency
+    }
+}
+
+/// A calendar queue over flood arrival rounds: a ring of
+/// `max_latency + 1` buckets, one per pending arrival round, indexed by
+/// `arrival % ring_size`. The stretched flood kernels park a latency-`ℓ`
+/// send in the bucket `ℓ` slots ahead of the round being charged and
+/// drain exactly one bucket per charged round — replacing the scalar
+/// engine's global transit `BinaryHeap` with O(1) insert and pop.
+///
+/// Why a plain ring is enough: when round `R` is charged, every live
+/// arrival lies in the window `[R, R + max_latency]` (sends from earlier
+/// rounds have arrival `> R − 1 + 0` and at most `send_round +
+/// max_latency`; this round's sends land in `[R + 1, R + max_latency]`).
+/// The window spans at most `ring_size` consecutive rounds, so arrivals
+/// map injectively onto buckets and the bucket for round `R` holds
+/// *exactly* the round-`R` arrivals — no overflow chains, no sorting.
+///
+/// Order fidelity: the scalar transit heap pops by `(arrival round,
+/// global send sequence)`. Here items are pushed in send order and rounds
+/// are charged in increasing order, so each bucket's insertion order *is*
+/// the send-sequence order and a per-round drain replays the heap's pop
+/// order exactly. [`CalendarRing::next_arrival`] is the bulk analogue of
+/// the engine's quiet-round fast-forward: it scans at most one window for
+/// the earliest pending arrival so fully-quiet gaps are skipped without
+/// charging rounds.
+#[derive(Clone, Debug)]
+pub struct CalendarRing<T> {
+    /// `buckets[a % buckets.len()]` holds the pending round-`a` arrivals
+    /// in send order, tagged with `a` to assert the window invariant.
+    buckets: Vec<Vec<(u64, T)>>,
+    /// Total pending arrivals across all buckets.
+    len: usize,
+}
+
+impl<T> CalendarRing<T> {
+    /// A ring covering arrival latencies up to `max_latency` (so
+    /// `max_latency + 1` buckets: a latency-1 send charged at round `R`
+    /// arrives at `R + 1`, the furthest at `R + max_latency`).
+    pub fn new(max_latency: u64) -> CalendarRing<T> {
+        let size = usize::try_from(max_latency + 1).expect("ring size fits usize");
+        CalendarRing {
+            buckets: (0..size).map(|_| Vec::new()).collect(),
+            len: 0,
+        }
+    }
+
+    /// Parks `item` for delivery at round `arrival`. The caller keeps the
+    /// window invariant: `arrival` is within `max_latency` rounds of the
+    /// round being charged.
+    pub fn push(&mut self, arrival: u64, item: T) {
+        let b = (arrival % self.buckets.len() as u64) as usize;
+        self.buckets[b].push((arrival, item));
+        self.len += 1;
+    }
+
+    /// Drains the round-`round` arrivals into `out` in send order —
+    /// exactly what the scalar transit heap would pop while expiring
+    /// round `round`.
+    pub fn drain_round_into(&mut self, round: u64, out: &mut Vec<T>) {
+        let b = (round % self.buckets.len() as u64) as usize;
+        self.len -= self.buckets[b].len();
+        for (arrival, item) in self.buckets[b].drain(..) {
+            debug_assert_eq!(arrival, round, "calendar window invariant violated");
+            out.push(item);
+        }
+    }
+
+    /// The earliest pending arrival strictly after round `after`, or
+    /// `None` when the ring is empty — the stretched kernel's
+    /// quiet-round fast-forward (`Network::step_fast_into` in the scalar
+    /// path). Scans at most one window: every live arrival lies in
+    /// `(after, after + ring_size]` once rounds up to `after` are
+    /// drained.
+    pub fn next_arrival(&self, after: u64) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        let size = self.buckets.len() as u64;
+        (after + 1..=after + size).find(|r| !self.buckets[(r % size) as usize].is_empty())
+    }
+
+    /// `true` when no arrival is pending — the stretched kernel's
+    /// `Network::is_idle` analogue.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of pending arrivals (the scalar path's in-flight transit
+    /// occupancy).
+    pub fn len(&self) -> usize {
+        self.len
     }
 }
 

@@ -14,22 +14,31 @@
 //! BFS on the stretched graph where each weighted edge becomes a path of
 //! `ℓ` unit edges simulated at its endpoint.
 //!
-//! Each primitive has two interchangeable inner loops selected by
+//! Each primitive has interchangeable inner loops selected by
 //! [`crate::flood::flood_kernel`]: the engine-stepped **scalar** reference
-//! and the bit-parallel **bitset** kernel (u64 frontier words, direct
-//! delivery, rounds charged via `Network::charge_flood_round`). The bitset
-//! kernel applies to unit-latency floods only and is byte-identical to the
-//! scalar one in every ledger count, event, and output — see the
-//! [`crate::flood`] module docs for the equivalence argument.
+//! and the bit-parallel **bitset** kernels (u64 frontier words, direct
+//! delivery, rounds charged via `Network::charge_flood_round` /
+//! `Network::charge_stretched_flood_round`). Unit-latency floods run the
+//! plain bitset kernel; latency-stretched floods run its calendar-queue
+//! variant (in-flight announcements parked in a
+//! [`CalendarRing`](crate::flood::CalendarRing) of arrival-round buckets)
+//! whenever `FloodPlan::max_latency()` fits under
+//! [`flood_ring_max`](crate::flood::flood_ring_max). Every kernel is
+//! byte-identical to the scalar one in every ledger count, event, and
+//! output — see the [`crate::flood`] module docs for the equivalence
+//! argument.
 
 use crate::distmat::{DistMatrix, INF};
 use crate::engine::{Network, RoundOutput};
-use crate::flood::{flood_kernel, validate_sources, BitFrontier, FloodKernel, FloodPlan};
+use crate::flood::{
+    flood_kernel, flood_ring_max, note_flood_engagement, validate_sources, BitFrontier,
+    CalendarRing, FloodKernel, FloodPlan,
+};
 use crate::ledger::Ledger;
 use mwc_graph::seq::Direction;
 use mwc_graph::{Graph, NodeId, Weight};
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap};
 
 /// Parameters of a multi-source search.
 #[derive(Clone, Copy, Debug)]
@@ -97,8 +106,14 @@ pub fn multi_source_bfs(
     let mut net: Network<Announce> = Network::new_auto(g);
     let plan = FloodPlan::build(g, &net, spec.direction, spec.latency);
 
-    if plan.unit_latency() && flood_kernel() == FloodKernel::Bitset {
-        bfs_kernel_bitset(sources, spec.max_dist, &plan, &mut net, &mut mat);
+    let bitset = flood_kernel() == FloodKernel::Bitset && plan.max_latency() <= flood_ring_max();
+    note_flood_engagement(bitset);
+    if bitset {
+        if plan.unit_latency() {
+            bfs_kernel_bitset(sources, spec.max_dist, &plan, &mut net, &mut mat);
+        } else {
+            bfs_kernel_stretched(sources, spec.max_dist, &plan, &mut net, &mut mat);
+        }
     } else {
         bfs_kernel_scalar(n, sources, spec.max_dist, &plan, &mut net, &mut mat);
     }
@@ -123,7 +138,8 @@ pub fn multi_source_bfs(
 /// The engine-stepped scalar BFS loop: heap outboxes with lazy
 /// stale-skipping, every announcement moved through the [`Network`]'s
 /// per-link queues (and, for stretched edges, its transit heap). The
-/// reference semantics; the only kernel that handles latencies.
+/// reference semantics every bitset kernel must replicate byte-for-byte,
+/// and the fallback when a latency table overflows the calendar-ring cap.
 fn bfs_kernel_scalar(
     n: usize,
     sources: &[NodeId],
@@ -316,6 +332,134 @@ fn bfs_kernel_bitset(
     }
 }
 
+/// An in-flight announcement parked in the calendar ring:
+/// `(link, to, row, dist, from)` — the link whose transfer was already
+/// charged in its send round, and everything delivery needs on expiry.
+type RingMsg = (u32, u32, u32, Weight, u32);
+
+/// The calendar-queue BFS loop for latency-stretched floods: the same
+/// eager [`BitFrontier`] outbox/ghost discipline as [`bfs_kernel_bitset`],
+/// plus a [`CalendarRing`] standing in for the scalar engine's transit
+/// heap. A send over a hop with latency `ℓ ≥ 1` is charged as a transfer
+/// in its send round but parked `ℓ` buckets ahead; zero-latency sends are
+/// delivered in the send round itself, *before* that round's calendar
+/// expiries — exactly the scalar `step_into` order (same-round completions
+/// in send order, then transit pops in `(arrival, send-sequence)` order,
+/// which per-bucket insertion order reproduces).
+///
+/// Round control mirrors the scalar loop branch for branch: filtered pops
+/// with pending work left spin without charging a round; a round with
+/// sends is charged via `Network::charge_stretched_flood_round` with this
+/// round's links and arrivals; and when nothing was sent but arrivals are
+/// still in flight, [`CalendarRing::next_arrival`] fast-forwards to the
+/// next expiry (`step_fast_into` in the scalar path) — a charged round
+/// with zero transfers, messages only.
+fn bfs_kernel_stretched(
+    sources: &[NodeId],
+    max_dist: Weight,
+    plan: &FloodPlan,
+    net: &mut Network<Announce>,
+    mat: &mut DistMatrix,
+) {
+    let n = mat.n();
+    let mut outbox: Vec<BitFrontier> = vec![BitFrontier::default(); n];
+    let mut ghost: Vec<BitFrontier> = vec![BitFrontier::default(); n];
+    let mut pending: Vec<NodeId> = Vec::new();
+    let mut pending_flag = vec![false; n];
+    let mut ring: CalendarRing<RingMsg> = CalendarRing::new(plan.max_latency());
+
+    for (row, &s) in sources.iter().enumerate() {
+        mat.set_row(row, s, 0, None);
+        outbox[s].insert(0, row as u32);
+        if !pending_flag[s] {
+            pending_flag[s] = true;
+            pending.push(s);
+        }
+    }
+
+    // This round's traffic: every charged link in send order, and the
+    // messages *delivered* this round — zero-latency sends first (send
+    // order), then calendar expiries — as parallel delivered-link /
+    // payload vectors.
+    let mut links: Vec<u32> = Vec::new();
+    let mut dlinks: Vec<u32> = Vec::new();
+    let mut deliv: Vec<(u32, u32, Weight, u32)> = Vec::new();
+    let mut expiries: Vec<RingMsg> = Vec::new();
+    loop {
+        let acting = std::mem::take(&mut pending);
+        links.clear();
+        dlinks.clear();
+        deliv.clear();
+        // If anything is sent this iteration, it is charged at this round.
+        let send_round = net.round() + 1;
+        for v in acting {
+            pending_flag[v] = false;
+            let Some((d, row)) = outbox[v].pop_min() else {
+                ghost[v].clear();
+                continue;
+            };
+            ghost[v].drain_below(d, row);
+            for hop in plan.of(v) {
+                let cand = add_dist(d, hop.dist_add);
+                if cand > max_dist {
+                    continue;
+                }
+                links.push(hop.link);
+                if hop.latency == 0 {
+                    dlinks.push(hop.link);
+                    deliv.push((hop.to, row, cand, v as u32));
+                } else {
+                    ring.push(
+                        send_round + hop.latency,
+                        (hop.link, hop.to, row, cand, v as u32),
+                    );
+                }
+            }
+            if (!outbox[v].is_empty() || !ghost[v].is_empty()) && !pending_flag[v] {
+                pending_flag[v] = true;
+                pending.push(v);
+            }
+        }
+
+        let round = if links.is_empty() {
+            if !pending.is_empty() {
+                // Entirely-filtered pops: no traffic, no round charged.
+                continue;
+            }
+            // Nothing to send and nothing ever will be unless an arrival
+            // lands: fast-forward to the next expiry, or finish.
+            let Some(next) = ring.next_arrival(net.round()) else {
+                break;
+            };
+            next
+        } else {
+            send_round
+        };
+        expiries.clear();
+        ring.drain_round_into(round, &mut expiries);
+        for &(link, to, row, cand, from) in &expiries {
+            dlinks.push(link);
+            deliv.push((to, row, cand, from));
+        }
+        net.charge_stretched_flood_round(round, &links, &dlinks);
+        for &(to, row, cand, from) in &deliv {
+            let v = to as usize;
+            let old = mat.get_row(row as usize, v);
+            if cand < old {
+                if old != INF && outbox[v].remove(old, row) {
+                    ghost[v].insert(old, row);
+                }
+                mat.set_row(row as usize, v, cand, Some(from as usize));
+                outbox[v].insert(cand, row);
+                if !pending_flag[v] {
+                    pending_flag[v] = true;
+                    pending.push(v);
+                }
+            }
+        }
+    }
+}
+
 /// `(dist, src)` ordering helper — distance first, then source row for a
 /// deterministic tiebreak.
 type Announce2 = (Weight, u32);
@@ -343,6 +487,18 @@ impl Detection {
         self.best[node].get(&src).map(|&(d, _)| d)
     }
 
+    /// The first hop of [`Detection::path_to_source`] without walking or
+    /// allocating the path: the neighbor `node`'s best announcement for
+    /// `src` arrived from (`node` itself when `node == src`, mirroring the
+    /// self-admission's predecessor). Predecessor chains always close —
+    /// a sender admits its own entry before announcing, entries are never
+    /// removed, and admission times strictly decrease along a chain — so
+    /// this equals `path_to_source(node, src)?[1]` whenever that path has
+    /// a second vertex.
+    pub fn pred(&self, node: NodeId, src: NodeId) -> Option<NodeId> {
+        self.best[node].get(&src).map(|&(_, p)| p)
+    }
+
     /// The discovered path `node → … → src` following predecessor
     /// pointers (real graph edges). `None` if `src` never reached `node`.
     pub fn path_to_source(&self, node: NodeId, src: NodeId) -> Option<Vec<NodeId>> {
@@ -362,20 +518,38 @@ impl Detection {
 
 /// Per-node detection state shared by both kernels: current best
 /// `(distance, pred)` per source row and the top-`σ` set the truncation
-/// discipline maintains.
+/// discipline maintains. Stored flat — a `(dist, pred)` matrix with an
+/// [`INF`] absent-sentinel and per-node sorted vectors of at most `σ`
+/// entries — so the admit fast path is an array index plus a short
+/// binary search instead of hash-map and B-tree traffic.
 struct DetectState {
-    best: Vec<HashMap<u32, (Weight, NodeId)>>,
-    top: Vec<BTreeSet<(Weight, u32)>>,
+    n: usize,
+    rows: usize,
+    best: Vec<(Weight, NodeId)>,
+    top: Vec<Vec<(Weight, u32)>>,
     sigma: usize,
 }
 
 impl DetectState {
-    fn new(n: usize, sigma: usize) -> DetectState {
+    fn new(n: usize, rows: usize, sigma: usize) -> DetectState {
         DetectState {
-            best: (0..n).map(|_| HashMap::new()).collect(),
-            top: (0..n).map(|_| BTreeSet::new()).collect(),
+            n,
+            rows,
+            best: vec![(INF, NodeId::MAX); n * rows],
+            top: (0..n).map(|_| Vec::with_capacity(sigma + 1)).collect(),
             sigma,
         }
+    }
+
+    /// Best-known distance of `row`'s source at `v` ([`INF`] when no
+    /// announcement was ever admitted).
+    fn best_dist(&self, v: NodeId, row: u32) -> Weight {
+        self.best[v * self.rows + row as usize].0
+    }
+
+    /// Whether `entry` is currently in `v`'s top-`σ` set.
+    fn in_top(&self, v: NodeId, entry: (Weight, u32)) -> bool {
+        self.top[v].binary_search(&entry).is_ok()
     }
 
     /// Offers `(d, src_row)` arriving at `v` from `pred`. Updates the
@@ -393,23 +567,31 @@ impl DetectState {
         pred: NodeId,
         mut retire: impl FnMut(Weight, u32),
     ) -> bool {
-        match self.best[v].get(&src_row) {
-            Some(&(old, _)) if old <= d => return false,
-            Some(&(old, _)) => {
-                self.top[v].remove(&(old, src_row));
-                retire(old, src_row);
-            }
-            None => {}
+        let slot = &mut self.best[v * self.rows + src_row as usize];
+        let old = slot.0;
+        // Admitted distances never reach `INF` (announcements assert
+        // against saturation), so the absent sentinel can only lose here.
+        if old <= d {
+            return false;
         }
-        self.best[v].insert(src_row, (d, pred));
-        self.top[v].insert((d, src_row));
-        while self.top[v].len() > self.sigma {
-            let worst = *self.top[v].iter().next_back().expect("nonempty");
-            self.top[v].remove(&worst);
+        *slot = (d, pred);
+        let top = &mut self.top[v];
+        if old != INF {
+            // The superseded entry may already have been truncated away.
+            if let Ok(i) = top.binary_search(&(old, src_row)) {
+                top.remove(i);
+            }
+            retire(old, src_row);
+        }
+        let pos = top.binary_search(&(d, src_row)).unwrap_err();
+        top.insert(pos, (d, src_row));
+        while top.len() > self.sigma {
+            let worst = top.pop().expect("nonempty");
             retire(worst.0, worst.1);
         }
-        // Forward only if the entry survived truncation.
-        self.top[v].contains(&(d, src_row))
+        // Forward only if the entry survived truncation (it did exactly
+        // when it landed inside the first σ slots).
+        pos < self.sigma
     }
 }
 
@@ -453,9 +635,15 @@ pub fn source_detection(
     let mut srcs: Vec<NodeId> = sources.to_vec();
     srcs.sort_unstable();
 
-    let mut state = DetectState::new(n, sigma);
-    if plan.unit_latency() && flood_kernel() == FloodKernel::Bitset {
-        detect_kernel_bitset(&srcs, h, &plan, &mut net, &mut state);
+    let mut state = DetectState::new(n, srcs.len(), sigma);
+    let bitset = flood_kernel() == FloodKernel::Bitset && plan.max_latency() <= flood_ring_max();
+    note_flood_engagement(bitset);
+    if bitset {
+        if plan.unit_latency() {
+            detect_kernel_bitset(&srcs, h, &plan, &mut net, &mut state);
+        } else {
+            detect_kernel_stretched(&srcs, h, &plan, &mut net, &mut state);
+        }
     } else {
         detect_kernel_scalar(n, &srcs, h, &plan, &mut net, &mut state);
     }
@@ -477,12 +665,13 @@ pub fn source_detection(
                 .collect()
         })
         .collect();
-    let best_by_id: Vec<HashMap<NodeId, (Weight, NodeId)>> = state
-        .best
-        .into_iter()
-        .map(|m| {
-            m.into_iter()
-                .map(|(row, dp)| (srcs[row as usize], dp))
+    let best_by_id: Vec<HashMap<NodeId, (Weight, NodeId)>> = (0..n)
+        .map(|v| {
+            (0..srcs.len())
+                .filter_map(|row| {
+                    let dp = state.best[v * srcs.len() + row];
+                    (dp.0 != INF).then_some((srcs[row], dp))
+                })
                 .collect()
         })
         .collect();
@@ -493,9 +682,10 @@ pub fn source_detection(
 }
 
 /// The engine-stepped scalar detection loop (reference semantics; the
-/// only kernel that handles latencies). Heap outboxes hold entries that
-/// may go stale — superseded by a closer announcement or evicted from the
-/// top-`σ` set — and are skipped lazily at pop time.
+/// fallback when a latency table overflows the calendar-ring cap). Heap
+/// outboxes hold entries that may go stale — superseded by a closer
+/// announcement or evicted from the top-`σ` set — and are skipped lazily
+/// at pop time.
 fn detect_kernel_scalar(
     n: usize,
     srcs: &[NodeId],
@@ -529,9 +719,7 @@ fn detect_kernel_scalar(
                 match outbox[v].pop() {
                     Some(Reverse((d, row))) => {
                         // Fresh = still our best and still within top-σ.
-                        if state.best[v].get(&row).map(|&(bd, _)| bd) == Some(d)
-                            && state.top[v].contains(&(d, row))
-                        {
+                        if state.best_dist(v, row) == d && state.in_top(v, (d, row)) {
                             break Some((d, row));
                         }
                     }
@@ -595,7 +783,7 @@ fn detect_kernel_bitset(
     net: &mut Network<(u32, Weight)>,
     state: &mut DetectState,
 ) {
-    let n = state.best.len();
+    let n = state.n;
     let mut outbox: Vec<BitFrontier> = vec![BitFrontier::default(); n];
     let mut ghost: Vec<BitFrontier> = vec![BitFrontier::default(); n];
     let mut pending: Vec<NodeId> = Vec::new();
@@ -653,6 +841,124 @@ fn detect_kernel_bitset(
             break;
         }
         net.charge_flood_round(&links);
+        for &(to, row, cand, from) in &deliv {
+            let v = to as usize;
+            let (ob, gh) = (&mut outbox[v], &mut ghost[v]);
+            let retire = |d, r| {
+                if ob.remove(d, r) {
+                    gh.insert(d, r);
+                }
+            };
+            if state.admit(v, row, cand, from as usize, retire) {
+                outbox[v].insert(cand, row);
+                if !pending_flag[v] {
+                    pending_flag[v] = true;
+                    pending.push(v);
+                }
+            }
+        }
+    }
+}
+
+/// The calendar-queue detection loop for latency-stretched floods:
+/// [`detect_kernel_bitset`]'s eager frontier/ghost discipline with a
+/// [`CalendarRing`] in place of the engine's transit heap, delivering
+/// zero-latency sends before the round's calendar expiries exactly as the
+/// stretched BFS kernel does (see [`bfs_kernel_stretched`]).
+///
+/// Detection's round-control contract differs from BFS and is mirrored
+/// here: a round is charged whenever any node popped a fresh announcement
+/// — even if the budget then filtered every send, in which case the
+/// charge carries zero links (an idle `step_into`: the round advances,
+/// nothing is transferred, and that round's arrivals still land).
+fn detect_kernel_stretched(
+    srcs: &[NodeId],
+    h: Weight,
+    plan: &FloodPlan,
+    net: &mut Network<(u32, Weight)>,
+    state: &mut DetectState,
+) {
+    let n = state.n;
+    let mut outbox: Vec<BitFrontier> = vec![BitFrontier::default(); n];
+    let mut ghost: Vec<BitFrontier> = vec![BitFrontier::default(); n];
+    let mut pending: Vec<NodeId> = Vec::new();
+    let mut pending_flag = vec![false; n];
+    let mut ring: CalendarRing<RingMsg> = CalendarRing::new(plan.max_latency());
+
+    for (row, &s) in srcs.iter().enumerate() {
+        let (ob, gh) = (&mut outbox[s], &mut ghost[s]);
+        let retire = |d, r| {
+            if ob.remove(d, r) {
+                gh.insert(d, r);
+            }
+        };
+        if state.admit(s, row as u32, 0, s, retire) {
+            outbox[s].insert(0, row as u32);
+            if !pending_flag[s] {
+                pending_flag[s] = true;
+                pending.push(s);
+            }
+        }
+    }
+
+    let mut links: Vec<u32> = Vec::new();
+    let mut dlinks: Vec<u32> = Vec::new();
+    let mut deliv: Vec<(u32, u32, Weight, u32)> = Vec::new();
+    let mut expiries: Vec<RingMsg> = Vec::new();
+    loop {
+        let acting = std::mem::take(&mut pending);
+        links.clear();
+        dlinks.clear();
+        deliv.clear();
+        let send_round = net.round() + 1;
+        let mut any_action = false;
+        for v in acting {
+            pending_flag[v] = false;
+            let Some((d, row)) = outbox[v].pop_min() else {
+                ghost[v].clear();
+                continue;
+            };
+            ghost[v].drain_below(d, row);
+            any_action = true;
+            for hop in plan.of(v) {
+                let cand = add_dist(d, hop.dist_add);
+                if cand > h {
+                    continue;
+                }
+                links.push(hop.link);
+                if hop.latency == 0 {
+                    dlinks.push(hop.link);
+                    deliv.push((hop.to, row, cand, v as u32));
+                } else {
+                    ring.push(
+                        send_round + hop.latency,
+                        (hop.link, hop.to, row, cand, v as u32),
+                    );
+                }
+            }
+            if (!outbox[v].is_empty() || !ghost[v].is_empty()) && !pending_flag[v] {
+                pending_flag[v] = true;
+                pending.push(v);
+            }
+        }
+
+        let round = if any_action {
+            // Charged even when the budget filtered every send: the
+            // scalar loop still steps the engine for a popped node.
+            send_round
+        } else {
+            let Some(next) = ring.next_arrival(net.round()) else {
+                break;
+            };
+            next
+        };
+        expiries.clear();
+        ring.drain_round_into(round, &mut expiries);
+        for &(link, to, row, cand, from) in &expiries {
+            dlinks.push(link);
+            deliv.push((to, row, cand, from));
+        }
+        net.charge_stretched_flood_round(round, &links, &dlinks);
         for &(to, row, cand, from) in &deliv {
             let v = to as usize;
             let (ob, gh) = (&mut outbox[v], &mut ghost[v]);
@@ -908,8 +1214,7 @@ mod tests {
     fn zero_weight_edges_identical_across_kernels() {
         // `dist_add = 0` with `stretch = 1` must cost one round and add
         // zero distance in BOTH kernels. All weights ≤ 1, so the flood is
-        // unit-latency and the bitset kernel actually engages (a mixed
-        // graph with stretch > 1 edges would fall back to scalar).
+        // unit-latency and the plain (ring-free) bitset kernel engages.
         let g = Graph::from_edges(
             6,
             Orientation::Directed,
@@ -943,6 +1248,79 @@ mod tests {
             results.push((mat.digest(), ledger.rounds, ledger.words, ledger.messages));
         }
         assert_eq!(results[0], results[1], "kernels disagree on w = 0 flood");
+    }
+
+    #[test]
+    fn stretched_flood_identical_across_kernels() {
+        // Latency-stretched floods now have a bitset kernel too (the
+        // calendar ring): pin digests, predecessors, and every ledger
+        // count against the scalar engine-stepped reference, for both a
+        // bounded and an unbounded search.
+        let g = connected_gnm(
+            44,
+            100,
+            Orientation::Directed,
+            WeightRange::uniform(0, 9),
+            17,
+        );
+        let lat: Vec<Weight> = g.edges().iter().map(|e| e.weight).collect();
+        for max_dist in [INF, 11] {
+            let spec = MultiBfsSpec {
+                max_dist,
+                direction: Direction::Forward,
+                latency: Some(&lat),
+            };
+            let mut results = Vec::new();
+            for kernel in [FloodKernel::Scalar, FloodKernel::Bitset] {
+                let _k = with_kernel(kernel);
+                let mut ledger = Ledger::new();
+                let mat = multi_source_bfs(&g, &[0, 7, 21], &spec, "st", &mut ledger);
+                results.push((
+                    mat.digest(),
+                    ledger.rounds,
+                    ledger.words,
+                    ledger.messages,
+                    ledger.hot_links(8),
+                ));
+            }
+            assert_eq!(
+                results[0], results[1],
+                "kernels disagree on stretched flood (max_dist {max_dist})"
+            );
+        }
+    }
+
+    #[test]
+    fn stretched_detection_identical_across_kernels() {
+        let g = connected_gnm(
+            40,
+            90,
+            Orientation::Undirected,
+            WeightRange::uniform(1, 8),
+            23,
+        );
+        let lat: Vec<Weight> = g.edges().iter().map(|e| e.weight).collect();
+        let sources: Vec<NodeId> = (0..40).step_by(3).collect();
+        let mut results = Vec::new();
+        for kernel in [FloodKernel::Scalar, FloodKernel::Bitset] {
+            let _k = with_kernel(kernel);
+            let mut ledger = Ledger::new();
+            let det = source_detection(
+                &g,
+                &sources,
+                20,
+                4,
+                Direction::Forward,
+                Some(&lat),
+                "sd",
+                &mut ledger,
+            );
+            results.push((det.lists, ledger.rounds, ledger.words, ledger.messages));
+        }
+        assert_eq!(
+            results[0], results[1],
+            "kernels disagree on stretched detection"
+        );
     }
 
     #[test]

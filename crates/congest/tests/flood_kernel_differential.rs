@@ -26,8 +26,8 @@
 use std::sync::{Mutex, MutexGuard};
 
 use mwc_congest::{
-    multi_source_bfs, set_flood_kernel, source_detection, DetectionLists, EventCapture,
-    FloodKernel, Ledger, MultiBfsSpec,
+    broadcast, multi_source_bfs, set_flood_kernel, source_detection, BfsTree, DetectionLists,
+    EventCapture, FloodKernel, Ledger, MultiBfsSpec,
 };
 use mwc_graph::generators::{connected_gnm, ring_with_chords, WeightRange};
 use mwc_graph::seq::Direction;
@@ -69,11 +69,12 @@ struct Observed {
     totals: (u64, u64, u64),
 }
 
-/// Runs the unweighted-primitive pipeline on `g` under `kernel` and
-/// captures every observable artifact: a plain multi-source BFS (the
-/// bitset fast path when the kernel allows), a latency-stretched BFS
-/// over the edge weights (always the scalar fallback — the kernel knob
-/// must be invisible there too), and a source detection.
+/// Runs the flood-primitive pipeline on `g` under `kernel` and captures
+/// every observable artifact: a plain multi-source BFS (the distance-
+/// bucketed bitset fast path when the kernel allows), a latency-stretched
+/// BFS over the edge weights (the calendar-queue bitset kernel when the
+/// kernel allows — stretched floods are no longer a scalar-only path),
+/// and a source detection.
 fn observe(g: &Graph, direction: Direction, latency: &[Weight], kernel: FloodKernel) -> Observed {
     let _cfg = with_kernel(kernel);
     let cap = EventCapture::memory();
@@ -114,7 +115,7 @@ fn observe(g: &Graph, direction: Direction, latency: &[Weight], kernel: FloodKer
 
 /// Stretch table over `g`'s edge weights: `ℓ(e) = max(w(e), 1)`, so a
 /// unit-weight graph stays unit-latency and a weighted one exercises
-/// the transit slab (and the scalar fallback under the bitset kernel).
+/// in-flight delivery (the scalar transit slab vs. the calendar ring).
 fn weight_latency(g: &Graph) -> Vec<Weight> {
     g.edges().iter().map(|e| e.weight.max(1)).collect()
 }
@@ -215,5 +216,159 @@ fn zero_weight_family_is_kernel_invariant() {
             "family must mix zero- and unit-weight edges"
         );
         assert_kernel_invariant(&g, Direction::Forward, &lat, "zero-weight/connected_gnm");
+    }
+}
+
+/// Captures every observable of a [`broadcast`] (tree build + pipelined
+/// upcast + downcast) under `kernel`. The downcast is charged in closed
+/// form under the bitset kernel, so this pins its byte-identity to the
+/// engine-stepped scalar reference: record bytes, event log, the
+/// collected item list (content AND order), hot links, and totals.
+fn observe_broadcast(
+    g: &Graph,
+    root: NodeId,
+    items: Vec<(NodeId, u64)>,
+    words_per_item: u64,
+    kernel: FloodKernel,
+) -> Observed {
+    let _cfg = with_kernel(kernel);
+    let cap = EventCapture::memory();
+    let session = TraceSession::memory();
+    let mut ledger = Ledger::new();
+
+    let tree = BfsTree::build(g, root, &mut ledger);
+    let all = broadcast(g, &tree, items, words_per_item, &mut ledger);
+
+    let mut record = RunRecord::from_trace(
+        "broadcast_probe",
+        vec![("n".into(), g.n().to_string())],
+        &session.finish(),
+    );
+    record.push_congestion(ledger.congestion_summary("broadcast"));
+
+    // Fold the collected list into the digest slots so a reorder or a
+    // dropped item shows up even though this probe has no DistMatrix.
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    for (origin, item) in &all {
+        for part in [*origin as u64, *item] {
+            digest ^= part;
+            digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    Observed {
+        record: record.render(),
+        events: cap.finish(),
+        unit_digest: digest,
+        stretched_digest: all.len() as u64,
+        detection: DetectionLists::default(),
+        hot_links: ledger.hot_links(8),
+        totals: (ledger.rounds, ledger.words, ledger.messages),
+    }
+}
+
+fn assert_broadcast_kernel_invariant(
+    g: &Graph,
+    root: NodeId,
+    items: Vec<(NodeId, u64)>,
+    words_per_item: u64,
+    family: &str,
+) {
+    let scalar = observe_broadcast(g, root, items.clone(), words_per_item, FloodKernel::Scalar);
+    let bitset = observe_broadcast(g, root, items, words_per_item, FloodKernel::Bitset);
+    assert_eq!(
+        bitset.record, scalar.record,
+        "{family}: RunRecord bytes diverge between kernels"
+    );
+    assert_eq!(
+        bitset.events, scalar.events,
+        "{family}: event log diverges between kernels"
+    );
+    assert_eq!(
+        bitset, scalar,
+        "{family}: observable state diverges between kernels"
+    );
+}
+
+/// The broadcast downcast — a saturated pipelined flood down the BFS
+/// tree — is charged in closed form under the bitset kernel. Sweep the
+/// shapes that stress the schedule: a path (maximum height, one chain),
+/// a star (height 1, the root queue holds all `m` items), and random
+/// connected graphs (branching trees), each with `m ∈ {0, 1, many}` and
+/// single- vs multi-word items.
+#[test]
+fn broadcast_downcast_is_kernel_invariant() {
+    // Path: 12 nodes rooted at one end.
+    let mut path = Graph::undirected(12);
+    for i in 0..11 {
+        path.add_edge(i, i + 1, 1).unwrap();
+    }
+    // Star: hub 0 with 9 leaves.
+    let mut star = Graph::undirected(10);
+    for i in 1..10 {
+        star.add_edge(0, i, 1).unwrap();
+    }
+    let gnm = connected_gnm(26, 50, Orientation::Undirected, WeightRange::unit(), 13);
+    let shapes: [(&str, &Graph, NodeId); 3] =
+        [("path", &path, 0), ("star", &star, 0), ("gnm", &gnm, 5)];
+    for (name, g, root) in shapes {
+        for m in [0usize, 1, 17] {
+            for w in [1u64, 3] {
+                let items: Vec<(NodeId, u64)> =
+                    (0..m).map(|i| (i % g.n(), 1000 + i as u64)).collect();
+                let family = format!("broadcast/{name}/m={m}/w={w}");
+                assert_broadcast_kernel_invariant(g, root, items, w, &family);
+            }
+        }
+    }
+}
+
+/// Heavy-tail latencies: one graph mixing zero-weight edges (unit travel,
+/// zero distance — the deliver-before-expiry aliasing case), stretch-1
+/// edges, and max-scale latencies hundreds of rounds long. The stretched
+/// run stresses every calendar-ring behavior at once — deep parking,
+/// quiet-gap fast-forwards across empty buckets, same-round collisions of
+/// fast and slow arrivals — and the whole [`Observed`] surface must still
+/// be byte-identical across `MWC_FLOOD_KERNEL=scalar|bitset`.
+#[test]
+fn heavy_tail_latency_family_is_kernel_invariant() {
+    for seed in [4, 19] {
+        let base = connected_gnm(
+            36,
+            96,
+            Orientation::Directed,
+            WeightRange::uniform(0, 1),
+            seed,
+        );
+        // Remap weights onto a heavy-tailed scale keyed by edge index:
+        // mostly short (0 / 1 / 2), a thick tail of 37s, and rare
+        // 211-round outliers that dwarf the rest of the schedule.
+        let edges: Vec<(usize, usize, Weight)> = base
+            .edges()
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let w = match i % 9 {
+                    0 => 0,
+                    1..=3 => 1,
+                    4 | 5 => 2,
+                    6 | 7 => 37,
+                    _ => 211,
+                };
+                (e.u, e.v, w)
+            })
+            .collect();
+        let g = Graph::from_edges(base.n(), Orientation::Directed, edges).unwrap();
+        let lat = raw_weight_latency(&g);
+        assert!(
+            lat.contains(&0) && lat.contains(&1) && lat.contains(&211),
+            "family must mix zero-weight, stretch-1, and max-scale edges"
+        );
+        assert_kernel_invariant(&g, Direction::Forward, &lat, "heavy-tail/connected_gnm");
+        assert_kernel_invariant(
+            &g,
+            Direction::Reverse,
+            &lat,
+            "heavy-tail-reverse/connected_gnm",
+        );
     }
 }

@@ -36,7 +36,6 @@ use mwc_congest::{
 };
 use mwc_graph::seq::Direction;
 use mwc_graph::{CycleWitness, Graph, NodeId, Weight};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 pub(crate) const SALT_GIRTH_SAMPLES: u64 = 0xC1;
@@ -233,13 +232,7 @@ fn girth_core_parts(
             Arc::new(
                 det.lists[v]
                     .iter()
-                    .map(|&(d, s)| {
-                        let pred = det
-                            .path_to_source(v, s)
-                            .and_then(|p| p.get(1).copied())
-                            .unwrap_or(v);
-                        (s, d, pred)
-                    })
+                    .map(|&(d, s)| (s, d, det.pred(v, s).unwrap_or(v)))
                     .collect(),
             )
         })
@@ -258,10 +251,10 @@ fn girth_core_parts(
         let Some(ylist) = nbr_lists[x].get(&y) else {
             continue;
         };
-        let ymap: HashMap<NodeId, (Weight, NodeId)> =
-            ylist.iter().map(|&(s, d, p)| (s, (d, p))).collect();
+        // `ylist` holds at most σ entries — a linear probe beats building
+        // a per-edge hash map.
         for &(v, dx, xpred) in lists[x].iter() {
-            let Some(&(dy, ypred)) = ymap.get(&v) else {
+            let Some(&(_, dy, ypred)) = ylist.iter().find(|&&(s, _, _)| s == v) else {
                 continue;
             };
             if xpred == y || ypred == x {
@@ -277,15 +270,19 @@ fn girth_core_parts(
 
     // (b) "Exactly one vertex outside": at z, combine two distinct
     // neighbors' detections of a common source v.
+    // Per source: the two best (stretched dist + edge stretch, neighbor),
+    // in a dense generation-stamped table (sources are node ids) so the
+    // inner accumulation is an array index. Candidate sources are iterated
+    // in sorted id order: the `cand >= b` pruning below depends on the
+    // order offers improve `best`, so an unordered iteration would make
+    // the *work done* (and with it the profiled allocator traffic, a
+    // gated metric in the default configuration) nondeterministic even
+    // though the final cycle weight is order-invariant.
+    let mut two_best: Vec<[(Weight, NodeId); 2]> = vec![[(INF, usize::MAX); 2]; n];
+    let mut stamp: Vec<usize> = vec![usize::MAX; n];
+    let mut sources: Vec<NodeId> = Vec::new();
     for z in 0..n {
-        // Per source: the two best (stretched dist + edge stretch, neighbor).
-        // Both maps here are iterated in sorted key order: the `cand >= b`
-        // pruning below depends on the order offers improve `best`, so
-        // HashMap's per-process iteration order would make the *work done*
-        // (and with it the profiled allocator traffic, a gated metric in
-        // the default configuration) nondeterministic even though the
-        // final cycle weight is order-invariant.
-        let mut two_best: HashMap<NodeId, [(Weight, NodeId); 2]> = HashMap::new();
+        sources.clear();
         let mut nbrs: Vec<NodeId> = nbr_lists[z].keys().copied().collect();
         nbrs.sort_unstable();
         for x in nbrs {
@@ -294,9 +291,12 @@ fn girth_core_parts(
             let ell = latency.map_or(1, |l| l[eid].max(1));
             for &(v, d, _) in xlist.iter() {
                 let key = d.saturating_add(ell);
-                let slot = two_best
-                    .entry(v)
-                    .or_insert([(INF, usize::MAX), (INF, usize::MAX)]);
+                if stamp[v] != z {
+                    stamp[v] = z;
+                    two_best[v] = [(INF, usize::MAX); 2];
+                    sources.push(v);
+                }
+                let slot = &mut two_best[v];
                 if key < slot[0].0 {
                     if slot[0].1 != x {
                         slot[1] = slot[0];
@@ -307,10 +307,9 @@ fn girth_core_parts(
                 }
             }
         }
-        let mut sources: Vec<NodeId> = two_best.keys().copied().collect();
         sources.sort_unstable();
-        for v in sources {
-            let [(d0, x), (d1, y)] = two_best[&v];
+        for &v in &sources {
+            let [(d0, x), (d1, y)] = two_best[v];
             if d1 == INF || x == y {
                 continue;
             }

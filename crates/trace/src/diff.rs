@@ -785,6 +785,8 @@ mod tests {
             shards: 0,
             jobs: 0,
             flood_kernel: String::new(),
+            floods_bitset: 0,
+            floods_scalar: 0,
             alloc_bytes: 10_000,
             alloc_count: 40,
             peak_alloc_bytes: 5_000,
@@ -1020,6 +1022,8 @@ mod tests {
             idle_joins: 3,
             busy_ms: 77,
         };
+        fresh.floods_bitset = 12;
+        fresh.floods_scalar = 3;
         let d = diff_records(&record(), &fresh, &DiffConfig::default());
         assert!(!d.has_regression(), "{}", d.render());
         assert!(d.entries.is_empty(), "{}", d.render());
@@ -1099,6 +1103,18 @@ mod tests {
         let mut fresh = record();
         fresh.flood_kernel = "scalar".to_owned();
         fresh.rounds += 1;
+        let d = diff_records(&base, &fresh, &DiffConfig::default());
+        assert!(d.has_regression(), "{}", d.render());
+        // Engagement tallies are informational, not kernel identity: two
+        // same-kernel records with wildly different tallies (e.g. one run
+        // raised MWC_FLOOD_RING_MAX mid-series) still arm the alloc gate.
+        let mut base = record();
+        base.flood_kernel = "bitset".to_owned();
+        base.floods_bitset = 40;
+        let mut fresh = record();
+        fresh.flood_kernel = "bitset".to_owned();
+        fresh.floods_scalar = 40;
+        fresh.alloc_bytes += 500;
         let d = diff_records(&base, &fresh, &DiffConfig::default());
         assert!(d.has_regression(), "{}", d.render());
     }

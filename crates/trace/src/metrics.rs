@@ -169,6 +169,16 @@ const FAMILIES: &[(&str, &str, &str)] = &[
         "gauge",
         "Process-wide live-heap high-water mark in bytes. Informational: allocator- and schedule-dependent.",
     ),
+    (
+        "mwc_info_floods_bitset",
+        "gauge",
+        "Flood primitives the run dispatched to a bitset kernel (unit-latency or calendar-queue stretched). Informational.",
+    ),
+    (
+        "mwc_info_floods_scalar",
+        "gauge",
+        "Flood primitives the run dispatched to the scalar reference kernel. Informational.",
+    ),
 ];
 
 /// Escapes a label value per the OpenMetrics ABNF: backslash, double
@@ -308,7 +318,9 @@ impl MetricsRegistry {
             bin.clone(),
             r.workers.idle_joins,
         );
-        self.sample("mwc_info_worker_busy_ms", bin, r.workers.busy_ms);
+        self.sample("mwc_info_worker_busy_ms", bin.clone(), r.workers.busy_ms);
+        self.sample("mwc_info_floods_bitset", bin.clone(), r.floods_bitset);
+        self.sample("mwc_info_floods_scalar", bin, r.floods_scalar);
     }
 
     /// Renders the exposition. Families with no samples are omitted
@@ -568,6 +580,8 @@ mod tests {
             idle_joins: 7,
             busy_ms: 66,
         };
+        r.floods_bitset = 21;
+        r.floods_scalar = 4;
         let mut reg_b = MetricsRegistry::new();
         reg_b.add(&r);
         let strip = |text: &str| {
@@ -578,6 +592,15 @@ mod tests {
         };
         assert_ne!(reg_a.render(), reg_b.render());
         assert_eq!(strip(&reg_a.render()), strip(&reg_b.render()));
+        let b = reg_b.render();
+        assert!(
+            b.contains("mwc_info_floods_bitset{bin=\"table1_girth\"} 21"),
+            "{b}"
+        );
+        assert!(
+            b.contains("mwc_info_floods_scalar{bin=\"table1_girth\"} 4"),
+            "{b}"
+        );
     }
 
     #[test]
